@@ -1,0 +1,65 @@
+//! Criterion benchmark of recovery from benign failures and from transient state
+//! corruption (the Figure 10/13 and Theorem 2 quantities, at micro-benchmark scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use renaissance::{ControllerConfig, CorruptionPlan, FaultInjector, HarnessConfig, SdnNetwork};
+use sdn_netsim::SimDuration;
+use sdn_topology::builders;
+
+fn bootstrapped_b4() -> SdnNetwork {
+    let topology = builders::b4(3);
+    let mut sdn = SdnNetwork::new(
+        topology,
+        ControllerConfig::for_network(3, 12),
+        HarnessConfig::default().with_task_delay(SimDuration::from_millis(200)),
+    );
+    sdn.run_until_legitimate(SimDuration::from_millis(200), SimDuration::from_secs(600))
+        .expect("bootstrap");
+    sdn
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+
+    group.bench_function("b4_link_failure", |b| {
+        b.iter(|| {
+            let mut sdn = bootstrapped_b4();
+            let mut injector = FaultInjector::new(7);
+            let links = injector.random_safe_links(&sdn, 1);
+            for (a, x) in links {
+                sdn.remove_link(a, x);
+            }
+            sdn.run_until_legitimate(SimDuration::from_millis(200), SimDuration::from_secs(600))
+                .expect("recovery")
+                .as_secs_f64()
+        })
+    });
+
+    group.bench_function("b4_controller_failure", |b| {
+        b.iter(|| {
+            let mut sdn = bootstrapped_b4();
+            let victim = sdn.controller_ids()[2];
+            sdn.fail_controller(victim);
+            sdn.run_until_legitimate(SimDuration::from_millis(200), SimDuration::from_secs(600))
+                .expect("recovery")
+                .as_secs_f64()
+        })
+    });
+
+    group.bench_function("b4_transient_corruption", |b| {
+        b.iter(|| {
+            let mut sdn = bootstrapped_b4();
+            let mut injector = FaultInjector::new(11);
+            injector.corrupt(&mut sdn, CorruptionPlan::heavy());
+            sdn.run_until_legitimate(SimDuration::from_millis(200), SimDuration::from_secs(600))
+                .expect("self-stabilization")
+                .as_secs_f64()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation: memory-adaptive main algorithm vs the Section 8.1 non-adaptive variant —
+//! recovery time from arbitrary transient corruption and post-recovery memory use.
+
+use renaissance_bench::experiments::{variant_ablation, ExperimentScale};
+use renaissance_bench::report::{fmt2, print_table, Row};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = variant_ablation(&scale);
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|r| {
+            Row::new(
+                format!("{} ({})", r.network, if r.memory_adaptive { "adaptive" } else { "non-adaptive" }),
+                vec![
+                    fmt2(r.transient_recovery.median()),
+                    fmt2(r.transient_recovery.mean()),
+                    fmt2(r.total_rules_after.mean()),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Ablation — transient-fault recovery (s) and rules after stabilization",
+        &["median s", "mean s", "rules after"],
+        &rows,
+        &results,
+    );
+}

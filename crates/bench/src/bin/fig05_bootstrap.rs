@@ -1,0 +1,30 @@
+//! Figure 5: bootstrap time for the paper's networks using 3 controllers.
+
+use renaissance_bench::experiments::{bootstrap_times, ExperimentScale};
+use renaissance_bench::report::{fmt2, print_table, Row};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = bootstrap_times(&scale, 3);
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|r| {
+            Row::new(
+                r.network.clone(),
+                vec![
+                    fmt2(r.measurement.median()),
+                    fmt2(r.measurement.mean()),
+                    fmt2(r.measurement.min()),
+                    fmt2(r.measurement.max()),
+                    r.measurement.samples.len().to_string(),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 5 — bootstrap time, 3 controllers (simulated seconds)",
+        &["median", "mean", "min", "max", "runs"],
+        &rows,
+        &results,
+    );
+}

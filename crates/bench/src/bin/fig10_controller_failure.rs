@@ -1,0 +1,19 @@
+//! Figure 10: recovery time after the fail-stop of one controller.
+
+use renaissance_bench::experiments::{recovery_after_failure, ExperimentScale, FailureKind};
+use renaissance_bench::report::{fmt2, print_table, Row};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = recovery_after_failure(&scale, 3, FailureKind::Controllers { count: 1 });
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|r| Row::new(r.network.clone(), vec![fmt2(r.measurement.median()), fmt2(r.measurement.mean()), fmt2(r.measurement.max())]))
+        .collect();
+    print_table(
+        "Figure 10 — recovery time after one controller fail-stop (simulated seconds)",
+        &["median", "mean", "max"],
+        &rows,
+        &results,
+    );
+}

@@ -1,0 +1,19 @@
+//! Figure 12: recovery time after a permanent switch failure.
+
+use renaissance_bench::experiments::{recovery_after_failure, ExperimentScale, FailureKind};
+use renaissance_bench::report::{fmt2, print_table, Row};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = recovery_after_failure(&scale, 3, FailureKind::Switch);
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|r| Row::new(r.network.clone(), vec![fmt2(r.measurement.median()), fmt2(r.measurement.mean()), fmt2(r.measurement.max())]))
+        .collect();
+    print_table(
+        "Figure 12 — recovery time after a switch fail-stop (simulated seconds)",
+        &["median", "mean", "max"],
+        &rows,
+        &results,
+    );
+}

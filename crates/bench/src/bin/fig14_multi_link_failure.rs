@@ -1,0 +1,26 @@
+//! Figure 14: recovery time after 2, 4 or 6 simultaneous permanent link failures.
+
+use renaissance_bench::experiments::{recovery_after_failure, ExperimentScale, FailureKind};
+use renaissance_bench::report::{fmt2, print_table, Row};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for count in [2usize, 4, 6] {
+        let results = recovery_after_failure(&scale, 3, FailureKind::Links { count });
+        for r in &results {
+            rows.push(Row::new(
+                format!("{} ({} links)", r.network, count),
+                vec![fmt2(r.measurement.median()), fmt2(r.measurement.mean())],
+            ));
+        }
+        all.extend(results);
+    }
+    print_table(
+        "Figure 14 — recovery time after multiple permanent link failures (simulated seconds)",
+        &["median", "mean"],
+        &rows,
+        &all,
+    );
+}

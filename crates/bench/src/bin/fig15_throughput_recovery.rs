@@ -1,0 +1,31 @@
+//! Figure 15: TCP throughput across a mid-path link failure, with tagged-update recovery.
+
+use renaissance_bench::experiments::{throughput_under_failure, ExperimentScale};
+use renaissance_bench::report::{fmt2, print_table, Row};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = throughput_under_failure(&scale, true);
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|r| {
+            Row::new(
+                r.network.clone(),
+                vec![
+                    fmt2(r.run.mean_throughput()),
+                    fmt2(r.run.min_throughput()),
+                    format!("{:?}", r.run.failed_link),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 15 — throughput with recovery (Mbit/s): mean, dip, failed link",
+        &["mean", "dip", "failed link"],
+        &rows,
+        &results,
+    );
+    for r in &results {
+        println!("{} per-second Mbit/s: {:?}", r.network, r.run.throughput_mbps.iter().map(|v| v.round()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 16: TCP throughput across a mid-path link failure, backup paths only.
+
+use renaissance_bench::experiments::{throughput_under_failure, ExperimentScale};
+use renaissance_bench::report::{fmt2, print_table, Row};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = throughput_under_failure(&scale, false);
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|r| {
+            Row::new(
+                r.network.clone(),
+                vec![fmt2(r.run.mean_throughput()), fmt2(r.run.min_throughput())],
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 16 — throughput without recovery (Mbit/s): mean, dip",
+        &["mean", "dip"],
+        &rows,
+        &results,
+    );
+    for r in &results {
+        println!("{} per-second Mbit/s: {:?}", r.network, r.run.throughput_mbps.iter().map(|v| v.round()).collect::<Vec<_>>());
+    }
+}

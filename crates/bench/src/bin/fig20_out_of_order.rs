@@ -1,0 +1,20 @@
+//! Figure 20: out-of-order packet percentage per second around the link failure.
+
+use renaissance_bench::experiments::{throughput_under_failure, ExperimentScale};
+use renaissance_bench::report::{fmt2, print_table, Row};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = throughput_under_failure(&scale, true);
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|r| {
+            let peak = r.run.out_of_order_pct.iter().copied().fold(0.0, f64::max);
+            Row::new(r.network.clone(), vec![fmt2(peak)])
+        })
+        .collect();
+    print_table("Figure 20 — peak out-of-order % (burst at the failure second)", &["peak %"], &rows, &results);
+    for r in &results {
+        println!("{} per-second out-of-order %: {:?}", r.network, r.run.out_of_order_pct.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    }
+}

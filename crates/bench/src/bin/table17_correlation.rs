@@ -1,0 +1,21 @@
+//! Table 17: correlation of the average throughput with vs without recovery.
+
+use renaissance_bench::experiments::{throughput_correlations, throughput_under_failure, ExperimentScale};
+use renaissance_bench::report::{print_table, Row};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let with = throughput_under_failure(&scale, true);
+    let without = throughput_under_failure(&scale, false);
+    let correlations = throughput_correlations(&with, &without);
+    let rows: Vec<Row> = correlations
+        .iter()
+        .map(|c| Row::new(c.network.clone(), vec![format!("{:.2}", c.correlation)]))
+        .collect();
+    print_table(
+        "Table 17 — correlation of throughput with vs without recovery",
+        &["correlation"],
+        &rows,
+        &correlations,
+    );
+}

@@ -1,0 +1,13 @@
+//! Table 8: the number of nodes and diameter of the studied networks.
+
+use renaissance_bench::experiments::table8;
+use renaissance_bench::report::{print_table, Row};
+
+fn main() {
+    let rows_data = table8();
+    let rows: Vec<Row> = rows_data
+        .iter()
+        .map(|r| Row::new(r.network.clone(), vec![r.nodes.to_string(), r.diameter.to_string()]))
+        .collect();
+    print_table("Table 8 — studied networks", &["nodes", "diameter"], &rows, &rows_data);
+}

@@ -1,0 +1,599 @@
+//! The experiment implementations behind every figure and table of the evaluation.
+//!
+//! Every function takes an [`ExperimentScale`] (how many repetitions, which networks)
+//! and returns plain serializable results; the `src/bin/*` wrappers print them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use renaissance::{ControllerConfig, FaultInjector, HarnessConfig, SdnNetwork};
+use sdn_netsim::{SimDuration, SimTime};
+use sdn_topology::{builders, NamedTopology, NodeId};
+use sdn_traffic::iperf::{self, IperfConfig, IperfRun};
+use serde::Serialize;
+
+/// How long (simulated) an experiment is allowed to take before it is reported as a
+/// timeout. Generous: the paper's slowest bootstrap is ~2 minutes.
+const TIMEOUT: SimDuration = SimDuration::from_secs(1_200);
+/// Legitimacy is probed at this period; it is also the measurement resolution.
+const CHECK_EVERY: SimDuration = SimDuration::from_millis(250);
+
+/// Global scale knobs shared by every experiment binary.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentScale {
+    /// Repetitions per configuration (different seeds). The paper used 20.
+    pub runs: usize,
+    /// Which of the paper's networks to include.
+    pub networks: Vec<String>,
+    /// Controller do-forever-loop delay (the paper's default is 500 ms).
+    pub task_delay: SimDuration,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale {
+            runs: 3,
+            networks: builders::PAPER_NETWORK_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            task_delay: SimDuration::from_millis(500),
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// Reads the scale from the `RENAISSANCE_RUNS` / `RENAISSANCE_NETWORKS` environment
+    /// variables, falling back to the defaults.
+    pub fn from_env() -> Self {
+        let mut scale = ExperimentScale::default();
+        if let Ok(runs) = std::env::var("RENAISSANCE_RUNS") {
+            if let Ok(runs) = runs.parse::<usize>() {
+                scale.runs = runs.max(1);
+            }
+        }
+        if let Ok(networks) = std::env::var("RENAISSANCE_NETWORKS") {
+            let list: Vec<String> = networks
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if !list.is_empty() {
+                scale.networks = list;
+            }
+        }
+        scale
+    }
+
+    /// A small scale for tests: one run on the two smallest networks.
+    pub fn smoke() -> Self {
+        ExperimentScale {
+            runs: 1,
+            networks: vec!["B4".to_string(), "Clos".to_string()],
+            task_delay: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// Summary statistics of repeated measurements (the numbers behind a violin in the
+/// paper's plots).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Measurement {
+    /// Individual samples, in seconds of simulated time.
+    pub samples: Vec<f64>,
+}
+
+impl Measurement {
+    /// Adds one sample (seconds).
+    pub fn push(&mut self, seconds: f64) {
+        self.samples.push(seconds);
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Median of the samples (0 when empty).
+    pub fn median(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    }
+
+    /// Minimum sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Builds one of the paper's networks (or any name the topology builders know).
+pub fn build_network(name: &str, controllers: usize, task_delay: SimDuration, seed: u64) -> SdnNetwork {
+    let topology = builders::by_name(name, controllers);
+    build_from_topology(topology, task_delay, seed)
+}
+
+/// Builds an [`SdnNetwork`] from an explicit topology.
+pub fn build_from_topology(topology: NamedTopology, task_delay: SimDuration, seed: u64) -> SdnNetwork {
+    let controller_config =
+        ControllerConfig::for_network(topology.controller_count(), topology.switch_count());
+    let harness = HarnessConfig::default()
+        .with_task_delay(task_delay)
+        .with_seed(seed);
+    SdnNetwork::new(topology, controller_config, harness)
+}
+
+/// Bootstraps `sdn` from empty switch configurations and returns the time to reach a
+/// legitimate state, in seconds.
+pub fn measure_bootstrap(sdn: &mut SdnNetwork) -> Option<f64> {
+    sdn.run_until_legitimate(CHECK_EVERY, TIMEOUT)
+        .map(|d| d.as_secs_f64())
+}
+
+/// Runs `sdn` until it is legitimate and returns the time it took, in seconds — used
+/// after injecting a fault into an already legitimate network.
+pub fn measure_recovery(sdn: &mut SdnNetwork) -> Option<f64> {
+    measure_bootstrap(sdn)
+}
+
+// ---------------------------------------------------------------------------
+// Table 8
+// ---------------------------------------------------------------------------
+
+/// One row of Table 8: network name, switch count, diameter.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table8Row {
+    /// Network name.
+    pub network: String,
+    /// Number of switches.
+    pub nodes: usize,
+    /// Switch-graph diameter.
+    pub diameter: u32,
+}
+
+/// Regenerates Table 8 from the topology builders.
+pub fn table8() -> Vec<Table8Row> {
+    builders::paper_networks(3)
+        .into_iter()
+        .map(|net| Table8Row {
+            network: net.name.clone(),
+            nodes: net.switch_count(),
+            diameter: sdn_topology::paths::diameter(&net.switch_graph),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5–7: bootstrap time
+// ---------------------------------------------------------------------------
+
+/// Result of a bootstrap-time experiment for one configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct BootstrapResult {
+    /// Network name.
+    pub network: String,
+    /// Number of controllers.
+    pub controllers: usize,
+    /// Task delay used, in seconds.
+    pub task_delay_s: f64,
+    /// Bootstrap times over the repetitions, in simulated seconds.
+    pub measurement: Measurement,
+}
+
+/// Figure 5: bootstrap time for every network with `controllers` controllers.
+pub fn bootstrap_times(scale: &ExperimentScale, controllers: usize) -> Vec<BootstrapResult> {
+    scale
+        .networks
+        .iter()
+        .map(|name| bootstrap_one(scale, name, controllers, scale.task_delay))
+        .collect()
+}
+
+/// Figure 6: bootstrap time as a function of the number of controllers.
+pub fn bootstrap_vs_controllers(
+    scale: &ExperimentScale,
+    controller_counts: &[usize],
+) -> Vec<BootstrapResult> {
+    let mut out = Vec::new();
+    for name in &scale.networks {
+        for &controllers in controller_counts {
+            out.push(bootstrap_one(scale, name, controllers, scale.task_delay));
+        }
+    }
+    out
+}
+
+/// Figure 7: bootstrap time as a function of the task delay.
+pub fn bootstrap_vs_task_delay(
+    scale: &ExperimentScale,
+    controllers: usize,
+    task_delays: &[SimDuration],
+) -> Vec<BootstrapResult> {
+    let mut out = Vec::new();
+    for name in &scale.networks {
+        for &delay in task_delays {
+            out.push(bootstrap_one(scale, name, controllers, delay));
+        }
+    }
+    out
+}
+
+fn bootstrap_one(
+    scale: &ExperimentScale,
+    name: &str,
+    controllers: usize,
+    task_delay: SimDuration,
+) -> BootstrapResult {
+    let mut measurement = Measurement::default();
+    for run in 0..scale.runs {
+        let mut sdn = build_network(name, controllers, task_delay, 100 + run as u64);
+        if let Some(seconds) = measure_bootstrap(&mut sdn) {
+            measurement.push(seconds);
+        }
+    }
+    BootstrapResult {
+        network: name.to_string(),
+        controllers,
+        task_delay_s: task_delay.as_secs_f64(),
+        measurement,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: communication overhead
+// ---------------------------------------------------------------------------
+
+/// Result of the communication-overhead experiment for one network.
+#[derive(Clone, Debug, Serialize)]
+pub struct OverheadResult {
+    /// Network name.
+    pub network: String,
+    /// Number of controllers used.
+    pub controllers: usize,
+    /// Messages sent by the most loaded controller, divided by the number of
+    /// do-forever iterations it needed to converge, divided by the number of nodes —
+    /// the normalized per-node message count the paper plots.
+    pub messages_per_node_per_iteration: Measurement,
+}
+
+/// Figure 9: messages per node (max-loaded controller, normalized by iterations).
+pub fn communication_overhead(scale: &ExperimentScale, controllers: usize) -> Vec<OverheadResult> {
+    let mut out = Vec::new();
+    for name in &scale.networks {
+        let mut measurement = Measurement::default();
+        for run in 0..scale.runs {
+            let mut sdn = build_network(name, controllers, scale.task_delay, 300 + run as u64);
+            if measure_bootstrap(&mut sdn).is_none() {
+                continue;
+            }
+            let nodes = sdn.topology().node_count() as f64;
+            let live = sdn.live_controller_ids();
+            if let Some((max_ctrl, sent)) = sdn
+                .metrics()
+                .max_sender_among(live.iter().copied())
+            {
+                let iterations = sdn
+                    .controller(max_ctrl)
+                    .map(|c| c.stats().iterations.max(1))
+                    .unwrap_or(1) as f64;
+                measurement.push(sent as f64 / iterations / nodes);
+            }
+        }
+        out.push(OverheadResult {
+            network: name.clone(),
+            controllers,
+            messages_per_node_per_iteration: measurement,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figures 10–14: recovery after benign failures
+// ---------------------------------------------------------------------------
+
+/// The benign failure kinds of the paper's recovery experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum FailureKind {
+    /// Fail-stop of `count` random controllers (Figures 10 and 11).
+    Controllers {
+        /// How many controllers fail simultaneously.
+        count: usize,
+    },
+    /// Fail-stop of one random switch (Figure 12).
+    Switch,
+    /// Permanent removal of `count` random links that keep the network connected
+    /// (Figures 13 and 14).
+    Links {
+        /// How many links are removed simultaneously.
+        count: usize,
+    },
+}
+
+/// Result of one recovery experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct RecoveryResult {
+    /// Network name.
+    pub network: String,
+    /// Number of controllers in the deployment.
+    pub controllers: usize,
+    /// The injected failure.
+    pub failure: FailureKind,
+    /// Recovery times, in simulated seconds.
+    pub measurement: Measurement,
+}
+
+/// Figures 10–14: recovery time after the given failure kind.
+pub fn recovery_after_failure(
+    scale: &ExperimentScale,
+    controllers: usize,
+    failure: FailureKind,
+) -> Vec<RecoveryResult> {
+    let mut out = Vec::new();
+    for name in &scale.networks {
+        let mut measurement = Measurement::default();
+        for run in 0..scale.runs {
+            let seed = 700 + run as u64;
+            let mut sdn = build_network(name, controllers, scale.task_delay, seed);
+            if measure_bootstrap(&mut sdn).is_none() {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+            let mut injector = FaultInjector::new(seed ^ 0xBEEF);
+            match failure {
+                FailureKind::Controllers { count } => {
+                    let mut victims = sdn.controller_ids();
+                    // never kill every controller: the task needs at least one
+                    let kill = count.min(victims.len().saturating_sub(1));
+                    for _ in 0..kill {
+                        let idx = rng.gen_range(0..victims.len());
+                        let victim = victims.remove(idx);
+                        sdn.fail_controller(victim);
+                    }
+                }
+                FailureKind::Switch => {
+                    let victim = pick_safe_switch(&sdn, &mut rng);
+                    sdn.fail_switch(victim);
+                }
+                FailureKind::Links { count } => {
+                    for (a, b) in injector.random_safe_links(&sdn, count) {
+                        sdn.remove_link(a, b);
+                    }
+                }
+            }
+            if let Some(seconds) = measure_recovery(&mut sdn) {
+                measurement.push(seconds);
+            }
+        }
+        out.push(RecoveryResult {
+            network: name.clone(),
+            controllers,
+            failure,
+            measurement,
+        });
+    }
+    out
+}
+
+/// Picks a switch whose removal keeps the rest of the network connected (the paper's
+/// switch-failure experiment also always stays connected).
+fn pick_safe_switch(sdn: &SdnNetwork, rng: &mut StdRng) -> NodeId {
+    let switches = sdn.live_switch_ids();
+    let graph = sdn.sim().topology();
+    let mut candidates: Vec<NodeId> = switches
+        .iter()
+        .copied()
+        .filter(|&s| {
+            let pruned = graph.without_nodes(&[s]);
+            sdn_topology::paths::is_connected(&pruned)
+        })
+        .collect();
+    if candidates.is_empty() {
+        candidates = switches;
+    }
+    candidates[rng.gen_range(0..candidates.len())]
+}
+
+// ---------------------------------------------------------------------------
+// Figures 15–20 and Table 17: throughput under failure
+// ---------------------------------------------------------------------------
+
+/// Result of a throughput experiment on one network.
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputResult {
+    /// Network name.
+    pub network: String,
+    /// The per-second run data.
+    pub run: IperfRun,
+}
+
+/// Figures 15/16: per-second TCP throughput with a mid-path link failure at second 10,
+/// with (`recovery = true`) or without (`recovery = false`) controller-driven repair.
+pub fn throughput_under_failure(scale: &ExperimentScale, recovery: bool) -> Vec<ThroughputResult> {
+    let mut out = Vec::new();
+    for name in &scale.networks {
+        let mut sdn = build_network(name, 3, scale.task_delay, 42);
+        if measure_bootstrap(&mut sdn).is_none() {
+            continue;
+        }
+        let Some((src, dst)) = iperf::farthest_switch_pair(&sdn) else {
+            continue;
+        };
+        let run = iperf::run_throughput_experiment(
+            &mut sdn,
+            src,
+            dst,
+            IperfConfig {
+                recovery_enabled: recovery,
+                ..IperfConfig::default()
+            },
+        );
+        out.push(ThroughputResult {
+            network: name.clone(),
+            run,
+        });
+    }
+    out
+}
+
+/// Table 17: correlation between the with-recovery and without-recovery runs.
+#[derive(Clone, Debug, Serialize)]
+pub struct CorrelationRow {
+    /// Network name.
+    pub network: String,
+    /// Pearson correlation coefficient of the two throughput curves.
+    pub correlation: f64,
+}
+
+/// Computes the Table 17 correlations from two sets of throughput runs.
+pub fn throughput_correlations(
+    with_recovery: &[ThroughputResult],
+    without_recovery: &[ThroughputResult],
+) -> Vec<CorrelationRow> {
+    with_recovery
+        .iter()
+        .filter_map(|w| {
+            without_recovery
+                .iter()
+                .find(|n| n.network == w.network)
+                .and_then(|n| sdn_traffic::throughput_correlation(&w.run, &n.run))
+                .map(|correlation| CorrelationRow {
+                    network: w.network.clone(),
+                    correlation,
+                })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: memory-adaptive vs non-adaptive variant, transient-fault recovery
+// ---------------------------------------------------------------------------
+
+/// Result of the variant ablation on one network.
+#[derive(Clone, Debug, Serialize)]
+pub struct AblationResult {
+    /// Network name.
+    pub network: String,
+    /// Whether the memory-adaptive (main) algorithm was used.
+    pub memory_adaptive: bool,
+    /// Time to recover from an arbitrary corrupted state, in seconds.
+    pub transient_recovery: Measurement,
+    /// Total rules installed across all switches after stabilization.
+    pub total_rules_after: Measurement,
+}
+
+/// Compares the main memory-adaptive algorithm with the Section 8.1 non-adaptive
+/// variant: recovery time from heavy transient corruption and post-recovery memory use.
+pub fn variant_ablation(scale: &ExperimentScale) -> Vec<AblationResult> {
+    let mut out = Vec::new();
+    for name in &scale.networks {
+        for adaptive in [true, false] {
+            let mut recovery = Measurement::default();
+            let mut rules_after = Measurement::default();
+            for run in 0..scale.runs {
+                let topology = builders::by_name(name, 3);
+                let mut config = ControllerConfig::for_network(
+                    topology.controller_count(),
+                    topology.switch_count(),
+                );
+                if !adaptive {
+                    config = config.non_adaptive();
+                }
+                let harness = HarnessConfig::default()
+                    .with_task_delay(scale.task_delay)
+                    .with_seed(900 + run as u64);
+                let mut sdn = SdnNetwork::new(topology, config, harness);
+                if measure_bootstrap(&mut sdn).is_none() {
+                    continue;
+                }
+                let mut injector = FaultInjector::new(31 + run as u64);
+                injector.corrupt(&mut sdn, renaissance::CorruptionPlan::heavy());
+                if let Some(seconds) = measure_recovery(&mut sdn) {
+                    recovery.push(seconds);
+                    rules_after.push(sdn.total_rules() as f64);
+                }
+            }
+            out.push(AblationResult {
+                network: name.clone(),
+                memory_adaptive: adaptive,
+                transient_recovery: recovery,
+                total_rules_after: rules_after,
+            });
+        }
+    }
+    out
+}
+
+/// Convenience: current simulated time of a network as seconds (used by binaries that
+/// want to report absolute timestamps).
+pub fn now_seconds(sdn: &SdnNetwork) -> f64 {
+    let now: SimTime = sdn.now();
+    now.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_matches_paper() {
+        let rows = table8();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].network, "B4");
+        assert_eq!(rows[0].nodes, 12);
+        assert_eq!(rows[0].diameter, 5);
+        assert_eq!(rows[4].network, "EBONE");
+        assert_eq!(rows[4].nodes, 208);
+        assert_eq!(rows[4].diameter, 11);
+    }
+
+    #[test]
+    fn measurement_statistics() {
+        let mut m = Measurement::default();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.median(), 0.0);
+        m.push(2.0);
+        m.push(4.0);
+        m.push(9.0);
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.median(), 4.0);
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+    }
+
+    #[test]
+    fn scale_from_env_defaults() {
+        let scale = ExperimentScale::default();
+        assert_eq!(scale.runs, 3);
+        assert_eq!(scale.networks.len(), 5);
+        let smoke = ExperimentScale::smoke();
+        assert_eq!(smoke.runs, 1);
+        assert_eq!(smoke.networks, vec!["B4", "Clos"]);
+    }
+
+    #[test]
+    fn smoke_bootstrap_and_recovery_on_b4() {
+        let scale = ExperimentScale {
+            runs: 1,
+            networks: vec!["B4".to_string()],
+            task_delay: SimDuration::from_millis(200),
+        };
+        let bootstrap = bootstrap_times(&scale, 3);
+        assert_eq!(bootstrap.len(), 1);
+        assert_eq!(bootstrap[0].measurement.samples.len(), 1, "B4 must bootstrap");
+        let recovery = recovery_after_failure(&scale, 3, FailureKind::Links { count: 1 });
+        assert_eq!(recovery[0].measurement.samples.len(), 1, "B4 must recover");
+        assert!(recovery[0].measurement.mean() > 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Experiment harness regenerating every table and figure of the Renaissance ICDCS 2018
+//! evaluation (Section 6).
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` is a thin wrapper around a function of the
+//! [`experiments`] module; all of them print a human-readable table to stdout and, when
+//! the `RENAISSANCE_JSON` environment variable is set, also emit the raw results as JSON
+//! so EXPERIMENTS.md can be regenerated mechanically.
+//!
+//! Scale knobs (environment variables, so `cargo run -p renaissance-bench --bin ...`
+//! works without a CLI parser):
+//!
+//! * `RENAISSANCE_RUNS` — repetitions per configuration (default 3; the paper used 20),
+//! * `RENAISSANCE_NETWORKS` — comma-separated subset of `B4,Clos,Telstra,AT&T,EBONE`
+//!   (default: all five).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{ExperimentScale, Measurement};
+pub use report::{print_table, Row};

@@ -1,0 +1,72 @@
+//! Tiny plain-text / JSON reporting helpers shared by the experiment binaries.
+
+use serde::Serialize;
+
+/// One row of an experiment output table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Row label (network name, configuration, ...).
+    pub label: String,
+    /// Column values, already formatted.
+    pub values: Vec<String>,
+}
+
+impl Row {
+    /// Creates a row from a label and pre-formatted values.
+    pub fn new(label: impl Into<String>, values: Vec<String>) -> Self {
+        Row {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// Prints a fixed-width table with a title and per-column headers, and (when the
+/// `RENAISSANCE_JSON` environment variable is set) a JSON dump of `payload`.
+pub fn print_table<T: Serialize>(title: &str, headers: &[&str], rows: &[Row], payload: &T) {
+    println!("\n== {title} ==");
+    let label_width = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(std::iter::once(12))
+        .max()
+        .unwrap_or(12);
+    print!("{:<label_width$}", "");
+    for h in headers {
+        print!("  {h:>14}");
+    }
+    println!();
+    for row in rows {
+        print!("{:<label_width$}", row.label);
+        for v in &row.values {
+            print!("  {v:>14}");
+        }
+        println!();
+    }
+    if std::env::var("RENAISSANCE_JSON").is_ok() {
+        match serde_json::to_string_pretty(payload) {
+            Ok(json) => println!("\n--- JSON ---\n{json}"),
+            Err(err) => eprintln!("failed to serialize results: {err}"),
+        }
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn fmt2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_formatting() {
+        let row = Row::new("B4", vec![fmt2(1.234), fmt2(5.0)]);
+        assert_eq!(row.label, "B4");
+        assert_eq!(row.values, vec!["1.23".to_string(), "5.00".to_string()]);
+        // Printing must not panic even with empty rows.
+        print_table("test", &["a", "b"], &[row], &serde_json::json!({"ok": true}));
+        print_table::<serde_json::Value>("empty", &[], &[], &serde_json::json!(null));
+    }
+}

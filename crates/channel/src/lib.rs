@@ -1,0 +1,493 @@
+//! Self-stabilizing data-link / end-to-end channel protocol.
+//!
+//! Renaissance assumes (paper, Section 3.1) reliable, FIFO, exactly-once communication
+//! channels built over unreliable media that may *omit*, *duplicate*, and *reorder*
+//! packets, citing the self-stabilizing end-to-end protocols of Dolev et al. \[9, 10\].
+//! This crate implements that building block: a token-based stop-and-wait protocol with
+//! bounded labels.
+//!
+//! # Protocol
+//!
+//! The sender transmits the current message together with a label from the bounded
+//! domain `0..LABEL_DOMAIN`; it keeps retransmitting (on every tick) until an
+//! acknowledgment carrying the same label arrives, then advances the label and moves to
+//! the next queued message. The receiver delivers a data frame exactly when its label
+//! differs from the last delivered label, and always acknowledges the label it saw.
+//!
+//! With `LABEL_DOMAIN = 3` (one more than the standard alternating bit), an arbitrary
+//! initial state — corrupted sender/receiver labels and up to one stale frame per
+//! direction in flight — causes at most [`DELTA_COMM`] spurious deliveries or false
+//! acknowledgments before the channel behaves like a reliable FIFO channel, which is
+//! exactly the `Delta_comm` constant the paper's analysis uses.
+//!
+//! The protocol is transport-agnostic: [`Sender`] and [`Receiver`] are pure state
+//! machines producing and consuming [`Frame`]s, so they can run over the `sdn-netsim`
+//! links (per hop) or over Renaissance flows (end to end).
+//!
+//! # Example
+//!
+//! ```
+//! use sdn_channel::{Frame, Receiver, Sender};
+//!
+//! let mut tx: Sender<&'static str> = Sender::new();
+//! let mut rx: Receiver<&'static str> = Receiver::new();
+//! tx.push("hello");
+//! tx.push("world");
+//!
+//! let mut delivered = Vec::new();
+//! for _ in 0..10 {
+//!     if let Some(frame) = tx.frame_to_send() {
+//!         let (msg, ack) = rx.on_frame(frame);
+//!         if let Some(m) = msg { delivered.push(m); }
+//!         tx.on_ack(ack);
+//!     }
+//! }
+//! assert_eq!(delivered, vec!["hello", "world"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Size of the bounded label domain.
+pub const LABEL_DOMAIN: u8 = 3;
+
+/// Maximum number of spurious acknowledgments / deliveries that can occur while the
+/// channel recovers from an arbitrary state (the paper's `Delta_comm <= 3`).
+pub const DELTA_COMM: usize = 3;
+
+/// A frame exchanged between a [`Sender`] and a [`Receiver`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Frame<M> {
+    /// A data frame carrying the current message and the sender's label.
+    Data {
+        /// The sender's current label.
+        label: u8,
+        /// The transported message.
+        payload: M,
+    },
+    /// An acknowledgment for the given label.
+    Ack {
+        /// The label being acknowledged.
+        label: u8,
+    },
+}
+
+impl<M> Frame<M> {
+    /// The label carried by this frame.
+    pub fn label(&self) -> u8 {
+        match self {
+            Frame::Data { label, .. } | Frame::Ack { label } => *label,
+        }
+    }
+
+    /// Returns `true` for data frames.
+    pub fn is_data(&self) -> bool {
+        matches!(self, Frame::Data { .. })
+    }
+}
+
+/// Sender half of the self-stabilizing channel.
+///
+/// The sender owns a FIFO queue of outgoing messages. At any point in time at most one
+/// message (the *token*) is in flight; [`Sender::frame_to_send`] returns the frame to
+/// (re)transmit and should be called on every timer tick — retransmission is what makes
+/// the protocol tolerate omissions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sender<M> {
+    label: u8,
+    queue: VecDeque<M>,
+    acked: u64,
+    transmissions: u64,
+}
+
+impl<M: Clone> Default for Sender<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Clone> Sender<M> {
+    /// Creates an idle sender.
+    pub fn new() -> Self {
+        Sender {
+            label: 0,
+            queue: VecDeque::new(),
+            acked: 0,
+            transmissions: 0,
+        }
+    }
+
+    /// Enqueues a message for reliable delivery.
+    pub fn push(&mut self, msg: M) {
+        self.queue.push_back(msg);
+    }
+
+    /// Number of messages waiting (including the one currently in flight).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of messages that completed their round trip.
+    pub fn delivered(&self) -> u64 {
+        self.acked
+    }
+
+    /// Number of data-frame transmissions performed (retransmissions included).
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// The sender's current label (exposed for tests and corruption injection).
+    pub fn label(&self) -> u8 {
+        self.label
+    }
+
+    /// The data frame to transmit now, or `None` when the queue is empty.
+    ///
+    /// Call this on every retransmission tick; the same frame is returned until the
+    /// matching acknowledgment arrives.
+    pub fn frame_to_send(&mut self) -> Option<Frame<M>> {
+        let payload = self.queue.front()?.clone();
+        self.transmissions += 1;
+        Some(Frame::Data {
+            label: self.label,
+            payload,
+        })
+    }
+
+    /// Processes an incoming acknowledgment frame.
+    ///
+    /// Data frames arriving at the sender (possible in an arbitrary initial state) are
+    /// ignored. Returns `true` when the acknowledgment completed the current message.
+    pub fn on_ack(&mut self, frame: Frame<M>) -> bool {
+        let Frame::Ack { label } = frame else {
+            return false;
+        };
+        if label == self.label && !self.queue.is_empty() {
+            self.queue.pop_front();
+            self.label = (self.label + 1) % LABEL_DOMAIN;
+            self.acked += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Simulates a transient fault by overwriting the label (test helper).
+    pub fn corrupt_label(&mut self, label: u8) {
+        self.label = label % LABEL_DOMAIN;
+    }
+}
+
+/// Receiver half of the self-stabilizing channel.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Receiver<M> {
+    last_label: u8,
+    delivered: u64,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> Default for Receiver<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Receiver<M> {
+    /// Creates a receiver that has not delivered anything yet.
+    pub fn new() -> Self {
+        Receiver {
+            // Start "expecting" label 0 by remembering a label that is not 0.
+            last_label: LABEL_DOMAIN - 1,
+            delivered: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of messages delivered to the application.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The last delivered label (exposed for tests and corruption injection).
+    pub fn last_label(&self) -> u8 {
+        self.last_label
+    }
+
+    /// Processes an incoming frame.
+    ///
+    /// Returns the delivered message (if the frame was a *new* data frame) and the
+    /// acknowledgment frame to send back. Duplicate data frames produce no delivery but
+    /// are still acknowledged, which is what lets the sender make progress when the
+    /// previous acknowledgment was lost.
+    pub fn on_frame(&mut self, frame: Frame<M>) -> (Option<M>, Frame<M>) {
+        match frame {
+            Frame::Data { label, payload } => {
+                let ack = Frame::Ack { label };
+                if label != self.last_label {
+                    self.last_label = label;
+                    self.delivered += 1;
+                    (Some(payload), ack)
+                } else {
+                    (None, ack)
+                }
+            }
+            // Stray acknowledgments (arbitrary initial state) are acknowledged with the
+            // receiver's current label so the sender can resynchronize.
+            Frame::Ack { .. } => (
+                None,
+                Frame::Ack {
+                    label: self.last_label,
+                },
+            ),
+        }
+    }
+
+    /// Simulates a transient fault by overwriting the last delivered label (test helper).
+    pub fn corrupt_label(&mut self, label: u8) {
+        self.last_label = label % LABEL_DOMAIN;
+    }
+}
+
+/// A bidirectional reliable mailbox built from a [`Sender`] and a [`Receiver`] in each
+/// direction — the "logical FIFO communication channel" a Renaissance node keeps per
+/// peer.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Endpoint<M> {
+    /// Outgoing half.
+    pub tx: Sender<M>,
+    /// Incoming half.
+    pub rx: Receiver<M>,
+}
+
+impl<M: Clone> Default for Endpoint<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Clone> Endpoint<M> {
+    /// Creates an idle endpoint.
+    pub fn new() -> Self {
+        Endpoint {
+            tx: Sender::new(),
+            rx: Receiver::new(),
+        }
+    }
+
+    /// Enqueues an outgoing message.
+    pub fn send(&mut self, msg: M) {
+        self.tx.push(msg);
+    }
+
+    /// Handles an incoming frame, returning the delivered message (if any) and the
+    /// frame to send back to the peer.
+    pub fn handle(&mut self, frame: Frame<M>) -> (Option<M>, Option<Frame<M>>) {
+        match frame {
+            ack @ Frame::Ack { .. } => {
+                self.tx.on_ack(ack);
+                (None, None)
+            }
+            data @ Frame::Data { .. } => {
+                let (delivered, ack) = self.rx.on_frame(data);
+                (delivered, Some(ack))
+            }
+        }
+    }
+
+    /// The data frame this endpoint should (re)transmit now, if any.
+    pub fn frame_to_send(&mut self) -> Option<Frame<M>> {
+        self.tx.frame_to_send()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Simulates `ticks` rounds of the protocol over a lossy/duplicating FIFO medium and
+    /// returns the messages delivered in order.
+    fn run_lossy(
+        tx: &mut Sender<u32>,
+        rx: &mut Receiver<u32>,
+        ticks: usize,
+        loss: f64,
+        dup: f64,
+        seed: u64,
+    ) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut delivered = Vec::new();
+        // FIFO queues modelling the two directions of the medium.
+        let mut to_rx: VecDeque<Frame<u32>> = VecDeque::new();
+        let mut to_tx: VecDeque<Frame<u32>> = VecDeque::new();
+        for _ in 0..ticks {
+            // Sender retransmits on every tick.
+            if let Some(frame) = tx.frame_to_send() {
+                if !rng.gen_bool(loss) {
+                    to_rx.push_back(frame.clone());
+                    if rng.gen_bool(dup) {
+                        to_rx.push_back(frame);
+                    }
+                }
+            }
+            // Medium delivers every queued frame (per direction) once per tick, so
+            // duplicated frames cannot build an ever-growing backlog.
+            while let Some(frame) = to_rx.pop_front() {
+                let (msg, ack) = rx.on_frame(frame);
+                if let Some(m) = msg {
+                    delivered.push(m);
+                }
+                if !rng.gen_bool(loss) {
+                    to_tx.push_back(ack);
+                }
+            }
+            while let Some(frame) = to_tx.pop_front() {
+                tx.on_ack(frame);
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn perfect_medium_delivers_in_order_exactly_once() {
+        let mut tx = Sender::new();
+        let mut rx = Receiver::new();
+        for i in 0..20u32 {
+            tx.push(i);
+        }
+        let delivered = run_lossy(&mut tx, &mut rx, 200, 0.0, 0.0, 1);
+        assert_eq!(delivered, (0..20).collect::<Vec<_>>());
+        assert_eq!(tx.delivered(), 20);
+        assert_eq!(rx.delivered(), 20);
+        assert_eq!(tx.pending(), 0);
+    }
+
+    #[test]
+    fn lossy_medium_still_delivers_in_order_exactly_once() {
+        let mut tx = Sender::new();
+        let mut rx = Receiver::new();
+        for i in 0..30u32 {
+            tx.push(i);
+        }
+        let delivered = run_lossy(&mut tx, &mut rx, 5_000, 0.3, 0.0, 42);
+        assert_eq!(delivered, (0..30).collect::<Vec<_>>());
+        assert!(tx.transmissions() > 30, "losses must force retransmissions");
+    }
+
+    #[test]
+    fn duplicating_medium_never_double_delivers() {
+        let mut tx = Sender::new();
+        let mut rx = Receiver::new();
+        for i in 0..30u32 {
+            tx.push(i);
+        }
+        let delivered = run_lossy(&mut tx, &mut rx, 5_000, 0.1, 0.5, 7);
+        assert_eq!(delivered, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recovery_from_arbitrary_labels_is_bounded_by_delta_comm() {
+        // Try every combination of corrupted sender/receiver labels: after at most
+        // DELTA_COMM spurious events, the stream 100..120 is delivered as a suffix,
+        // in order and without duplicates.
+        for s_label in 0..LABEL_DOMAIN {
+            for r_label in 0..LABEL_DOMAIN {
+                let mut tx = Sender::new();
+                let mut rx = Receiver::new();
+                tx.corrupt_label(s_label);
+                rx.corrupt_label(r_label);
+                for i in 100..120u32 {
+                    tx.push(i);
+                }
+                let delivered = run_lossy(&mut tx, &mut rx, 2_000, 0.0, 0.0, 3);
+                // Every pushed message except possibly the very first DELTA_COMM ones
+                // must be delivered exactly once and in order.
+                let expected: Vec<u32> = (100..120).collect();
+                let tail_of_expected = delivered
+                    .iter()
+                    .filter(|v| expected.contains(v))
+                    .copied()
+                    .collect::<Vec<_>>();
+                // No duplicates among the real messages.
+                let mut dedup = tail_of_expected.clone();
+                dedup.dedup();
+                assert_eq!(dedup, tail_of_expected, "duplicate delivery for labels {s_label}/{r_label}");
+                // In-order suffix: the delivered real messages must be increasing.
+                assert!(
+                    tail_of_expected.windows(2).all(|w| w[0] < w[1]),
+                    "out-of-order delivery for labels {s_label}/{r_label}"
+                );
+                // At most DELTA_COMM of the pushed messages may be missing.
+                assert!(
+                    tail_of_expected.len() + DELTA_COMM >= expected.len(),
+                    "too many messages lost during recovery for labels {s_label}/{r_label}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sender_ignores_stray_data_frames_and_wrong_labels() {
+        let mut tx: Sender<u32> = Sender::new();
+        tx.push(1);
+        assert!(!tx.on_ack(Frame::Data { label: 0, payload: 9 }));
+        assert!(!tx.on_ack(Frame::Ack { label: 2 }));
+        assert_eq!(tx.pending(), 1);
+        assert!(tx.on_ack(Frame::Ack { label: 0 }));
+        assert_eq!(tx.pending(), 0);
+        // Acks with no message in flight are ignored.
+        assert!(!tx.on_ack(Frame::Ack { label: 1 }));
+    }
+
+    #[test]
+    fn receiver_acknowledges_duplicates_without_delivering() {
+        let mut rx: Receiver<u32> = Receiver::new();
+        let (first, ack1) = rx.on_frame(Frame::Data { label: 0, payload: 5 });
+        assert_eq!(first, Some(5));
+        assert_eq!(ack1, Frame::Ack { label: 0 });
+        let (second, ack2) = rx.on_frame(Frame::Data { label: 0, payload: 5 });
+        assert_eq!(second, None);
+        assert_eq!(ack2, Frame::Ack { label: 0 });
+        assert_eq!(rx.delivered(), 1);
+        // A stray ack is answered with the receiver's current label.
+        let (none, echo) = rx.on_frame(Frame::Ack { label: 2 });
+        assert!(none.is_none());
+        assert_eq!(echo, Frame::Ack { label: 0 });
+    }
+
+    #[test]
+    fn endpoint_round_trip() {
+        let mut a: Endpoint<String> = Endpoint::new();
+        let mut b: Endpoint<String> = Endpoint::new();
+        a.send("ping".to_string());
+        let mut delivered_at_b = Vec::new();
+        for _ in 0..5 {
+            if let Some(frame) = a.frame_to_send() {
+                let (msg, reply) = b.handle(frame);
+                if let Some(m) = msg {
+                    delivered_at_b.push(m);
+                }
+                if let Some(reply) = reply {
+                    a.handle(reply);
+                }
+            }
+        }
+        assert_eq!(delivered_at_b, vec!["ping".to_string()]);
+        assert_eq!(a.tx.delivered(), 1);
+    }
+
+    #[test]
+    fn frame_accessors() {
+        let d: Frame<u32> = Frame::Data { label: 2, payload: 1 };
+        let a: Frame<u32> = Frame::Ack { label: 1 };
+        assert!(d.is_data());
+        assert!(!a.is_data());
+        assert_eq!(d.label(), 2);
+        assert_eq!(a.label(), 1);
+    }
+}

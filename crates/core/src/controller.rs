@@ -1,0 +1,626 @@
+//! The Renaissance controller: the self-stabilizing SDN control-plane algorithm
+//! (paper, Algorithm 2).
+//!
+//! A [`Controller`] is a pure state machine: [`Controller::iterate`] runs one iteration
+//! of the do-forever loop and returns the command batches to send, and
+//! [`Controller::on_reply`] / [`Controller::on_query`] handle incoming messages. All
+//! networking (packet envelopes, in-band forwarding, timers) lives in
+//! [`crate::nodes`], which keeps this module testable in isolation.
+
+use crate::config::{ControllerConfig, Variant};
+use crate::reply_db::{InsertOutcome, ReplyDb};
+use sdn_switch::{CommandBatch, QueryReply, Rule, SwitchCommand};
+use sdn_tags::{RoundTracker, Tag, TagGenerator};
+use sdn_topology::{FlowPlan, FlowPlanner, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Counters describing a controller's activity; several experiments (Figure 9, the
+/// Theorem 1 illegitimate-deletion bound) are read straight off these numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Iterations of the do-forever loop executed.
+    pub iterations: u64,
+    /// Synchronization rounds completed (new tags generated).
+    pub rounds_completed: u64,
+    /// Query commands sent.
+    pub queries_sent: u64,
+    /// `updateRule` commands sent.
+    pub rule_updates_sent: u64,
+    /// `delMngr` commands sent (removal of other controllers from switches).
+    pub manager_deletions_requested: u64,
+    /// `delAllRules` commands sent (removal of other controllers' rules).
+    pub rule_deletions_requested: u64,
+    /// Query replies accepted into `replyDB`.
+    pub replies_accepted: u64,
+    /// Query replies ignored because they carried a stale tag.
+    pub replies_ignored: u64,
+    /// Queries from other controllers answered.
+    pub queries_answered: u64,
+}
+
+/// One Renaissance controller (a member of `PC`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Controller {
+    id: NodeId,
+    config: ControllerConfig,
+    reply_db: ReplyDb,
+    rounds: RoundTracker,
+    tag_gen: TagGenerator,
+    /// The routing plan derived from the latest fusion view; used to pick first hops for
+    /// the controller's own outgoing packets.
+    plan: FlowPlan,
+    stats: ControllerStats,
+}
+
+impl Controller {
+    /// Creates a controller with empty knowledge of the network.
+    pub fn new(id: NodeId, config: ControllerConfig) -> Self {
+        let mut tag_gen = TagGenerator::new(id.index());
+        let initial = tag_gen.next_tag();
+        let rounds = if config.three_tags {
+            RoundTracker::with_three_tags(initial)
+        } else {
+            RoundTracker::new(initial)
+        };
+        Controller {
+            id,
+            config,
+            reply_db: ReplyDb::new(config.max_replies),
+            rounds,
+            tag_gen,
+            plan: FlowPlan::default(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// This controller's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configuration this controller runs with.
+    pub fn config(&self) -> ControllerConfig {
+        self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// The current synchronization-round tag (`currTag`).
+    pub fn curr_tag(&self) -> Tag {
+        self.rounds.curr()
+    }
+
+    /// The previous synchronization-round tag (`prevTag`).
+    pub fn prev_tag(&self) -> Tag {
+        self.rounds.prev()
+    }
+
+    /// Read-only access to the reply database.
+    pub fn reply_db(&self) -> &ReplyDb {
+        &self.reply_db
+    }
+
+    /// Number of C-resets this controller has performed.
+    pub fn c_resets(&self) -> u64 {
+        self.reply_db.c_resets()
+    }
+
+    /// The topology this controller currently believes in (the fusion view of
+    /// Algorithm 2 line 5, including its own neighborhood).
+    pub fn discovered_graph(&self, neighbors: &[NodeId]) -> Graph {
+        self.reply_db
+            .fusion_graph(self.rounds.curr(), self.rounds.prev(), self.id, neighbors)
+    }
+
+    /// The first-hop candidates (in priority order) this controller would use to reach
+    /// `dst`, according to its latest routing plan.
+    pub fn first_hop_candidates(&self, dst: NodeId) -> Vec<NodeId> {
+        self.plan
+            .next_hops(self.id, dst)
+            .map(|set| set.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// One iteration of the do-forever loop (Algorithm 2 lines 7–19).
+    ///
+    /// `neighbors` is the controller's currently observed neighborhood `Nc(i)`.
+    /// Returns the per-destination command batches to send; the caller is responsible
+    /// for wrapping them into in-band packets and routing them hop by hop.
+    pub fn iterate(&mut self, neighbors: &[NodeId]) -> Vec<(NodeId, CommandBatch)> {
+        self.stats.iterations += 1;
+
+        // Line 8: keep only live, reachable replies; re-learn every tag seen so far so
+        // that nextTag() stays ahead of anything in the system.
+        let live_tags = [self.rounds.curr(), self.rounds.prev()];
+        self.reply_db.prune(self.id, neighbors, &live_tags);
+        self.tag_gen.observe_all(self.reply_db.observed_tags());
+
+        // Lines 10–12: finish the round when every reachable node has answered it.
+        let mut new_round = false;
+        if self
+            .reply_db
+            .round_complete(self.rounds.curr(), self.id, neighbors)
+        {
+            let next = self.tag_gen.next_tag();
+            self.rounds.start_round(next);
+            self.reply_db.drop_tag(self.rounds.curr());
+            self.stats.rounds_completed += 1;
+            new_round = true;
+        }
+        let curr = self.rounds.curr();
+        let prev = self.rounds.prev();
+
+        // Line 13: pick the reference view for rule generation.
+        let fusion_graph = self.reply_db.fusion_graph(curr, prev, self.id, neighbors);
+        let prev_graph = self.reply_db.res_graph(prev, self.id, neighbors);
+        let (refer_tag, refer_graph) = if fusion_graph == prev_graph {
+            (prev, prev_graph.clone())
+        } else {
+            (curr, fusion_graph.clone())
+        };
+
+        // Controllers never relay packets, so flows must not be planned through them.
+        let non_transit: BTreeSet<NodeId> = refer_graph
+            .nodes()
+            .filter(|n| n.is_controller(self.config.n_controllers))
+            .collect();
+        let mut planner = FlowPlanner::new(self.config.kappa);
+        if let Some(limit) = self.config.max_priorities {
+            planner = planner.with_max_candidates(limit);
+        }
+        let rule_plan = planner.plan_restricted(&refer_graph, &non_transit);
+        self.plan = if refer_graph == fusion_graph {
+            rule_plan.clone()
+        } else {
+            let fusion_non_transit: BTreeSet<NodeId> = fusion_graph
+                .nodes()
+                .filter(|n| n.is_controller(self.config.n_controllers))
+                .collect();
+            planner.plan_restricted(&fusion_graph, &fusion_non_transit)
+        };
+
+        // Reachability in the *previous* round's view decides which controllers are
+        // considered alive when a new round cleans up stale state (line 15).
+        let prev_reachable: BTreeSet<NodeId> =
+            sdn_topology::paths::reachable_set(&prev_graph, self.id)
+                .into_iter()
+                .collect();
+
+        // Lines 14–19: build one batch per reachable node.
+        let keep_tags = if self.config.three_tags { vec![prev] } else { Vec::new() };
+        let mut messages = Vec::new();
+        for dst in sdn_topology::paths::reachable_set(&fusion_graph, self.id) {
+            if dst == self.id {
+                continue;
+            }
+            let mut commands = vec![SwitchCommand::NewRound { tag: curr }];
+            if dst.is_switch(self.config.n_controllers) {
+                if let Some(reply) = self.reply_db.get(dst, refer_tag) {
+                    let reply = reply.clone();
+                    commands.extend(self.switch_update_commands(
+                        &reply,
+                        new_round,
+                        &prev_reachable,
+                    ));
+                } else {
+                    // Query-and-modify-by-neighbor (paper, Section 2.1.1): a switch we
+                    // discovered through a neighbor's reply but have not heard from yet
+                    // still gets a flow towards us installed — otherwise its own reply
+                    // could never travel back and discovery would stall at distance two.
+                    commands.push(SwitchCommand::AddManager { controller: self.id });
+                }
+                commands.push(SwitchCommand::UpdateRules {
+                    rules: self.my_rules(&rule_plan, &refer_graph, dst, curr),
+                    keep_tags: keep_tags.clone(),
+                });
+                self.stats.rule_updates_sent += 1;
+            }
+            commands.push(SwitchCommand::Query { tag: curr });
+            self.stats.queries_sent += 1;
+            messages.push((dst, CommandBatch::new(self.id, commands)));
+        }
+        messages
+    }
+
+    /// Builds the manager / stale-rule cleanup commands for one switch.
+    ///
+    /// The cleanup criterion follows the paper's Algorithm 1 (line 10): at the start of
+    /// a new synchronization round, remove any manager or rule belonging to a controller
+    /// that was *not discovered to be reachable* during the previous round. (Algorithm 2
+    /// line 15 additionally keys the decision on whether the manager currently has rules
+    /// in the queried snapshot; because every query is answered after the same batch's
+    /// deletions are applied, that extra condition lets two live controllers alternately
+    /// delete each other's state forever under an unlucky deterministic schedule, so we
+    /// implement the reachability-only criterion that Algorithm 1 describes. See
+    /// DESIGN.md, "Deviations".)
+    ///
+    /// The non-memory-adaptive variant (Section 8.1) issues no deletions at all and
+    /// leaves cleanup to the switches' own eviction.
+    fn switch_update_commands(
+        &mut self,
+        reply: &QueryReply,
+        new_round: bool,
+        prev_reachable: &BTreeSet<NodeId>,
+    ) -> Vec<SwitchCommand> {
+        let mut commands = Vec::new();
+        if self.config.variant == Variant::MemoryAdaptive && new_round {
+            let is_stale = |k: &NodeId| {
+                *k != self.id
+                    && (!k.is_controller(self.config.n_controllers) || !prev_reachable.contains(k))
+            };
+            for &manager in &reply.managers {
+                if is_stale(&manager) {
+                    commands.push(SwitchCommand::DelManager { controller: manager });
+                    self.stats.manager_deletions_requested += 1;
+                }
+            }
+            let controllers_with_rules: BTreeSet<NodeId> =
+                reply.rules.iter().map(|r| r.cid).collect();
+            for &cid in &controllers_with_rules {
+                if is_stale(&cid) {
+                    commands.push(SwitchCommand::DelAllRules { controller: cid });
+                    self.stats.rule_deletions_requested += 1;
+                }
+            }
+        }
+        commands.push(SwitchCommand::AddManager { controller: self.id });
+        commands
+    }
+
+    /// `myRules(G, j, tag)`: the rules this controller installs at switch `j` given its
+    /// current view `G` (paper, Sections 2.2.2 and 3.3). One wildcard-source rule per
+    /// destination and priority level, encoding the kappa-fault-resilient flow towards
+    /// that destination.
+    fn my_rules(&self, plan: &FlowPlan, graph: &Graph, switch: NodeId, tag: Tag) -> Vec<Rule> {
+        let mut rules = Vec::new();
+        for dst in graph.nodes() {
+            if dst == switch {
+                continue;
+            }
+            let Some(hops) = plan.next_hops(switch, dst) else {
+                continue;
+            };
+            for (level, fwd) in hops.iter().enumerate() {
+                rules.push(Rule {
+                    cid: self.id,
+                    sid: switch,
+                    src: None,
+                    dst,
+                    prt: u8::MAX - level.min(u8::MAX as usize - 1) as u8,
+                    fwd,
+                    tag,
+                });
+            }
+        }
+        rules
+    }
+
+    /// Handles a query reply travelling back to this controller
+    /// (Algorithm 2 lines 20–22).
+    pub fn on_reply(&mut self, reply: QueryReply) {
+        self.tag_gen.observe(reply.echo_tag);
+        match self.reply_db.insert(reply, self.rounds.curr()) {
+            InsertOutcome::Stored | InsertOutcome::StoredAfterReset => {
+                self.stats.replies_accepted += 1;
+            }
+            InsertOutcome::IgnoredStaleTag => {
+                self.stats.replies_ignored += 1;
+            }
+        }
+    }
+
+    /// Handles a query from another controller (Algorithm 2 line 23): the response
+    /// carries only this controller's identity and neighborhood.
+    pub fn on_query(&mut self, _from: NodeId, tag: Tag, neighbors: &[NodeId]) -> QueryReply {
+        self.stats.queries_answered += 1;
+        self.tag_gen.observe(tag);
+        QueryReply::from_controller(self.id, neighbors.to_vec(), tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Transient-fault injection helpers (Theorem 2 experiments).
+    // ------------------------------------------------------------------
+
+    /// Corrupts the round tags — models a transient fault hitting the controller.
+    pub fn corrupt_tags(&mut self, curr: Tag, prev: Tag) {
+        self.rounds.corrupt(curr, prev);
+    }
+
+    /// Injects an arbitrary (possibly bogus) reply into `replyDB`, bypassing the tag
+    /// check — models a transient fault corrupting the controller's memory.
+    pub fn corrupt_inject_reply(&mut self, reply: QueryReply) {
+        let tag = reply.echo_tag;
+        let _ = self.reply_db.insert(reply, tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn config() -> ControllerConfig {
+        ControllerConfig::for_network(1, 4)
+    }
+
+    fn reply_from_switch(
+        responder: u32,
+        neighbors: &[u32],
+        managers: &[u32],
+        rules: Vec<Rule>,
+        tag: Tag,
+    ) -> QueryReply {
+        QueryReply {
+            responder: n(responder),
+            neighbors: neighbors.iter().map(|&i| n(i)).collect(),
+            managers: managers.iter().map(|&i| n(i)).collect(),
+            rules,
+            echo_tag: tag,
+        }
+    }
+
+    fn stale_rule(cid: u32, sid: u32) -> Rule {
+        Rule {
+            cid: n(cid),
+            sid: n(sid),
+            src: None,
+            dst: n(0),
+            prt: 1,
+            fwd: n(0),
+            tag: Tag::new(cid, 1),
+        }
+    }
+
+    /// Line topology: controller 0 — switch 1 — switch 2 — switch 3.
+    fn run_discovery_round_trip(controller: &mut Controller, hops: &[(u32, Vec<u32>)]) {
+        // Simulate one query/reply exchange: every switch in `hops` answers with its
+        // neighborhood, tagged with the controller's current round.
+        let tag = controller.curr_tag();
+        for (switch, neighbors) in hops {
+            controller.on_reply(reply_from_switch(*switch, neighbors, &[0], vec![], tag));
+        }
+    }
+
+    #[test]
+    fn first_iteration_queries_direct_neighbors_only() {
+        let mut c = Controller::new(n(0), config());
+        let out = c.iterate(&[n(1)]);
+        assert_eq!(out.len(), 1);
+        let (dst, batch) = &out[0];
+        assert_eq!(*dst, n(1));
+        assert_eq!(batch.from, n(0));
+        assert_eq!(batch.query_tag(), Some(c.curr_tag()));
+        // Even before switch 1 has ever replied, the controller installs a flow towards
+        // itself (query-and-modify-by-neighbor) so the reply can travel back in-band.
+        let rules = batch
+            .commands
+            .iter()
+            .find_map(|c| match c {
+                SwitchCommand::UpdateRules { rules, .. } => Some(rules.clone()),
+                _ => None,
+            })
+            .expect("bootstrap batch must install a flow");
+        assert!(rules.iter().any(|r| r.dst == n(0)));
+        assert_eq!(c.stats().iterations, 1);
+        assert_eq!(c.stats().queries_sent, 1);
+    }
+
+    #[test]
+    fn discovery_expands_hop_by_hop() {
+        let mut c = Controller::new(n(0), config());
+        let _ = c.iterate(&[n(1)]);
+        // Switch 1 answers: it also sees switch 2.
+        run_discovery_round_trip(&mut c, &[(1, vec![0, 2])]);
+        let out = c.iterate(&[n(1)]);
+        let destinations: Vec<NodeId> = out.iter().map(|(d, _)| *d).collect();
+        assert!(destinations.contains(&n(1)));
+        assert!(destinations.contains(&n(2)), "second hop discovered via switch 1's reply");
+        // Switch 1 (which has answered) and the freshly discovered switch 2 both receive
+        // rule updates; switch 2's rules give it a path back to the controller via 1.
+        for switch in [n(1), n(2)] {
+            let batch = &out.iter().find(|(d, _)| *d == switch).unwrap().1;
+            let rules = batch
+                .commands
+                .iter()
+                .find_map(|c| match c {
+                    SwitchCommand::UpdateRules { rules, .. } => Some(rules.clone()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("switch {switch} must receive rules"));
+            assert!(rules.iter().any(|r| r.dst == n(0)), "switch {switch} needs a flow to the controller");
+        }
+    }
+
+    #[test]
+    fn rules_cover_every_discovered_destination_bidirectionally() {
+        let mut c = Controller::new(n(0), config());
+        let _ = c.iterate(&[n(1)]);
+        run_discovery_round_trip(&mut c, &[(1, vec![0, 2]), (2, vec![1, 3]), (3, vec![2])]);
+        let out = c.iterate(&[n(1)]);
+        let batch_for_2 = &out.iter().find(|(d, _)| *d == n(2)).unwrap().1;
+        let rules: &Vec<Rule> = batch_for_2
+            .commands
+            .iter()
+            .find_map(|c| match c {
+                SwitchCommand::UpdateRules { rules, .. } => Some(rules),
+                _ => None,
+            })
+            .expect("switch 2 must receive rules");
+        // Switch 2 must know how to reach the controller (0), switch 1 and switch 3.
+        for dst in [0u32, 1, 3] {
+            assert!(
+                rules.iter().any(|r| r.dst == n(dst)),
+                "missing rule towards {dst}"
+            );
+        }
+        // All rules carry the current tag and our controller id.
+        assert!(rules.iter().all(|r| r.cid == n(0)));
+        assert!(rules.iter().all(|r| r.tag == c.curr_tag()));
+    }
+
+    #[test]
+    fn round_completes_once_all_reachable_nodes_answer() {
+        let mut c = Controller::new(n(0), config());
+        let _ = c.iterate(&[n(1)]);
+        run_discovery_round_trip(&mut c, &[(1, vec![0, 2])]);
+        let before = c.stats().rounds_completed;
+        let _ = c.iterate(&[n(1)]);
+        assert_eq!(
+            c.stats().rounds_completed,
+            before,
+            "switch 2 has not answered yet, the round must not complete"
+        );
+        run_discovery_round_trip(&mut c, &[(1, vec![0, 2]), (2, vec![1])]);
+        let tag_before = c.curr_tag();
+        let _ = c.iterate(&[n(1)]);
+        assert_eq!(c.stats().rounds_completed, before + 1);
+        assert!(c.curr_tag() > tag_before, "a fresh, larger tag starts the new round");
+        assert_eq!(c.prev_tag(), tag_before);
+    }
+
+    #[test]
+    fn stale_controller_state_is_cleaned_up_on_new_rounds() {
+        let mut c = Controller::new(n(0), config());
+        let _ = c.iterate(&[n(1)]);
+        // Switch 1 reports a manager (controller 7) that does not exist any more, with
+        // leftover rules, and switch 2 completes the discovery.
+        let tag = c.curr_tag();
+        c.on_reply(reply_from_switch(1, &[0, 2], &[0, 7], vec![stale_rule(7, 1)], tag));
+        c.on_reply(reply_from_switch(2, &[1], &[0], vec![], tag));
+        // This iteration completes the round; the next one must emit the cleanup.
+        let _ = c.iterate(&[n(1)]);
+        let tag = c.curr_tag();
+        c.on_reply(reply_from_switch(1, &[0, 2], &[0, 7], vec![stale_rule(7, 1)], tag));
+        c.on_reply(reply_from_switch(2, &[1], &[0], vec![], tag));
+        let out = c.iterate(&[n(1)]);
+        let batch_for_1 = &out.iter().find(|(d, _)| *d == n(1)).unwrap().1;
+        assert!(
+            batch_for_1
+                .commands
+                .iter()
+                .any(|cmd| matches!(cmd, SwitchCommand::DelManager { controller } if *controller == n(7))),
+            "unreachable controller 7 must be removed from the manager set"
+        );
+        assert!(
+            batch_for_1
+                .commands
+                .iter()
+                .any(|cmd| matches!(cmd, SwitchCommand::DelAllRules { controller } if *controller == n(7))),
+            "controller 7's rules must be purged"
+        );
+        assert!(c.stats().manager_deletions_requested >= 1);
+        assert!(c.stats().rule_deletions_requested >= 1);
+    }
+
+    #[test]
+    fn non_adaptive_variant_never_requests_deletions() {
+        let mut c = Controller::new(n(0), config().non_adaptive());
+        let _ = c.iterate(&[n(1)]);
+        let tag = c.curr_tag();
+        c.on_reply(reply_from_switch(1, &[0], &[0, 7], vec![stale_rule(7, 1)], tag));
+        let _ = c.iterate(&[n(1)]);
+        let tag = c.curr_tag();
+        c.on_reply(reply_from_switch(1, &[0], &[0, 7], vec![stale_rule(7, 1)], tag));
+        let out = c.iterate(&[n(1)]);
+        let batch_for_1 = &out.iter().find(|(d, _)| *d == n(1)).unwrap().1;
+        assert!(!batch_for_1.commands.iter().any(|cmd| matches!(
+            cmd,
+            SwitchCommand::DelManager { .. } | SwitchCommand::DelAllRules { .. }
+        )));
+        assert_eq!(c.stats().manager_deletions_requested, 0);
+        assert_eq!(c.stats().rule_deletions_requested, 0);
+    }
+
+    #[test]
+    fn three_tag_variant_keeps_previous_round_rules() {
+        let cfg = config(); // three_tags defaults to true
+        let mut c = Controller::new(n(0), cfg);
+        let _ = c.iterate(&[n(1)]);
+        run_discovery_round_trip(&mut c, &[(1, vec![0])]);
+        let prev = c.curr_tag();
+        let _ = c.iterate(&[n(1)]); // completes the round
+        run_discovery_round_trip(&mut c, &[(1, vec![0])]);
+        let out = c.iterate(&[n(1)]);
+        let batch_for_1 = &out.iter().find(|(d, _)| *d == n(1)).unwrap().1;
+        let keep_tags = batch_for_1
+            .commands
+            .iter()
+            .find_map(|cmd| match cmd {
+                SwitchCommand::UpdateRules { keep_tags, .. } => Some(keep_tags.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(keep_tags.contains(&prev) || keep_tags.contains(&c.prev_tag()));
+
+        // The plain variant sends empty keep_tags.
+        let mut plain = Controller::new(n(0), config().without_three_tags());
+        let _ = plain.iterate(&[n(1)]);
+        run_discovery_round_trip(&mut plain, &[(1, vec![0])]);
+        let out = plain.iterate(&[n(1)]);
+        let batch = &out.iter().find(|(d, _)| *d == n(1)).unwrap().1;
+        let keep_tags = batch
+            .commands
+            .iter()
+            .find_map(|cmd| match cmd {
+                SwitchCommand::UpdateRules { keep_tags, .. } => Some(keep_tags.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(keep_tags.is_empty());
+    }
+
+    #[test]
+    fn replies_with_stale_tags_are_ignored() {
+        let mut c = Controller::new(n(0), config());
+        let _ = c.iterate(&[n(1)]);
+        c.on_reply(reply_from_switch(1, &[0], &[0], vec![], Tag::new(9, 999)));
+        assert_eq!(c.stats().replies_ignored, 1);
+        assert_eq!(c.stats().replies_accepted, 0);
+        // The bogus tag was observed, so the next generated tag jumps past it.
+        run_discovery_round_trip(&mut c, &[(1, vec![0])]);
+        let _ = c.iterate(&[n(1)]);
+        assert!(c.curr_tag().value() > 999);
+    }
+
+    #[test]
+    fn controller_answers_queries_with_its_neighborhood_only() {
+        let mut c = Controller::new(n(0), config());
+        let reply = c.on_query(n(1), Tag::new(1, 5), &[n(2), n(3)]);
+        assert_eq!(reply.responder, n(0));
+        assert_eq!(reply.neighbors, vec![n(2), n(3)]);
+        assert!(reply.managers.is_empty());
+        assert!(reply.rules.is_empty());
+        assert_eq!(reply.echo_tag, Tag::new(1, 5));
+        assert_eq!(c.stats().queries_answered, 1);
+    }
+
+    #[test]
+    fn first_hop_candidates_follow_the_plan() {
+        let mut c = Controller::new(n(0), config());
+        let _ = c.iterate(&[n(1)]);
+        run_discovery_round_trip(&mut c, &[(1, vec![0, 2]), (2, vec![1])]);
+        let _ = c.iterate(&[n(1)]);
+        assert_eq!(c.first_hop_candidates(n(2)), vec![n(1)]);
+        assert!(c.first_hop_candidates(n(99)).is_empty());
+    }
+
+    #[test]
+    fn corruption_helpers_change_state() {
+        let mut c = Controller::new(n(0), config());
+        c.corrupt_tags(Tag::new(5, 50), Tag::new(5, 49));
+        assert_eq!(c.curr_tag(), Tag::new(5, 50));
+        c.corrupt_inject_reply(reply_from_switch(9, &[10], &[9], vec![], Tag::new(5, 50)));
+        assert_eq!(c.reply_db().len(), 1);
+        // The algorithm recovers: pruning removes the unreachable bogus responder.
+        let _ = c.iterate(&[n(1)]);
+        assert_eq!(c.reply_db().len(), 0);
+        assert!(c.curr_tag().value() >= 50);
+    }
+}

@@ -1,0 +1,385 @@
+//! The simulation harness: an entire SDN (controllers + switches + network) in one
+//! object, with fault injection and convergence measurement — the Rust stand-in for the
+//! paper's Mininet testbed.
+
+use crate::config::{ControllerConfig, HarnessConfig};
+use crate::controller::Controller;
+use crate::legitimacy::{self, LegitimacyReport};
+use crate::nodes::{ControllerNode, SdnNode, SwitchNode};
+use crate::packet::ControlPacket;
+use sdn_netsim::{NetworkMetrics, SimConfig, SimDuration, SimTime, Simulator};
+use sdn_switch::{AbstractSwitch, SwitchConfig};
+use sdn_topology::{NamedTopology, NodeId};
+
+/// A fully wired simulated SDN deployment.
+///
+/// # Example
+///
+/// ```
+/// use renaissance::{ControllerConfig, HarnessConfig, SdnNetwork};
+/// use sdn_netsim::SimDuration;
+/// use sdn_topology::builders;
+///
+/// // A small ring with two controllers bootstraps to a legitimate state.
+/// let net = builders::ring(6, 2);
+/// let mut sdn = SdnNetwork::new(
+///     net,
+///     ControllerConfig::for_network(2, 6),
+///     HarnessConfig::default().with_task_delay(SimDuration::from_millis(100)),
+/// );
+/// let elapsed = sdn.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(60));
+/// assert!(elapsed.is_some());
+/// ```
+pub struct SdnNetwork {
+    topology: NamedTopology,
+    controller_config: ControllerConfig,
+    harness_config: HarnessConfig,
+    sim: Simulator<ControlPacket, SdnNode>,
+}
+
+impl SdnNetwork {
+    /// Builds and starts a simulated SDN over `topology`.
+    pub fn new(
+        topology: NamedTopology,
+        controller_config: ControllerConfig,
+        harness_config: HarnessConfig,
+    ) -> Self {
+        let sim_config = SimConfig {
+            detection_delay: harness_config.detection_delay,
+            seed: harness_config.seed,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&topology.graph, sim_config);
+        let switch_config = SwitchConfig::for_network(
+            topology.controller_count(),
+            topology.node_count(),
+            controller_config
+                .max_priorities
+                .unwrap_or(topology.graph.max_degree() + 1),
+        );
+        for &controller_id in &topology.controllers {
+            let controller = Controller::new(controller_id, controller_config);
+            sim.add_node(
+                controller_id,
+                SdnNode::Controller(ControllerNode::new(controller, &harness_config)),
+            );
+        }
+        for &switch_id in &topology.switches {
+            let switch = AbstractSwitch::new(switch_id, switch_config);
+            sim.add_node(
+                switch_id,
+                SdnNode::Switch(SwitchNode::new(switch, &harness_config)),
+            );
+        }
+        sim.start();
+        SdnNetwork {
+            topology,
+            controller_config,
+            harness_config,
+            sim,
+        }
+    }
+
+    /// The topology the deployment was built from.
+    pub fn topology(&self) -> &NamedTopology {
+        &self.topology
+    }
+
+    /// The controller configuration in use.
+    pub fn controller_config(&self) -> ControllerConfig {
+        self.controller_config
+    }
+
+    /// The harness configuration in use.
+    pub fn harness_config(&self) -> HarnessConfig {
+        self.harness_config
+    }
+
+    /// The underlying simulator (read-only).
+    pub fn sim(&self) -> &Simulator<ControlPacket, SdnNode> {
+        &self.sim
+    }
+
+    /// The underlying simulator (mutable) — escape hatch for advanced fault scenarios.
+    pub fn sim_mut(&mut self) -> &mut Simulator<ControlPacket, SdnNode> {
+        &mut self.sim
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Network-wide message metrics.
+    pub fn metrics(&self) -> &NetworkMetrics {
+        self.sim.metrics()
+    }
+
+    /// Resets the message metrics (e.g. at the start of a measured phase).
+    pub fn reset_metrics(&mut self) {
+        self.sim.reset_metrics();
+    }
+
+    /// Runs the simulation for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        self.sim.run_for(duration);
+    }
+
+    /// Runs the simulation until the given absolute simulated time.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.sim.run_until(deadline);
+    }
+
+    /// Runs until the legitimacy predicate (Definition 1) holds, checking every
+    /// `check_every`, and returns the elapsed simulated time — or `None` if `timeout`
+    /// expired first. This is the measurement primitive behind every bootstrap /
+    /// recovery figure of the paper.
+    pub fn run_until_legitimate(
+        &mut self,
+        check_every: SimDuration,
+        timeout: SimDuration,
+    ) -> Option<SimDuration> {
+        let started = self.now();
+        let deadline = started + timeout;
+        loop {
+            if self.is_legitimate() {
+                return Some(self.now() - started);
+            }
+            if self.now() >= deadline {
+                return None;
+            }
+            self.run_for(check_every);
+        }
+    }
+
+    /// Evaluates the legitimacy predicate (paper, Definition 1).
+    pub fn is_legitimate(&self) -> bool {
+        self.legitimacy_report().is_legitimate()
+    }
+
+    /// Detailed legitimacy report, listing every violated condition.
+    pub fn legitimacy_report(&self) -> LegitimacyReport {
+        legitimacy::check(self)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors over controllers and switches
+    // ------------------------------------------------------------------
+
+    /// Identifiers of all controllers (including failed ones).
+    pub fn controller_ids(&self) -> Vec<NodeId> {
+        self.topology.controllers.clone()
+    }
+
+    /// Identifiers of all switches (including failed ones).
+    pub fn switch_ids(&self) -> Vec<NodeId> {
+        self.topology.switches.clone()
+    }
+
+    /// Identifiers of controllers that have not fail-stopped and are still part of the
+    /// topology.
+    pub fn live_controller_ids(&self) -> Vec<NodeId> {
+        self.topology
+            .controllers
+            .iter()
+            .copied()
+            .filter(|&c| self.sim.topology().contains_node(c) && !self.sim.is_node_failed(c))
+            .collect()
+    }
+
+    /// Identifiers of switches that have not fail-stopped and are still in the topology.
+    pub fn live_switch_ids(&self) -> Vec<NodeId> {
+        self.topology
+            .switches
+            .iter()
+            .copied()
+            .filter(|&s| self.sim.topology().contains_node(s) && !self.sim.is_node_failed(s))
+            .collect()
+    }
+
+    /// The controller state machine of `id`, if it exists.
+    pub fn controller(&self, id: NodeId) -> Option<&Controller> {
+        self.sim.node(id).and_then(SdnNode::as_controller)
+    }
+
+    /// Mutable access to a controller — used by transient-fault injection.
+    pub fn controller_mut(&mut self, id: NodeId) -> Option<&mut Controller> {
+        self.sim.node_mut(id).and_then(SdnNode::as_controller_mut)
+    }
+
+    /// The switch state machine of `id`, if it exists.
+    pub fn switch(&self, id: NodeId) -> Option<&AbstractSwitch> {
+        self.sim.node(id).and_then(SdnNode::as_switch)
+    }
+
+    /// Mutable access to a switch — used by transient-fault injection.
+    pub fn switch_mut(&mut self, id: NodeId) -> Option<&mut AbstractSwitch> {
+        self.sim.node_mut(id).and_then(SdnNode::as_switch_mut)
+    }
+
+    /// Total number of rules installed across all live switches (the memory-footprint
+    /// observable of Lemma 1 and of the variant ablation).
+    pub fn total_rules(&self) -> usize {
+        self.live_switch_ids()
+            .into_iter()
+            .filter_map(|s| self.switch(s))
+            .map(|sw| sw.rules().len())
+            .sum()
+    }
+
+    /// The largest rule count of any single live switch.
+    pub fn max_rules_per_switch(&self) -> usize {
+        self.live_switch_ids()
+            .into_iter()
+            .filter_map(|s| self.switch(s))
+            .map(|sw| sw.rules().len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (the benign failures of Section 3.4.2)
+    // ------------------------------------------------------------------
+
+    /// Fail-stops a controller.
+    pub fn fail_controller(&mut self, id: NodeId) {
+        self.sim.fail_node(id);
+    }
+
+    /// Fail-stops a switch.
+    pub fn fail_switch(&mut self, id: NodeId) {
+        self.sim.fail_node(id);
+    }
+
+    /// Permanently removes a link from the topology.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.sim.remove_link(a, b)
+    }
+
+    /// Adds a link to the topology.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) {
+        self.sim.add_link(a, b);
+    }
+
+    /// Temporarily fails a link (it stays part of `Gc`).
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
+        self.sim.fail_link(a, b);
+    }
+
+    /// Restores a temporarily failed link.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
+        self.sim.restore_link(a, b);
+    }
+
+    /// Revives a previously failed controller with a *fresh* (empty) state, as the paper
+    /// assumes for node additions (Lemma 8: new nodes start with empty memory).
+    pub fn revive_controller(&mut self, id: NodeId) {
+        let controller = Controller::new(id, self.controller_config);
+        let node = SdnNode::Controller(ControllerNode::new(controller, &self.harness_config));
+        self.sim.replace_node(id, node);
+        self.sim.revive_node(id);
+        self.sim.start();
+    }
+
+    /// Revives a previously failed switch with empty configuration.
+    pub fn revive_switch(&mut self, id: NodeId) {
+        let switch_config = self
+            .switch(id)
+            .map(|s| s.config())
+            .unwrap_or_default();
+        let node = SdnNode::Switch(SwitchNode::new(
+            AbstractSwitch::new(id, switch_config),
+            &self.harness_config,
+        ));
+        self.sim.replace_node(id, node);
+        self.sim.revive_node(id);
+        self.sim.start();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_topology::builders;
+
+    fn small_net() -> SdnNetwork {
+        let topology = builders::ring(5, 2);
+        SdnNetwork::new(
+            topology,
+            ControllerConfig::for_network(2, 5),
+            HarnessConfig::default()
+                .with_task_delay(SimDuration::from_millis(100))
+                .with_seed(3),
+        )
+    }
+
+    #[test]
+    fn bootstrap_reaches_legitimacy_on_a_small_ring() {
+        let mut sdn = small_net();
+        assert!(!sdn.is_legitimate(), "empty switches cannot be legitimate");
+        let elapsed = sdn
+            .run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("bootstrap must converge");
+        assert!(elapsed > SimDuration::ZERO);
+        // Every switch is managed by both controllers.
+        for s in sdn.switch_ids() {
+            let switch = sdn.switch(s).unwrap();
+            assert_eq!(switch.managers().len(), 2, "switch {s} managers");
+            assert!(switch.rules().len() > 0);
+        }
+        assert!(sdn.total_rules() > 0);
+        assert!(sdn.max_rules_per_switch() <= sdn.switch(sdn.switch_ids()[0]).unwrap().config().max_rules);
+    }
+
+    #[test]
+    fn controller_failure_is_cleaned_up() {
+        let mut sdn = small_net();
+        sdn.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("bootstrap");
+        let victim = sdn.controller_ids()[1];
+        sdn.fail_controller(victim);
+        assert_eq!(sdn.live_controller_ids().len(), 1);
+        let elapsed = sdn
+            .run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("recovery after controller failure");
+        assert!(elapsed > SimDuration::ZERO);
+        for s in sdn.switch_ids() {
+            let switch = sdn.switch(s).unwrap();
+            assert!(
+                !switch.managers().contains(victim),
+                "stale manager must be removed from switch {s}"
+            );
+            assert!(switch.rules().rules_of(victim).is_empty());
+        }
+    }
+
+    #[test]
+    fn link_failure_recovers() {
+        let mut sdn = small_net();
+        sdn.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("bootstrap");
+        // Remove one ring link (the ring stays connected).
+        let switches = sdn.switch_ids();
+        let removed = sdn.remove_link(switches[0], switches[1]);
+        assert!(removed);
+        let elapsed = sdn
+            .run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("recovery after link failure");
+        assert!(elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let sdn = small_net();
+        assert_eq!(sdn.controller_ids().len(), 2);
+        assert_eq!(sdn.switch_ids().len(), 5);
+        assert_eq!(sdn.live_controller_ids().len(), 2);
+        assert_eq!(sdn.live_switch_ids().len(), 5);
+        assert!(sdn.controller(sdn.controller_ids()[0]).is_some());
+        assert!(sdn.switch(sdn.switch_ids()[0]).is_some());
+        assert!(sdn.controller(sdn.switch_ids()[0]).is_none());
+        assert_eq!(sdn.topology().switch_count(), 5);
+        assert_eq!(sdn.controller_config().n_controllers, 2);
+        assert_eq!(sdn.harness_config().seed, 3);
+    }
+}

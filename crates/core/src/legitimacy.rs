@@ -1,0 +1,327 @@
+//! The legitimate-state predicate (paper, Definition 1) evaluated over a running
+//! [`SdnNetwork`].
+//!
+//! A state is legitimate when, for every live controller `i` and node `k`:
+//!
+//! 1. `i`'s discovered topology equals the part of the connected topology it can reach,
+//! 2. every switch is managed by exactly the live controllers (and nothing else),
+//! 3. the installed rules let `i` and `k` exchange packets in-band over the operational
+//!    network (both directions),
+//! 4. no switch stores rules of controllers that are no longer part of the system.
+//!
+//! Every bootstrap-time and recovery-time measurement in the bench harness is "time
+//! until [`check`] returns an empty issue list".
+
+use crate::harness::SdnNetwork;
+use sdn_switch::forwarding;
+use sdn_topology::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The outcome of a legitimacy check: an empty issue list means the state is legitimate.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LegitimacyReport {
+    /// Human-readable descriptions of every violated condition.
+    pub issues: Vec<String>,
+}
+
+impl LegitimacyReport {
+    /// Returns `true` when no condition is violated.
+    pub fn is_legitimate(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    fn push(&mut self, issue: String) {
+        // Cap the list so that a completely un-converged network does not allocate an
+        // enormous report on every check.
+        if self.issues.len() < 64 {
+            self.issues.push(issue);
+        }
+    }
+}
+
+/// Evaluates the legitimacy predicate over the current state of `net`.
+pub fn check(net: &SdnNetwork) -> LegitimacyReport {
+    let mut report = LegitimacyReport::default();
+    let operational = net.sim().operational_graph();
+    let live_controllers = net.live_controller_ids();
+    let live_switches = net.live_switch_ids();
+
+    if live_controllers.is_empty() {
+        report.push("no live controller exists".to_string());
+        return report;
+    }
+
+    // All reachability below is "through switches only": controllers never forward
+    // packets, so a node that can only be reached by relaying through another controller
+    // is outside the task definition (it cannot be discovered or managed in-band).
+    let controller_set: BTreeSet<NodeId> = net.controller_ids().into_iter().collect();
+
+    // Condition 1: every live controller knows the topology it can reach.
+    for &c in &live_controllers {
+        let Some(controller) = net.controller(c) else {
+            report.push(format!("controller {c} has no state machine"));
+            continue;
+        };
+        let observed = net.sim().observed_neighbors(c);
+        let discovered = controller.discovered_graph(&observed);
+        let expected = reachable_subgraph(&operational, c, &controller_set);
+        if discovered != expected {
+            report.push(format!(
+                "controller {c} topology view diverges: knows {} nodes / {} links, expected {} nodes / {} links",
+                discovered.node_count(),
+                discovered.link_count(),
+                expected.node_count(),
+                expected.link_count(),
+            ));
+        }
+    }
+
+    // Condition 2 and 4: manager sets and rule ownership match the live controller set.
+    for &s in &live_switches {
+        let Some(switch) = net.switch(s) else {
+            report.push(format!("switch {s} has no state machine"));
+            continue;
+        };
+        let expected_managers: BTreeSet<NodeId> = live_controllers
+            .iter()
+            .copied()
+            .filter(|&c| switch_transit_reachable(&operational, c, &controller_set).contains(&s))
+            .collect();
+        let actual_managers: BTreeSet<NodeId> =
+            switch.managers().to_sorted_vec().into_iter().collect();
+        if actual_managers != expected_managers {
+            report.push(format!(
+                "switch {s} managers {actual_managers:?} differ from live controllers {expected_managers:?}"
+            ));
+        }
+        let rule_owners: BTreeSet<NodeId> =
+            switch.rules().controllers_with_rules().into_iter().collect();
+        for owner in rule_owners {
+            if !expected_managers.contains(&owner) {
+                report.push(format!(
+                    "switch {s} still stores rules of stale controller {owner}"
+                ));
+            }
+        }
+    }
+
+    // Condition 3: in-band connectivity between every controller and every node it can
+    // possibly reach without relaying through another controller.
+    for &c in &live_controllers {
+        for node in switch_transit_reachable(&operational, c, &controller_set) {
+            if node == c {
+                continue;
+            }
+            if route_in_band(net, &operational, c, node).is_none() {
+                report.push(format!("no in-band path from controller {c} to {node}"));
+            }
+            if route_in_band(net, &operational, node, c).is_none() {
+                report.push(format!("no in-band path from {node} back to controller {c}"));
+            }
+        }
+    }
+
+    report
+}
+
+/// Nodes reachable from `from` along paths whose *intermediate* hops are all switches —
+/// the reachability notion that matters in-band, because controllers never forward.
+fn switch_transit_reachable(
+    graph: &Graph,
+    from: NodeId,
+    controllers: &BTreeSet<NodeId>,
+) -> BTreeSet<NodeId> {
+    let mut reachable = BTreeSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    reachable.insert(from);
+    queue.push_back(from);
+    while let Some(node) = queue.pop_front() {
+        // Only the starting node and switches relay further.
+        if node != from && controllers.contains(&node) {
+            continue;
+        }
+        for next in graph.neighbors(node) {
+            if reachable.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    reachable
+}
+
+/// The subgraph of `graph` induced by the nodes reachable from `from` without relaying
+/// through controllers.
+fn reachable_subgraph(graph: &Graph, from: NodeId, controllers: &BTreeSet<NodeId>) -> Graph {
+    let reachable = switch_transit_reachable(graph, from, controllers);
+    let mut out = Graph::new();
+    for &n in &reachable {
+        out.add_node(n);
+    }
+    for link in graph.links() {
+        if reachable.contains(&link.a) && reachable.contains(&link.b) {
+            out.add_link(link.a, link.b);
+        }
+    }
+    out
+}
+
+/// Simulates the in-band forwarding of one packet from `from` to `to` over the current
+/// switch configurations and the operational graph, without mutating any state.
+///
+/// Returns the traversed path, or `None` when the packet would be dropped. The walk
+/// reproduces exactly what [`crate::nodes::SwitchNode`] does: rule-based next hop with
+/// fast-failover priorities, direct-neighbor fallback, and DFS bounce-back.
+pub fn route_in_band(
+    net: &SdnNetwork,
+    operational: &Graph,
+    from: NodeId,
+    to: NodeId,
+) -> Option<Vec<NodeId>> {
+    let ttl = 4 * operational.node_count().max(4);
+    let mut visited: Vec<NodeId> = vec![from];
+    let mut trail: Vec<NodeId> = vec![from];
+    let mut path: Vec<NodeId> = vec![from];
+    let mut hops = 0usize;
+
+    while let Some(&cur) = trail.last() {
+        if cur == to {
+            return Some(path);
+        }
+        if hops >= ttl {
+            return None;
+        }
+        let neighbors: Vec<NodeId> = operational.neighbors(cur).collect();
+        let next = if let Some(controller) = net.controller(cur) {
+            // Controllers only originate packets; mid-path controllers never forward.
+            if cur == from {
+                controller
+                    .first_hop_candidates(to)
+                    .into_iter()
+                    .find(|h| neighbors.contains(h) && !visited.contains(h))
+                    .or_else(|| {
+                        (neighbors.contains(&to) && !visited.contains(&to)).then_some(to)
+                    })
+            } else {
+                None
+            }
+        } else if let Some(switch) = net.switch(cur) {
+            forwarding::decide(
+                switch.rules(),
+                from,
+                to,
+                &visited,
+                &neighbors,
+                &mut |_| true,
+            )
+        } else {
+            None
+        };
+        match next {
+            Some(h) => {
+                visited.push(h);
+                trail.push(h);
+                path.push(h);
+                hops += 1;
+            }
+            None => {
+                trail.pop();
+                if let Some(&back) = trail.last() {
+                    path.push(back);
+                    hops += 1;
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ControllerConfig, HarnessConfig};
+    use sdn_netsim::SimDuration;
+    use sdn_topology::builders;
+
+    fn bootstrapped_ring() -> SdnNetwork {
+        let topology = builders::ring(5, 1);
+        let mut sdn = SdnNetwork::new(
+            topology,
+            ControllerConfig::for_network(1, 5),
+            HarnessConfig::default().with_task_delay(SimDuration::from_millis(100)),
+        );
+        sdn.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("bootstrap");
+        sdn
+    }
+
+    #[test]
+    fn fresh_network_is_not_legitimate_and_report_explains_why() {
+        let topology = builders::ring(4, 1);
+        let sdn = SdnNetwork::new(
+            topology,
+            ControllerConfig::for_network(1, 4),
+            HarnessConfig::default(),
+        );
+        let report = sdn.legitimacy_report();
+        assert!(!report.is_legitimate());
+        assert!(!report.issues.is_empty());
+    }
+
+    #[test]
+    fn bootstrapped_network_is_legitimate_and_routes_in_band() {
+        let sdn = bootstrapped_ring();
+        let report = sdn.legitimacy_report();
+        assert!(report.is_legitimate(), "issues: {:?}", report.issues);
+        let operational = sdn.sim().operational_graph();
+        let c = sdn.controller_ids()[0];
+        for s in sdn.switch_ids() {
+            let path = route_in_band(&sdn, &operational, c, s).expect("path to switch");
+            assert_eq!(*path.first().unwrap(), c);
+            assert_eq!(*path.last().unwrap(), s);
+            let back = route_in_band(&sdn, &operational, s, c).expect("path back");
+            assert_eq!(*back.last().unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn corrupting_a_switch_breaks_legitimacy_until_recovery() {
+        let mut sdn = bootstrapped_ring();
+        let victim = sdn.switch_ids()[2];
+        sdn.switch_mut(victim).unwrap().corrupt_clear();
+        let report = sdn.legitimacy_report();
+        assert!(!report.is_legitimate(), "cleared switch must break legitimacy");
+        // The controller re-installs everything within a bounded time.
+        let elapsed = sdn
+            .run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("self-stabilization after switch corruption");
+        assert!(elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stale_rule_owner_is_reported_and_cleaned() {
+        let mut sdn = bootstrapped_ring();
+        let victim = sdn.switch_ids()[0];
+        let bogus = sdn_switch::Rule {
+            cid: NodeId::new(99),
+            sid: victim,
+            src: None,
+            dst: NodeId::new(1),
+            prt: 200,
+            fwd: NodeId::new(1),
+            tag: sdn_tags::Tag::new(99, 1),
+        };
+        sdn.switch_mut(victim).unwrap().corrupt_install_rule(bogus);
+        sdn.switch_mut(victim).unwrap().corrupt_add_manager(NodeId::new(99));
+        let report = sdn.legitimacy_report();
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| i.contains("stale controller") || i.contains("managers")));
+        sdn.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(180))
+            .expect("stale state must eventually be purged");
+        let switch = sdn.switch(victim).unwrap();
+        assert!(switch.rules().rules_of(NodeId::new(99)).is_empty());
+        assert!(!switch.managers().contains(NodeId::new(99)));
+    }
+}

@@ -1,0 +1,373 @@
+//! The controller's `replyDB`: the most recently received query replies, from which the
+//! controller derives its view of the network topology (paper, Algorithm 2 line 1).
+//!
+//! The database is bounded by `maxReplies`; trying to exceed the bound triggers a
+//! *C-reset* (line 21) that keeps only the controller's own neighborhood record. Both
+//! the bound and the reset are essential to the self-stabilization argument (Lemma 2:
+//! at most one C-reset per controller per execution once the system is past its
+//! arbitrary initial state).
+
+use sdn_switch::QueryReply;
+use sdn_tags::Tag;
+use sdn_topology::{paths, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of inserting a reply into the database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The reply was stored (possibly replacing an older reply from the same node).
+    Stored,
+    /// The reply was stored, but only after a C-reset made room for it.
+    StoredAfterReset,
+    /// The reply was ignored because its tag is not the current round's tag.
+    IgnoredStaleTag,
+}
+
+/// Bounded store of query replies keyed by `(responder, round tag)`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplyDb {
+    max_replies: usize,
+    records: BTreeMap<(NodeId, Tag), QueryReply>,
+    c_resets: u64,
+}
+
+impl ReplyDb {
+    /// Creates an empty database with capacity `max_replies`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_replies == 0`.
+    pub fn new(max_replies: usize) -> Self {
+        assert!(max_replies > 0, "replyDB needs room for at least one reply");
+        ReplyDb {
+            max_replies,
+            records: BTreeMap::new(),
+            c_resets: 0,
+        }
+    }
+
+    /// The configured capacity (`maxReplies`).
+    pub fn capacity(&self) -> usize {
+        self.max_replies
+    }
+
+    /// Number of stored replies.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no reply is stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of C-resets performed since creation.
+    pub fn c_resets(&self) -> u64 {
+        self.c_resets
+    }
+
+    /// Inserts a reply received with the given expected round tag (Algorithm 2,
+    /// lines 20–22): stale tags are ignored, and a full database triggers a C-reset.
+    pub fn insert(&mut self, reply: QueryReply, curr_tag: Tag) -> InsertOutcome {
+        if reply.echo_tag != curr_tag {
+            return InsertOutcome::IgnoredStaleTag;
+        }
+        let key = (reply.responder, reply.echo_tag);
+        let replaces_existing = self.records.contains_key(&key);
+        let mut outcome = InsertOutcome::Stored;
+        if !replaces_existing && self.records.len() + 1 > self.max_replies {
+            self.records.clear();
+            self.c_resets += 1;
+            outcome = InsertOutcome::StoredAfterReset;
+        }
+        // Remove any other response from the same node carrying a different tag for the
+        // current round bucket (line 22 replaces "the previous response from pj").
+        self.records.insert(key, reply);
+        outcome
+    }
+
+    /// Removes every reply whose tag is not in `live_tags` or whose responder is not
+    /// reachable from the controller according to the topology derivable from replies of
+    /// the *same* tag (Algorithm 2 line 8).
+    pub fn prune(
+        &mut self,
+        self_id: NodeId,
+        self_neighbors: &[NodeId],
+        live_tags: &[Tag],
+    ) {
+        // Replies claiming to come from the controller itself are always synthesized
+        // fresh, never stored (line 5 of Algorithm 1): drop any stored one.
+        self.records.retain(|(node, _), _| *node != self_id);
+        let reachable_per_tag: BTreeMap<Tag, BTreeSet<NodeId>> = live_tags
+            .iter()
+            .map(|&tag| {
+                let graph = self.res_graph(tag, self_id, self_neighbors);
+                let reachable: BTreeSet<NodeId> =
+                    paths::reachable_set(&graph, self_id).into_iter().collect();
+                (tag, reachable)
+            })
+            .collect();
+        self.records.retain(|(node, tag), _| {
+            reachable_per_tag
+                .get(tag)
+                .map(|reachable| reachable.contains(node))
+                .unwrap_or(false)
+        });
+    }
+
+    /// Removes every reply carrying `tag` (Algorithm 2 line 12).
+    pub fn drop_tag(&mut self, tag: Tag) {
+        self.records.retain(|(_, t), _| *t != tag);
+    }
+
+    /// Performs an explicit C-reset, forgetting everything.
+    pub fn c_reset(&mut self) {
+        self.records.clear();
+        self.c_resets += 1;
+    }
+
+    /// The reply from `node` for round `tag`, if stored.
+    pub fn get(&self, node: NodeId, tag: Tag) -> Option<&QueryReply> {
+        self.records.get(&(node, tag))
+    }
+
+    /// All stored replies.
+    pub fn iter(&self) -> impl Iterator<Item = (&(NodeId, Tag), &QueryReply)> + '_ {
+        self.records.iter()
+    }
+
+    /// The set of nodes that have replied with round tag `tag`.
+    pub fn responders(&self, tag: Tag) -> BTreeSet<NodeId> {
+        self.records
+            .keys()
+            .filter(|(_, t)| *t == tag)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Every tag present anywhere in the stored replies (including tags inside rules),
+    /// used to feed the practically-self-stabilizing tag generator.
+    pub fn observed_tags(&self) -> Vec<Tag> {
+        let mut tags = Vec::new();
+        for ((_, tag), reply) in &self.records {
+            tags.push(*tag);
+            tags.extend(reply.rules.iter().map(|r| r.tag));
+        }
+        tags
+    }
+
+    /// `G(res(tag))`: the topology derivable from the replies of round `tag` plus the
+    /// controller's own neighborhood record.
+    pub fn res_graph(&self, tag: Tag, self_id: NodeId, self_neighbors: &[NodeId]) -> Graph {
+        let mut g = Graph::new();
+        g.add_node(self_id);
+        for &nb in self_neighbors {
+            g.add_link(self_id, nb);
+        }
+        for ((node, t), reply) in &self.records {
+            if *t != tag {
+                continue;
+            }
+            g.add_node(*node);
+            for &nb in &reply.neighbors {
+                if nb != *node {
+                    g.add_link(*node, nb);
+                }
+            }
+        }
+        g
+    }
+
+    /// The *fusion* view (Algorithm 2 line 5): the current round's replies plus, for
+    /// nodes that have not answered the current round yet, the previous round's replies.
+    pub fn fusion(&self, curr: Tag, prev: Tag) -> BTreeMap<NodeId, &QueryReply> {
+        let mut out: BTreeMap<NodeId, &QueryReply> = BTreeMap::new();
+        for ((node, tag), reply) in &self.records {
+            if *tag == prev {
+                out.entry(*node).or_insert(reply);
+            }
+        }
+        for ((node, tag), reply) in &self.records {
+            if *tag == curr {
+                out.insert(*node, reply);
+            }
+        }
+        out
+    }
+
+    /// `G(fusion)`: the topology derivable from the fusion view plus the controller's
+    /// own neighborhood.
+    pub fn fusion_graph(
+        &self,
+        curr: Tag,
+        prev: Tag,
+        self_id: NodeId,
+        self_neighbors: &[NodeId],
+    ) -> Graph {
+        let mut g = Graph::new();
+        g.add_node(self_id);
+        for &nb in self_neighbors {
+            g.add_link(self_id, nb);
+        }
+        for (node, reply) in self.fusion(curr, prev) {
+            g.add_node(node);
+            for &nb in &reply.neighbors {
+                if nb != node {
+                    g.add_link(node, nb);
+                }
+            }
+        }
+        g
+    }
+
+    /// The round-completion test of Algorithm 2 line 10: every node reachable from the
+    /// controller in `G(res(curr))` has sent a reply tagged `curr`.
+    pub fn round_complete(&self, curr: Tag, self_id: NodeId, self_neighbors: &[NodeId]) -> bool {
+        let graph = self.res_graph(curr, self_id, self_neighbors);
+        let responders = self.responders(curr);
+        paths::reachable_set(&graph, self_id)
+            .into_iter()
+            .filter(|&n| n != self_id)
+            .all(|n| responders.contains(&n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn reply(responder: u32, neighbors: &[u32], tag: Tag) -> QueryReply {
+        QueryReply {
+            responder: n(responder),
+            neighbors: neighbors.iter().map(|&i| n(i)).collect(),
+            managers: vec![],
+            rules: vec![],
+            echo_tag: tag,
+        }
+    }
+
+    const T1: Tag = Tag::new(0, 1);
+    const T2: Tag = Tag::new(0, 2);
+
+    #[test]
+    fn insert_stores_current_tag_and_ignores_stale() {
+        let mut db = ReplyDb::new(8);
+        assert_eq!(db.insert(reply(3, &[0, 4], T1), T1), InsertOutcome::Stored);
+        assert_eq!(
+            db.insert(reply(4, &[3], T2), T1),
+            InsertOutcome::IgnoredStaleTag
+        );
+        assert_eq!(db.len(), 1);
+        assert!(db.get(n(3), T1).is_some());
+        assert!(db.get(n(4), T2).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_previous_reply_from_same_node() {
+        let mut db = ReplyDb::new(8);
+        db.insert(reply(3, &[0], T1), T1);
+        db.insert(reply(3, &[0, 4], T1), T1);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(n(3), T1).unwrap().neighbors.len(), 2);
+    }
+
+    #[test]
+    fn overflowing_capacity_triggers_c_reset() {
+        let mut db = ReplyDb::new(2);
+        db.insert(reply(3, &[0], T1), T1);
+        db.insert(reply(4, &[0], T1), T1);
+        assert_eq!(
+            db.insert(reply(5, &[0], T1), T1),
+            InsertOutcome::StoredAfterReset
+        );
+        assert_eq!(db.len(), 1, "reset keeps only the new reply");
+        assert_eq!(db.c_resets(), 1);
+    }
+
+    #[test]
+    fn res_graph_includes_self_neighborhood() {
+        let mut db = ReplyDb::new(8);
+        db.insert(reply(3, &[4], T1), T1);
+        let g = db.res_graph(T1, n(0), &[n(3)]);
+        assert!(g.has_link(n(0), n(3)));
+        assert!(g.has_link(n(3), n(4)));
+        assert_eq!(g.node_count(), 3);
+        // A different tag sees only the self record.
+        let g2 = db.res_graph(T2, n(0), &[n(3)]);
+        assert_eq!(g2.node_count(), 2);
+    }
+
+    #[test]
+    fn prune_removes_stale_tags_and_unreachable_responders() {
+        let mut db = ReplyDb::new(8);
+        db.insert(reply(3, &[0, 4], T1), T1);
+        db.insert(reply(9, &[10], T1), T1); // not connected to controller 0
+        // An old-tag reply sneaks in (e.g. left over from a corrupted state).
+        db.records.insert((n(7), T2), reply(7, &[0], T2));
+        db.prune(n(0), &[n(3)], &[T1]);
+        assert!(db.get(n(3), T1).is_some());
+        assert!(db.get(n(9), T1).is_none(), "unreachable responder pruned");
+        assert!(db.get(n(7), T2).is_none(), "stale tag pruned");
+    }
+
+    #[test]
+    fn prune_drops_replies_claiming_to_be_self() {
+        let mut db = ReplyDb::new(8);
+        db.records.insert((n(0), T1), reply(0, &[42], T1));
+        db.prune(n(0), &[n(3)], &[T1]);
+        assert!(db.get(n(0), T1).is_none());
+    }
+
+    #[test]
+    fn fusion_prefers_current_round() {
+        let mut db = ReplyDb::new(8);
+        db.records.insert((n(3), T1), reply(3, &[0], T1));
+        db.records.insert((n(3), T2), reply(3, &[0, 4], T2));
+        db.records.insert((n(5), T1), reply(5, &[0], T1));
+        let fusion = db.fusion(T2, T1);
+        assert_eq!(fusion[&n(3)].neighbors.len(), 2, "current-round reply wins");
+        assert_eq!(fusion[&n(5)].neighbors.len(), 1, "previous round fills gaps");
+        let g = db.fusion_graph(T2, T1, n(0), &[n(3), n(5)]);
+        assert!(g.has_link(n(3), n(4)));
+        assert!(g.has_link(n(0), n(5)));
+    }
+
+    #[test]
+    fn round_completion_requires_all_reachable_nodes() {
+        let mut db = ReplyDb::new(8);
+        // Controller 0 has neighbor 3; 3 knows 4.
+        db.insert(reply(3, &[0, 4], T1), T1);
+        assert!(
+            !db.round_complete(T1, n(0), &[n(3)]),
+            "node 4 is reachable but has not replied"
+        );
+        db.insert(reply(4, &[3], T1), T1);
+        assert!(db.round_complete(T1, n(0), &[n(3)]));
+    }
+
+    #[test]
+    fn drop_tag_and_observed_tags() {
+        let mut db = ReplyDb::new(8);
+        db.insert(reply(3, &[0], T1), T1);
+        db.records.insert((n(4), T2), reply(4, &[0], T2));
+        assert_eq!(db.observed_tags().len(), 2);
+        db.drop_tag(T1);
+        assert!(db.get(n(3), T1).is_none());
+        assert!(db.get(n(4), T2).is_some());
+        db.c_reset();
+        assert!(db.is_empty());
+        assert_eq!(db.c_resets(), 1);
+        assert_eq!(db.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reply")]
+    fn zero_capacity_rejected() {
+        let _ = ReplyDb::new(0);
+    }
+}

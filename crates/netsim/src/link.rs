@@ -1,0 +1,258 @@
+//! Link model: latency, bandwidth accounting, and the unreliable-media failure modes
+//! the paper's fault model allows (packet omission, duplication, reordering).
+
+use crate::time::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the physical behaviour of every link in the simulated network.
+///
+/// The defaults approximate the Mininet setup of the paper's evaluation: 1 Gbit/s
+/// links with sub-millisecond latency and no packet corruption; the loss/duplication
+/// probabilities are switched on by the channel-layer and transient-fault experiments.
+///
+/// # Example
+///
+/// ```
+/// use sdn_netsim::link::LinkConfig;
+/// use sdn_netsim::time::SimDuration;
+/// let cfg = LinkConfig::default().with_latency(SimDuration::from_micros(200));
+/// assert_eq!(cfg.latency.as_micros(), 200);
+/// assert_eq!(cfg.loss_probability, 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// One-way propagation latency applied to every packet.
+    pub latency: SimDuration,
+    /// Extra random latency in `[0, jitter]` applied per packet (models reordering,
+    /// because two packets sent back-to-back may arrive out of order).
+    pub jitter: SimDuration,
+    /// Probability in `[0, 1]` that a packet is silently dropped (omission failure).
+    pub loss_probability: f64,
+    /// Probability in `[0, 1]` that a packet is delivered twice (duplication failure).
+    pub duplication_probability: f64,
+    /// Link bandwidth in bits per second, used by the traffic model to convert packet
+    /// sizes into serialization delay. `None` means infinite bandwidth.
+    pub bandwidth_bps: Option<u64>,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: SimDuration::from_micros(250),
+            jitter: SimDuration::ZERO,
+            loss_probability: 0.0,
+            duplication_probability: 0.0,
+            bandwidth_bps: Some(1_000_000_000),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A perfectly reliable, zero-jitter link with the given latency.
+    pub fn reliable(latency: SimDuration) -> Self {
+        LinkConfig {
+            latency,
+            jitter: SimDuration::ZERO,
+            loss_probability: 0.0,
+            duplication_probability: 0.0,
+            bandwidth_bps: None,
+        }
+    }
+
+    /// A lossy link exhibiting all three unreliable-media failure modes of the paper's
+    /// fault model: omission (`loss`), duplication (`dup`), and reordering (via jitter).
+    pub fn lossy(latency: SimDuration, loss: f64, dup: f64, jitter: SimDuration) -> Self {
+        LinkConfig {
+            latency,
+            jitter,
+            loss_probability: loss,
+            duplication_probability: dup,
+            bandwidth_bps: None,
+        }
+    }
+
+    /// Replaces the base latency.
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replaces the jitter bound.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Replaces the loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not within `[0, 1]`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss probability must be in [0, 1]");
+        self.loss_probability = loss;
+        self
+    }
+
+    /// Replaces the duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dup` is not within `[0, 1]`.
+    pub fn with_duplication(mut self, dup: f64) -> Self {
+        assert!((0.0..=1.0).contains(&dup), "duplication probability must be in [0, 1]");
+        self.duplication_probability = dup;
+        self
+    }
+
+    /// Replaces the bandwidth (bits per second).
+    pub fn with_bandwidth_bps(mut self, bps: u64) -> Self {
+        self.bandwidth_bps = Some(bps);
+        self
+    }
+
+    /// Samples the fate of one packet transmission over this link.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> TransmissionOutcome {
+        if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability.min(1.0)) {
+            return TransmissionOutcome::Lost;
+        }
+        let copies = if self.duplication_probability > 0.0
+            && rng.gen_bool(self.duplication_probability.min(1.0))
+        {
+            2
+        } else {
+            1
+        };
+        let jitter = if self.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(rng.gen_range(0..=self.jitter.as_micros()))
+        };
+        TransmissionOutcome::Delivered {
+            copies,
+            delay: self.latency + jitter,
+        }
+    }
+
+    /// The serialization delay of a packet of `bytes` bytes on this link
+    /// (zero when the bandwidth is unlimited).
+    pub fn serialization_delay(&self, bytes: usize) -> SimDuration {
+        match self.bandwidth_bps {
+            None | Some(0) => SimDuration::ZERO,
+            Some(bps) => SimDuration::from_micros((bytes as u64 * 8).saturating_mul(1_000_000) / bps),
+        }
+    }
+}
+
+/// The fate of a single packet transmission, as sampled from a [`LinkConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransmissionOutcome {
+    /// The packet was dropped by the medium (omission failure).
+    Lost,
+    /// The packet is delivered `copies` times after `delay`.
+    Delivered {
+        /// Number of copies delivered (2 models a duplication failure).
+        copies: u8,
+        /// Propagation plus jitter delay.
+        delay: SimDuration,
+    },
+}
+
+/// The administrative / operational state of a link in the simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LinkStatus {
+    /// The link forwards packets.
+    #[default]
+    Up,
+    /// The link is temporarily unavailable (a transient link failure: packets are
+    /// dropped but the link is still part of `Gc`).
+    Down,
+    /// The link has been permanently removed from `Gc`.
+    Removed,
+}
+
+impl LinkStatus {
+    /// Returns `true` when packets can traverse the link.
+    pub fn is_operational(self) -> bool {
+        matches!(self, LinkStatus::Up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reliable_link_always_delivers_once() {
+        let cfg = LinkConfig::reliable(SimDuration::from_micros(100));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            match cfg.sample(&mut rng) {
+                TransmissionOutcome::Delivered { copies, delay } => {
+                    assert_eq!(copies, 1);
+                    assert_eq!(delay, SimDuration::from_micros(100));
+                }
+                TransmissionOutcome::Lost => panic!("reliable link lost a packet"),
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_link_loses_roughly_the_configured_fraction() {
+        let cfg = LinkConfig::lossy(SimDuration::from_micros(10), 0.3, 0.0, SimDuration::ZERO);
+        let mut rng = StdRng::seed_from_u64(7);
+        let lost = (0..10_000)
+            .filter(|_| matches!(cfg.sample(&mut rng), TransmissionOutcome::Lost))
+            .count();
+        assert!((2_500..3_500).contains(&lost), "lost {lost} of 10000");
+    }
+
+    #[test]
+    fn duplication_produces_two_copies() {
+        let cfg = LinkConfig::lossy(SimDuration::from_micros(10), 0.0, 1.0, SimDuration::ZERO);
+        let mut rng = StdRng::seed_from_u64(3);
+        match cfg.sample(&mut rng) {
+            TransmissionOutcome::Delivered { copies, .. } => assert_eq!(copies, 2),
+            TransmissionOutcome::Lost => panic!("unexpected loss"),
+        }
+    }
+
+    #[test]
+    fn jitter_bounds_delay() {
+        let cfg = LinkConfig::default()
+            .with_latency(SimDuration::from_micros(100))
+            .with_jitter(SimDuration::from_micros(50));
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            if let TransmissionOutcome::Delivered { delay, .. } = cfg.sample(&mut rng) {
+                assert!(delay >= SimDuration::from_micros(100));
+                assert!(delay <= SimDuration::from_micros(150));
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        let cfg = LinkConfig::default().with_bandwidth_bps(1_000_000); // 1 Mbit/s
+        assert_eq!(cfg.serialization_delay(125).as_millis(), 1); // 1000 bits at 1 Mbit/s
+        let unlimited = LinkConfig::reliable(SimDuration::ZERO);
+        assert_eq!(unlimited.serialization_delay(1_000_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn status_operational() {
+        assert!(LinkStatus::Up.is_operational());
+        assert!(!LinkStatus::Down.is_operational());
+        assert!(!LinkStatus::Removed.is_operational());
+        assert_eq!(LinkStatus::default(), LinkStatus::Up);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_loss_probability_panics() {
+        let _ = LinkConfig::default().with_loss(1.5);
+    }
+}

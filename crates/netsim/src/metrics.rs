@@ -1,0 +1,371 @@
+//! Message and byte accounting used by the communication-overhead experiments
+//! (paper, Figure 9) and by the throughput experiments (Figures 15–20).
+
+use crate::time::SimTime;
+use sdn_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-node send/receive counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCounters {
+    /// Messages handed to the network by this node.
+    pub sent: u64,
+    /// Messages delivered to this node.
+    pub received: u64,
+    /// Bytes handed to the network by this node.
+    pub bytes_sent: u64,
+    /// Bytes delivered to this node.
+    pub bytes_received: u64,
+}
+
+/// Global counters plus a per-node breakdown, maintained by the simulator.
+///
+/// # Example
+///
+/// ```
+/// use sdn_netsim::metrics::NetworkMetrics;
+/// use sdn_topology::NodeId;
+/// let mut m = NetworkMetrics::default();
+/// m.record_send(NodeId::new(0), 100);
+/// m.record_delivery(NodeId::new(1), 100);
+/// assert_eq!(m.total_sent(), 1);
+/// assert_eq!(m.node(NodeId::new(1)).received, 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkMetrics {
+    per_node: BTreeMap<NodeId, NodeCounters>,
+    dropped: u64,
+    duplicated: u64,
+    undeliverable: u64,
+}
+
+impl NetworkMetrics {
+    /// Records a message of `bytes` bytes sent by `node`.
+    pub fn record_send(&mut self, node: NodeId, bytes: usize) {
+        let c = self.per_node.entry(node).or_default();
+        c.sent += 1;
+        c.bytes_sent += bytes as u64;
+    }
+
+    /// Records a message of `bytes` bytes delivered to `node`.
+    pub fn record_delivery(&mut self, node: NodeId, bytes: usize) {
+        let c = self.per_node.entry(node).or_default();
+        c.received += 1;
+        c.bytes_received += bytes as u64;
+    }
+
+    /// Records a message lost by the medium (omission failure).
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Records an extra copy delivered by the medium (duplication failure).
+    pub fn record_duplicate(&mut self) {
+        self.duplicated += 1;
+    }
+
+    /// Records a message that could not be sent at all (no operational link to the
+    /// destination, or the destination has fail-stopped).
+    pub fn record_undeliverable(&mut self) {
+        self.undeliverable += 1;
+    }
+
+    /// The counters for one node (zeroes if the node never sent or received anything).
+    pub fn node(&self, node: NodeId) -> NodeCounters {
+        self.per_node.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Iterates over all nodes with non-zero counters.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeCounters)> + '_ {
+        self.per_node.iter().map(|(&n, c)| (n, c))
+    }
+
+    /// Total messages sent by all nodes.
+    pub fn total_sent(&self) -> u64 {
+        self.per_node.values().map(|c| c.sent).sum()
+    }
+
+    /// Total messages delivered to all nodes.
+    pub fn total_received(&self) -> u64 {
+        self.per_node.values().map(|c| c.received).sum()
+    }
+
+    /// Total bytes sent by all nodes.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.per_node.values().map(|c| c.bytes_sent).sum()
+    }
+
+    /// Messages lost to omission failures.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Extra copies delivered due to duplication failures.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Messages that had no operational link or live destination.
+    pub fn undeliverable(&self) -> u64 {
+        self.undeliverable
+    }
+
+    /// The node that sent the most messages, with its count — the "maximum loaded
+    /// controller" of the paper's Figure 9 — restricted to the given candidate set.
+    pub fn max_sender_among<I>(&self, candidates: I) -> Option<(NodeId, u64)>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        candidates
+            .into_iter()
+            .map(|n| (n, self.node(n).sent))
+            .max_by_key(|&(n, sent)| (sent, std::cmp::Reverse(n)))
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        self.per_node.clear();
+        self.dropped = 0;
+        self.duplicated = 0;
+        self.undeliverable = 0;
+    }
+
+    /// Snapshot difference: counters in `self` minus counters in `earlier`
+    /// (used to measure a single experiment phase).
+    pub fn since(&self, earlier: &NetworkMetrics) -> NetworkMetrics {
+        let mut out = self.clone();
+        for (node, before) in earlier.per_node.iter() {
+            let after = out.per_node.entry(*node).or_default();
+            after.sent = after.sent.saturating_sub(before.sent);
+            after.received = after.received.saturating_sub(before.received);
+            after.bytes_sent = after.bytes_sent.saturating_sub(before.bytes_sent);
+            after.bytes_received = after.bytes_received.saturating_sub(before.bytes_received);
+        }
+        out.dropped = out.dropped.saturating_sub(earlier.dropped);
+        out.duplicated = out.duplicated.saturating_sub(earlier.duplicated);
+        out.undeliverable = out.undeliverable.saturating_sub(earlier.undeliverable);
+        out
+    }
+}
+
+/// A single timestamped sample of a scalar observable, used for time-series outputs
+/// such as the throughput curves of Figures 15 and 16.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// The observed value.
+    pub value: f64,
+}
+
+/// An append-only time series of [`Sample`]s.
+///
+/// # Example
+///
+/// ```
+/// use sdn_netsim::metrics::TimeSeries;
+/// use sdn_netsim::time::SimTime;
+/// let mut ts = TimeSeries::new("throughput");
+/// ts.push(SimTime::from_secs(1), 480.0);
+/// ts.push(SimTime::from_secs(2), 500.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.mean(), Some(490.0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty, named time series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.samples.push(Sample { at, value });
+    }
+
+    /// The recorded samples in insertion order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the values, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|s| s.value).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Minimum value, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.value).fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.min(v)))
+        })
+    }
+
+    /// Maximum value, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.value).fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.max(v)))
+        })
+    }
+
+    /// The values as a plain vector (timestamps dropped).
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.value).collect()
+    }
+}
+
+/// Pearson correlation coefficient of two equally long value sequences.
+///
+/// Returns `None` when the sequences have different lengths, fewer than two points,
+/// or zero variance. Used to regenerate the paper's Table 17.
+///
+/// # Example
+///
+/// ```
+/// use sdn_netsim::metrics::pearson_correlation;
+/// let r = pearson_correlation(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-9);
+/// ```
+pub fn pearson_correlation(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let dx = x - mean_a;
+        let dy = y - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return None;
+    }
+    Some(cov / (var_a.sqrt() * var_b.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = NetworkMetrics::default();
+        m.record_send(n(0), 10);
+        m.record_send(n(0), 20);
+        m.record_delivery(n(1), 10);
+        m.record_drop();
+        m.record_duplicate();
+        m.record_undeliverable();
+        assert_eq!(m.total_sent(), 2);
+        assert_eq!(m.total_received(), 1);
+        assert_eq!(m.total_bytes_sent(), 30);
+        assert_eq!(m.node(n(0)).sent, 2);
+        assert_eq!(m.node(n(1)).received, 1);
+        assert_eq!(m.node(n(9)), NodeCounters::default());
+        assert_eq!(m.dropped(), 1);
+        assert_eq!(m.duplicated(), 1);
+        assert_eq!(m.undeliverable(), 1);
+        assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn max_sender_among_candidates() {
+        let mut m = NetworkMetrics::default();
+        m.record_send(n(0), 1);
+        m.record_send(n(1), 1);
+        m.record_send(n(1), 1);
+        m.record_send(n(5), 1);
+        m.record_send(n(5), 1);
+        m.record_send(n(5), 1);
+        // Restricting to controllers {0, 1} ignores the busier node 5.
+        assert_eq!(m.max_sender_among([n(0), n(1)]), Some((n(1), 2)));
+        assert_eq!(m.max_sender_among([]), None);
+    }
+
+    #[test]
+    fn since_computes_phase_difference() {
+        let mut m = NetworkMetrics::default();
+        m.record_send(n(0), 10);
+        let snapshot = m.clone();
+        m.record_send(n(0), 10);
+        m.record_send(n(2), 5);
+        m.record_drop();
+        let phase = m.since(&snapshot);
+        assert_eq!(phase.node(n(0)).sent, 1);
+        assert_eq!(phase.node(n(2)).sent, 1);
+        assert_eq!(phase.dropped(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = NetworkMetrics::default();
+        m.record_send(n(0), 10);
+        m.record_drop();
+        m.reset();
+        assert_eq!(m.total_sent(), 0);
+        assert_eq!(m.dropped(), 0);
+    }
+
+    #[test]
+    fn time_series_statistics() {
+        let mut ts = TimeSeries::new("x");
+        assert!(ts.is_empty());
+        assert_eq!(ts.mean(), None);
+        assert_eq!(ts.min(), None);
+        ts.push(SimTime::from_secs(1), 3.0);
+        ts.push(SimTime::from_secs(2), 1.0);
+        ts.push(SimTime::from_secs(3), 2.0);
+        assert_eq!(ts.name(), "x");
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.mean(), Some(2.0));
+        assert_eq!(ts.min(), Some(1.0));
+        assert_eq!(ts.max(), Some(3.0));
+        assert_eq!(ts.values(), vec![3.0, 1.0, 2.0]);
+        assert_eq!(ts.samples()[0].at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn correlation_edge_cases() {
+        assert_eq!(pearson_correlation(&[1.0], &[1.0]), None);
+        assert_eq!(pearson_correlation(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson_correlation(&[1.0, 1.0], &[1.0, 2.0]), None);
+        let anti = pearson_correlation(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!((anti + 1.0).abs() < 1e-9);
+    }
+}

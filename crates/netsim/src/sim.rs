@@ -1,0 +1,812 @@
+//! The discrete-event simulator that ties topology, links, faults, and nodes together.
+//!
+//! A [`Simulator`] owns the ground-truth connected topology `Gc`, the operational state
+//! of every link and node, the event queue, and the node state machines. The harness in
+//! the `renaissance` crate drives it: run for a while, inject faults, check the
+//! legitimacy predicate, repeat.
+
+use crate::link::{LinkConfig, LinkStatus, TransmissionOutcome};
+use crate::metrics::NetworkMetrics;
+use crate::node::{Context, Node, Payload, TimerId};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdn_topology::ids::Link;
+use sdn_topology::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Internal event kinds.
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        bytes: usize,
+        duplicate: bool,
+    },
+    Timer {
+        node: NodeId,
+        timer: TimerId,
+    },
+    RefreshObservations,
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Configuration of a [`Simulator`].
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Link behaviour applied to every link unless overridden per link.
+    pub default_link: LinkConfig,
+    /// How long after a link/node failure (or repair) the neighbors' local topology
+    /// discovery notices it. Models the paper's Theta failure detector threshold.
+    pub detection_delay: SimDuration,
+    /// Seed for all randomness (losses, jitter, per-callback random values).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            default_link: LinkConfig::default(),
+            detection_delay: SimDuration::from_millis(50),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A deterministic discrete-event network simulator.
+///
+/// Type parameters: `M` is the message type exchanged by nodes, `N` is the node state
+/// machine type (usually an enum over controller / switch / host).
+///
+/// # Example
+///
+/// ```
+/// use sdn_netsim::{SimConfig, Simulator};
+/// use sdn_netsim::node::{Context, Node, TimerId};
+/// use sdn_netsim::time::{SimDuration, SimTime};
+/// use sdn_topology::{Graph, NodeId};
+///
+/// /// A node that forwards every received number to all its neighbors once.
+/// struct Gossip { seen: bool }
+/// impl Node<u64> for Gossip {
+///     fn on_start(&mut self, ctx: &mut Context<u64>) {
+///         if ctx.id() == NodeId::new(0) {
+///             for &n in ctx.neighbors().to_vec().iter() { ctx.send(n, 1); }
+///         }
+///     }
+///     fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Context<u64>) {
+///         if !self.seen {
+///             self.seen = true;
+///             for &n in ctx.neighbors().to_vec().iter() { ctx.send(n, msg + 1); }
+///         }
+///     }
+/// }
+///
+/// let g = Graph::from_links([(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2))]);
+/// let mut sim = Simulator::new(&g, SimConfig::default());
+/// for n in g.nodes() { sim.add_node(n, Gossip { seen: false }); }
+/// sim.start();
+/// sim.run_until(SimTime::from_secs(1));
+/// assert!(sim.node(NodeId::new(2)).unwrap().seen);
+/// ```
+pub struct Simulator<M: Payload, N: Node<M>> {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event<M>>>,
+    nodes: BTreeMap<NodeId, N>,
+    started: BTreeSet<NodeId>,
+    failed_nodes: BTreeSet<NodeId>,
+    topology: Graph,
+    link_status: BTreeMap<Link, LinkStatus>,
+    link_overrides: BTreeMap<Link, LinkConfig>,
+    observed: BTreeMap<NodeId, Vec<NodeId>>,
+    config: SimConfig,
+    rng: StdRng,
+    metrics: NetworkMetrics,
+}
+
+impl<M: Payload, N: Node<M>> Simulator<M, N> {
+    /// Creates a simulator over the connected topology `Gc`.
+    pub fn new(topology: &Graph, config: SimConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut sim = Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            nodes: BTreeMap::new(),
+            started: BTreeSet::new(),
+            failed_nodes: BTreeSet::new(),
+            topology: topology.clone(),
+            link_status: BTreeMap::new(),
+            link_overrides: BTreeMap::new(),
+            observed: BTreeMap::new(),
+            config,
+            rng,
+            metrics: NetworkMetrics::default(),
+        };
+        sim.refresh_observations();
+        sim
+    }
+
+    /// Registers the state machine for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of the topology or already has a state machine.
+    pub fn add_node(&mut self, id: NodeId, node: N) {
+        assert!(
+            self.topology.contains_node(id),
+            "node {id} is not part of the topology"
+        );
+        assert!(
+            self.nodes.insert(id, node).is_none(),
+            "node {id} registered twice"
+        );
+    }
+
+    /// Calls [`Node::on_start`] on every registered node that has not started yet.
+    pub fn start(&mut self) {
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for id in ids {
+            if self.started.insert(id) {
+                self.run_callback(id, |node, ctx| node.on_start(ctx));
+            }
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The ground-truth connected topology `Gc` (permanently removed links/nodes absent).
+    pub fn topology(&self) -> &Graph {
+        &self.topology
+    }
+
+    /// The operational topology `Go`: `Gc` minus temporarily failed links and
+    /// fail-stopped nodes.
+    pub fn operational_graph(&self) -> Graph {
+        let mut g = Graph::new();
+        for node in self.topology.nodes() {
+            if !self.failed_nodes.contains(&node) {
+                g.add_node(node);
+            }
+        }
+        for link in self.topology.links() {
+            if self.link_is_operational(link.a, link.b) {
+                g.add_link(link.a, link.b);
+            }
+        }
+        g
+    }
+
+    /// Immutable access to a node's state machine.
+    pub fn node(&self, id: NodeId) -> Option<&N> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access to a node's state machine — this is how the harness injects
+    /// *transient state corruption* (the paper's rare transient faults).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut N> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Iterates over all registered nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> + '_ {
+        self.nodes.iter().map(|(&id, n)| (id, n))
+    }
+
+    /// The network-wide message metrics.
+    pub fn metrics(&self) -> &NetworkMetrics {
+        &self.metrics
+    }
+
+    /// Resets the message metrics (e.g. at the start of a measured experiment phase).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Returns `true` when `id` has fail-stopped.
+    pub fn is_node_failed(&self, id: NodeId) -> bool {
+        self.failed_nodes.contains(&id)
+    }
+
+    /// Returns `true` when the link exists in `Gc`, is administratively up, and both
+    /// endpoints are alive.
+    pub fn link_is_operational(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.topology.has_link(a, b) {
+            return false;
+        }
+        if self.failed_nodes.contains(&a) || self.failed_nodes.contains(&b) {
+            return false;
+        }
+        self.link_status
+            .get(&Link::new(a, b))
+            .copied()
+            .unwrap_or(LinkStatus::Up)
+            .is_operational()
+    }
+
+    /// The neighbors node `id` currently *observes* through local topology discovery.
+    pub fn observed_neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        self.observed.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Overrides the link behaviour of one specific link.
+    pub fn set_link_config(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        self.link_overrides.insert(Link::new(a, b), config);
+    }
+
+    /// Replaces the default link behaviour applied to links without an override.
+    pub fn set_default_link_config(&mut self, config: LinkConfig) {
+        self.config.default_link = config;
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Marks a link as temporarily failed (still part of `Gc`). Packets in flight keep
+    /// their original delivery schedule; new packets are dropped.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
+        self.link_status.insert(Link::new(a, b), LinkStatus::Down);
+        self.schedule_observation_refresh();
+    }
+
+    /// Restores a temporarily failed link.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
+        self.link_status.insert(Link::new(a, b), LinkStatus::Up);
+        self.schedule_observation_refresh();
+    }
+
+    /// Permanently removes a link from `Gc` (the paper's permanent link failure).
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> bool {
+        let existed = self.topology.remove_link(a, b);
+        self.link_status.remove(&Link::new(a, b));
+        self.schedule_observation_refresh();
+        existed
+    }
+
+    /// Adds a (new) link to `Gc`.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) {
+        self.topology.add_link(a, b);
+        self.link_status.insert(Link::new(a, b), LinkStatus::Up);
+        self.schedule_observation_refresh();
+    }
+
+    /// Fail-stops a node: it no longer receives messages or timer callbacks, and its
+    /// links become non-operational.
+    pub fn fail_node(&mut self, id: NodeId) {
+        self.failed_nodes.insert(id);
+        self.schedule_observation_refresh();
+    }
+
+    /// Revives a previously fail-stopped node (its state machine is kept as-is; callers
+    /// that want a fresh node should replace it via [`Simulator::replace_node`]).
+    pub fn revive_node(&mut self, id: NodeId) {
+        self.failed_nodes.remove(&id);
+        self.schedule_observation_refresh();
+    }
+
+    /// Replaces the state machine of `id` (e.g. reviving a controller with empty state),
+    /// returning the previous one if it existed.
+    pub fn replace_node(&mut self, id: NodeId, node: N) -> Option<N> {
+        let prev = self.nodes.insert(id, node);
+        self.started.remove(&id);
+        prev
+    }
+
+    /// Adds a brand new node to the topology together with its links and state machine.
+    pub fn add_node_with_links(&mut self, id: NodeId, links: &[NodeId], node: N) {
+        self.topology.add_node(id);
+        for &peer in links {
+            self.topology.add_link(id, peer);
+        }
+        self.add_node(id, node);
+        self.schedule_observation_refresh();
+    }
+
+    /// Permanently removes a node and its links from the simulation.
+    pub fn remove_node(&mut self, id: NodeId) {
+        self.topology.remove_node(id);
+        self.nodes.remove(&id);
+        self.failed_nodes.remove(&id);
+        self.started.remove(&id);
+        self.schedule_observation_refresh();
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Returns `true` while the event queue is non-empty.
+    pub fn has_pending_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Processes a single event, if any, and returns `true` if one was processed.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "event from the past");
+        self.now = event.at.max(self.now);
+        match event.kind {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                bytes,
+                duplicate,
+            } => {
+                // The destination must still be alive; links that failed while the
+                // packet was in flight do not retroactively destroy it.
+                if self.failed_nodes.contains(&to) || !self.nodes.contains_key(&to) {
+                    self.metrics.record_undeliverable();
+                    return true;
+                }
+                self.metrics.record_delivery(to, bytes);
+                if duplicate {
+                    self.metrics.record_duplicate();
+                }
+                self.run_callback(to, |node, ctx| node.on_message(from, msg, ctx));
+            }
+            EventKind::Timer { node, timer } => {
+                if self.failed_nodes.contains(&node) || !self.nodes.contains_key(&node) {
+                    return true;
+                }
+                self.run_callback(node, |n, ctx| n.on_timer(timer, ctx));
+            }
+            EventKind::RefreshObservations => {
+                self.refresh_observations();
+            }
+        }
+        true
+    }
+
+    /// Runs until the simulated clock reaches `deadline` (events scheduled after the
+    /// deadline stay queued) and sets the clock to exactly `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(event)) = self.events.peek() {
+            if event.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue drains or the clock would pass `max_time`.
+    /// Returns `true` if the queue drained.
+    pub fn run_until_idle(&mut self, max_time: SimTime) -> bool {
+        loop {
+            match self.events.peek() {
+                None => return true,
+                Some(Reverse(event)) if event.at > max_time => return false,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn schedule_observation_refresh(&mut self) {
+        if self.config.detection_delay.is_zero() {
+            self.refresh_observations();
+        } else {
+            let at = self.now + self.config.detection_delay;
+            self.push_event(at, EventKind::RefreshObservations);
+        }
+    }
+
+    fn refresh_observations(&mut self) {
+        let mut observed = BTreeMap::new();
+        for node in self.topology.nodes() {
+            let neighbors: Vec<NodeId> = self
+                .topology
+                .neighbors(node)
+                .filter(|&peer| self.link_is_operational(node, peer))
+                .collect();
+            observed.insert(node, neighbors);
+        }
+        self.observed = observed;
+    }
+
+    fn link_config(&self, a: NodeId, b: NodeId) -> LinkConfig {
+        self.link_overrides
+            .get(&Link::new(a, b))
+            .copied()
+            .unwrap_or(self.config.default_link)
+    }
+
+    fn run_callback<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<M>),
+    {
+        let Some(mut node) = self.nodes.remove(&id) else {
+            return;
+        };
+        let neighbors = self.observed_neighbors(id);
+        let random = self.rng.gen();
+        let mut ctx = Context::new(id, self.now, neighbors, random);
+        f(&mut node, &mut ctx);
+        self.nodes.insert(id, node);
+        let Context { outbox, timers, .. } = ctx;
+        for (delay, timer) in timers {
+            let at = self.now + delay;
+            self.push_event(at, EventKind::Timer { node: id, timer });
+        }
+        for (to, msg) in outbox {
+            self.transmit(id, to, msg);
+        }
+    }
+
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let bytes = msg.wire_size();
+        self.metrics.record_send(from, bytes);
+        if from == to
+            || !self.link_is_operational(from, to)
+            || self.failed_nodes.contains(&to)
+            || !self.nodes.contains_key(&to)
+        {
+            self.metrics.record_undeliverable();
+            return;
+        }
+        let config = self.link_config(from, to);
+        match config.sample(&mut self.rng) {
+            TransmissionOutcome::Lost => {
+                self.metrics.record_drop();
+            }
+            TransmissionOutcome::Delivered { copies, delay } => {
+                let total_delay = delay + config.serialization_delay(bytes);
+                for copy in 0..copies {
+                    let at = self.now + total_delay;
+                    self.push_event(
+                        at,
+                        EventKind::Deliver {
+                            from,
+                            to,
+                            msg: msg.clone(),
+                            bytes,
+                            duplicate: copy > 0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo node: replies to every message with `value + 1`, and node 0 kicks things
+    /// off from its start callback.
+    struct Echo {
+        received: Vec<(NodeId, u64)>,
+        reply: bool,
+    }
+
+    impl Echo {
+        fn new(reply: bool) -> Self {
+            Echo {
+                received: Vec::new(),
+                reply,
+            }
+        }
+    }
+
+    impl Node<u64> for Echo {
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            if ctx.id() == NodeId::new(0) {
+                let peers: Vec<NodeId> = ctx.neighbors().to_vec();
+                for p in peers {
+                    ctx.send(p, 1);
+                }
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<u64>) {
+            self.received.push((from, msg));
+            // Only the very first message is answered, so exchanges stay finite.
+            if self.reply && msg == 1 {
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<u64>) {
+            // Timers are used by one test to trigger a delayed send.
+            let peers: Vec<NodeId> = ctx.neighbors().to_vec();
+            for p in peers {
+                ctx.send(p, 100 + timer.0);
+            }
+        }
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn line3() -> Graph {
+        Graph::from_links([(n(0), n(1)), (n(1), n(2))])
+    }
+
+    fn sim_with_echo(reply: bool) -> Simulator<u64, Echo> {
+        let g = line3();
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                detection_delay: SimDuration::ZERO,
+                ..SimConfig::default()
+            },
+        );
+        for node in g.nodes() {
+            sim.add_node(node, Echo::new(reply));
+        }
+        sim
+    }
+
+    #[test]
+    fn messages_flow_between_neighbors() {
+        let mut sim = sim_with_echo(true);
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        // 0 sent 1 to 1; 1 replied with 2.
+        assert_eq!(sim.node(n(1)).unwrap().received, vec![(n(0), 1)]);
+        assert_eq!(sim.node(n(0)).unwrap().received, vec![(n(1), 2)]);
+        // 2 is not a neighbor of 0, so it got nothing.
+        assert!(sim.node(n(2)).unwrap().received.is_empty());
+        assert_eq!(sim.metrics().total_sent(), 2);
+        assert_eq!(sim.metrics().total_received(), 2);
+    }
+
+    #[test]
+    fn failed_link_blocks_delivery() {
+        let mut sim = sim_with_echo(false);
+        sim.fail_link(n(0), n(1));
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        // With zero detection delay the failed link disappears from node 0's observed
+        // neighborhood, so it never even tries to send.
+        assert!(sim.node(n(1)).unwrap().received.is_empty());
+        assert_eq!(sim.metrics().total_sent(), 0);
+        assert!(!sim.link_is_operational(n(0), n(1)));
+        assert!(sim.link_is_operational(n(1), n(2)));
+        // Restoring the link lets later traffic through.
+        sim.restore_link(n(0), n(1));
+        assert!(sim.link_is_operational(n(0), n(1)));
+    }
+
+    #[test]
+    fn send_to_non_neighbor_is_undeliverable() {
+        /// Sends to a node two hops away, which the simulator must refuse to deliver:
+        /// the control plane is in-band, multi-hop needs switch forwarding.
+        struct Blind;
+        impl Node<u64> for Blind {
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                if ctx.id() == n(0) {
+                    ctx.send(n(2), 7);
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: u64, _: &mut Context<u64>) {
+                panic!("nothing should ever be delivered in this test");
+            }
+        }
+        let g = line3();
+        let mut sim: Simulator<u64, Blind> = Simulator::new(&g, SimConfig::default());
+        for node in g.nodes() {
+            sim.add_node(node, Blind);
+        }
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().undeliverable(), 1);
+        assert_eq!(sim.metrics().total_received(), 0);
+    }
+
+    #[test]
+    fn failed_node_receives_nothing_and_links_go_down() {
+        let mut sim = sim_with_echo(false);
+        sim.fail_node(n(1));
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.is_node_failed(n(1)));
+        assert!(sim.node(n(1)).unwrap().received.is_empty());
+        assert!(!sim.link_is_operational(n(0), n(1)));
+        let go = sim.operational_graph();
+        assert!(!go.contains_node(n(1)));
+        assert_eq!(go.link_count(), 0);
+        sim.revive_node(n(1));
+        assert!(sim.link_is_operational(n(0), n(1)));
+    }
+
+    #[test]
+    fn observed_neighbors_follow_detection_delay() {
+        let g = line3();
+        let mut sim: Simulator<u64, Echo> = Simulator::new(
+            &g,
+            SimConfig {
+                detection_delay: SimDuration::from_millis(100),
+                ..SimConfig::default()
+            },
+        );
+        for node in g.nodes() {
+            sim.add_node(node, Echo::new(false));
+        }
+        sim.start();
+        assert_eq!(sim.observed_neighbors(n(1)), vec![n(0), n(2)]);
+        sim.fail_link(n(0), n(1));
+        // Before the detection delay elapses the stale neighbor is still observed.
+        assert_eq!(sim.observed_neighbors(n(1)), vec![n(0), n(2)]);
+        sim.run_for(SimDuration::from_millis(200));
+        assert_eq!(sim.observed_neighbors(n(1)), vec![n(2)]);
+    }
+
+    #[test]
+    fn permanent_removal_updates_topology() {
+        let mut sim = sim_with_echo(false);
+        assert!(sim.remove_link(n(1), n(2)));
+        assert!(!sim.remove_link(n(1), n(2)));
+        assert!(!sim.topology().has_link(n(1), n(2)));
+        sim.add_link(n(0), n(2));
+        assert!(sim.topology().has_link(n(0), n(2)));
+        sim.remove_node(n(2));
+        assert!(!sim.topology().contains_node(n(2)));
+        assert!(sim.node(n(2)).is_none());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node<u64> for TimerNode {
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                if ctx.id() == n(0) {
+                    ctx.schedule(SimDuration::from_millis(20), TimerId(2));
+                    ctx.schedule(SimDuration::from_millis(10), TimerId(1));
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: u64, _: &mut Context<u64>) {}
+            fn on_timer(&mut self, timer: TimerId, _: &mut Context<u64>) {
+                self.fired.push(timer.0);
+            }
+        }
+        let g = Graph::from_links([(n(0), n(1))]);
+        let mut tsim: Simulator<u64, TimerNode> = Simulator::new(&g, SimConfig::default());
+        tsim.add_node(n(0), TimerNode { fired: vec![] });
+        tsim.add_node(n(1), TimerNode { fired: vec![] });
+        tsim.start();
+        tsim.run_until(SimTime::from_secs(1));
+        assert_eq!(tsim.node(n(0)).unwrap().fired, vec![1, 2]);
+        assert!(tsim.node(n(1)).unwrap().fired.is_empty());
+    }
+
+    #[test]
+    fn lossy_default_link_drops_packets() {
+        let g = Graph::from_links([(n(0), n(1))]);
+        let mut sim: Simulator<u64, Echo> = Simulator::new(
+            &g,
+            SimConfig {
+                default_link: LinkConfig::default().with_loss(1.0),
+                detection_delay: SimDuration::ZERO,
+                seed: 1,
+            },
+        );
+        sim.add_node(n(0), Echo::new(false));
+        sim.add_node(n(1), Echo::new(false));
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.node(n(1)).unwrap().received.is_empty());
+        assert_eq!(sim.metrics().dropped(), 1);
+    }
+
+    #[test]
+    fn duplicating_link_delivers_twice() {
+        let g = Graph::from_links([(n(0), n(1))]);
+        let mut sim: Simulator<u64, Echo> = Simulator::new(
+            &g,
+            SimConfig {
+                default_link: LinkConfig::default().with_duplication(1.0),
+                detection_delay: SimDuration::ZERO,
+                seed: 1,
+            },
+        );
+        sim.add_node(n(0), Echo::new(false));
+        sim.add_node(n(1), Echo::new(false));
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.node(n(1)).unwrap().received.len(), 2);
+        assert_eq!(sim.metrics().duplicated(), 1);
+    }
+
+    #[test]
+    fn run_until_idle_and_clock_semantics() {
+        let mut sim = sim_with_echo(true);
+        sim.start();
+        assert!(sim.has_pending_events());
+        assert!(sim.run_until_idle(SimTime::from_secs(10)));
+        assert!(!sim.has_pending_events());
+        let t = sim.now();
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(sim.now(), t + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn replace_node_resets_start_state() {
+        let mut sim = sim_with_echo(false);
+        sim.start();
+        let prev = sim.replace_node(n(0), Echo::new(false));
+        assert!(prev.is_some());
+        // After replacement the node can be started again.
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.node(n(1)).unwrap().received.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the topology")]
+    fn add_node_outside_topology_panics() {
+        let mut sim = sim_with_echo(false);
+        sim.add_node(n(99), Echo::new(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn add_node_twice_panics() {
+        let mut sim = sim_with_echo(false);
+        sim.add_node(n(0), Echo::new(false));
+    }
+
+    #[test]
+    fn add_node_with_links_expands_topology() {
+        let mut sim = sim_with_echo(false);
+        sim.add_node_with_links(n(5), &[n(2)], Echo::new(false));
+        assert!(sim.topology().has_link(n(2), n(5)));
+        assert!(sim.node(n(5)).is_some());
+        assert_eq!(sim.observed_neighbors(n(5)), vec![n(2)]);
+    }
+}

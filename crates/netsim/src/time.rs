@@ -1,0 +1,219 @@
+//! Simulated time.
+//!
+//! The simulator uses a single logical clock measured in microseconds. All figures in
+//! the paper report seconds, so [`SimTime::as_secs_f64`] is what the bench harness
+//! prints; internally everything is integer arithmetic for determinism.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since the start of the run).
+///
+/// # Example
+///
+/// ```
+/// use sdn_netsim::time::{SimDuration, SimTime};
+/// let t = SimTime::ZERO + SimDuration::from_millis(1500);
+/// assert_eq!(t.as_secs_f64(), 1.5);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The beginning of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time point from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates a time point from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates a time point from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// This time point expressed in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This time point expressed in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This time point expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulated time.
+///
+/// # Example
+///
+/// ```
+/// use sdn_netsim::time::SimDuration;
+/// assert_eq!(SimDuration::from_millis(2).as_micros(), 2000);
+/// assert!(SimDuration::from_secs(1) > SimDuration::from_millis(999));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds (rounded down to microseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "duration must be non-negative");
+        SimDuration((secs * 1_000_000.0) as u64)
+    }
+
+    /// The duration expressed in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration expressed in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Multiplies the duration by an integer factor (saturating).
+    pub const fn saturating_mul(self, factor: u64) -> Self {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Returns `true` when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_secs(1).as_secs_f64(), 1.0);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_millis(), 500);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
+        assert_eq!(t.as_millis(), 1_500);
+        assert_eq!((t - SimTime::from_secs(1)).as_millis(), 500);
+        assert_eq!(t.duration_since(SimTime::from_secs(2)), SimDuration::ZERO);
+        let mut u = SimTime::ZERO;
+        u += SimDuration::from_micros(7);
+        assert_eq!(u.as_micros(), 7);
+        let mut d = SimDuration::from_millis(1);
+        d += SimDuration::from_millis(2);
+        assert_eq!(d + SimDuration::from_millis(1), SimDuration::from_millis(4));
+        assert_eq!(SimDuration::from_millis(4).saturating_mul(3).as_millis(), 12);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimDuration::ZERO.is_zero());
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "0.250s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+}

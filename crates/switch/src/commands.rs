@@ -1,0 +1,200 @@
+//! The controller-to-switch command interface of the abstract switch (paper, Figure 4).
+//!
+//! Controllers talk to switches in *command batches*: a `newRound` header, a number of
+//! update commands, and a trailing `query`. The switch answers queries with a
+//! [`QueryReply`] describing its identifier, neighborhood, manager set, and rule set.
+
+use crate::rules::Rule;
+use sdn_tags::Tag;
+use sdn_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A single command addressed to an abstract switch's control module.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchCommand {
+    /// `<'newRound', t_metaRule>`: updates the controller's meta-rule tag at the switch.
+    NewRound {
+        /// The new synchronization-round tag.
+        tag: Tag,
+    },
+    /// `<'delMngr', k>`: removes controller `k` from the switch's manager set.
+    DelManager {
+        /// The controller to remove.
+        controller: NodeId,
+    },
+    /// `<'addMngr', k>`: adds controller `k` to the switch's manager set.
+    AddManager {
+        /// The controller to add.
+        controller: NodeId,
+    },
+    /// `<'delAllRules', k>`: deletes every rule installed by controller `k`.
+    DelAllRules {
+        /// The controller whose rules are purged.
+        controller: NodeId,
+    },
+    /// `<'updateRule', newRules>`: replaces the sender's rules with `rules`, keeping any
+    /// existing rules whose tag appears in `keep_tags` (empty for plain Algorithm 2;
+    /// the previous round's tag for the Section 6.2 evaluation variant).
+    UpdateRules {
+        /// The new rule set of the sending controller at this switch.
+        rules: Vec<Rule>,
+        /// Tags of existing rules of the sending controller that must survive.
+        keep_tags: Vec<Tag>,
+    },
+    /// `<'query', t_query>`: asks the switch for its configuration.
+    Query {
+        /// The round tag to echo in the reply.
+        tag: Tag,
+    },
+}
+
+impl SwitchCommand {
+    /// Approximate encoded size in bytes, used for the message-size accounting of the
+    /// paper's Lemma 3 and for the simulator's bandwidth model.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            SwitchCommand::NewRound { .. } | SwitchCommand::Query { .. } => 16,
+            SwitchCommand::DelManager { .. }
+            | SwitchCommand::AddManager { .. }
+            | SwitchCommand::DelAllRules { .. } => 8,
+            SwitchCommand::UpdateRules { rules, keep_tags } => {
+                8 + rules.len() * Rule::WIRE_SIZE + keep_tags.len() * 12
+            }
+        }
+    }
+}
+
+/// A sequence of commands sent by one controller to one switch in a single message
+/// (the paper aggregates all per-destination commands into one message, line 19).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandBatch {
+    /// The controller that issued the batch.
+    pub from: NodeId,
+    /// The commands, in execution order.
+    pub commands: Vec<SwitchCommand>,
+}
+
+impl CommandBatch {
+    /// Creates a batch from a controller.
+    pub fn new(from: NodeId, commands: Vec<SwitchCommand>) -> Self {
+        CommandBatch { from, commands }
+    }
+
+    /// The query tag carried by the trailing query command, if any.
+    pub fn query_tag(&self) -> Option<Tag> {
+        self.commands.iter().rev().find_map(|c| match c {
+            SwitchCommand::Query { tag } => Some(*tag),
+            _ => None,
+        })
+    }
+
+    /// Approximate encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + self.commands.iter().map(SwitchCommand::wire_size).sum::<usize>()
+    }
+}
+
+/// The switch's (or, degenerately, a controller's) answer to a query command:
+/// `<j, Nc(j), manager(j), rules(j)>` plus the echoed round tag.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryReply {
+    /// The responding node.
+    pub responder: NodeId,
+    /// The responder's currently observed neighborhood `Nc(j)`.
+    pub neighbors: Vec<NodeId>,
+    /// The responder's manager set (empty for controllers).
+    pub managers: Vec<NodeId>,
+    /// The responder's installed rules (empty for controllers).
+    pub rules: Vec<Rule>,
+    /// The tag of the query this reply answers (the meta-rule tag of the paper).
+    pub echo_tag: Tag,
+}
+
+impl QueryReply {
+    /// Creates a controller's reply: controllers have no managers and no rules
+    /// (paper, Algorithm 2 line 23).
+    pub fn from_controller(responder: NodeId, neighbors: Vec<NodeId>, echo_tag: Tag) -> Self {
+        QueryReply {
+            responder,
+            neighbors,
+            managers: Vec::new(),
+            rules: Vec::new(),
+            echo_tag,
+        }
+    }
+
+    /// Approximate encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        16 + self.neighbors.len() * 4
+            + self.managers.len() * 4
+            + self.rules.len() * Rule::WIRE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample_rule() -> Rule {
+        Rule {
+            cid: n(0),
+            sid: n(3),
+            src: Some(n(0)),
+            dst: n(4),
+            prt: 1,
+            fwd: n(4),
+            tag: Tag::new(0, 1),
+        }
+    }
+
+    #[test]
+    fn batch_query_tag_finds_trailing_query() {
+        let batch = CommandBatch::new(
+            n(0),
+            vec![
+                SwitchCommand::NewRound { tag: Tag::new(0, 5) },
+                SwitchCommand::AddManager { controller: n(0) },
+                SwitchCommand::Query { tag: Tag::new(0, 5) },
+            ],
+        );
+        assert_eq!(batch.query_tag(), Some(Tag::new(0, 5)));
+        let no_query = CommandBatch::new(n(0), vec![SwitchCommand::AddManager { controller: n(0) }]);
+        assert_eq!(no_query.query_tag(), None);
+    }
+
+    #[test]
+    fn wire_sizes_grow_with_content() {
+        let small = SwitchCommand::DelManager { controller: n(1) };
+        let update = SwitchCommand::UpdateRules {
+            rules: vec![sample_rule(); 10],
+            keep_tags: vec![Tag::new(0, 1)],
+        };
+        assert!(update.wire_size() > small.wire_size());
+        let batch = CommandBatch::new(n(0), vec![small, update]);
+        assert!(batch.wire_size() > 8);
+
+        let reply = QueryReply {
+            responder: n(3),
+            neighbors: vec![n(1), n(2)],
+            managers: vec![n(0)],
+            rules: vec![sample_rule(); 5],
+            echo_tag: Tag::new(0, 1),
+        };
+        let empty_reply = QueryReply::from_controller(n(1), vec![n(2)], Tag::new(0, 1));
+        assert!(reply.wire_size() > empty_reply.wire_size());
+    }
+
+    #[test]
+    fn controller_reply_has_no_configuration() {
+        let r = QueryReply::from_controller(n(1), vec![n(5), n(6)], Tag::new(1, 3));
+        assert_eq!(r.responder, n(1));
+        assert!(r.managers.is_empty());
+        assert!(r.rules.is_empty());
+        assert_eq!(r.echo_tag, Tag::new(1, 3));
+        assert_eq!(r.neighbors, vec![n(5), n(6)]);
+    }
+}

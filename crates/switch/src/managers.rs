@@ -1,0 +1,181 @@
+//! The bounded manager set of an abstract switch.
+//!
+//! Every switch keeps the set `manager(j)` of controllers that are allowed to manage it
+//! (paper, Section 2.1). The set is bounded by `maxManagers`; when a new manager would
+//! exceed the bound, the least-recently refreshed manager is evicted (Section 2.1.1),
+//! which is what eventually flushes managers left behind by a transient fault.
+
+use sdn_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Bounded, recency-ordered manager set.
+///
+/// # Example
+///
+/// ```
+/// use sdn_switch::managers::ManagerSet;
+/// use sdn_topology::NodeId;
+/// let mut m = ManagerSet::new(2);
+/// m.add(NodeId::new(0));
+/// m.add(NodeId::new(1));
+/// m.add(NodeId::new(2)); // evicts the least recently refreshed (0)
+/// assert!(!m.contains(NodeId::new(0)));
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManagerSet {
+    max_managers: usize,
+    /// Most recently refreshed managers are at the back.
+    managers: Vec<NodeId>,
+    evictions: u64,
+}
+
+impl ManagerSet {
+    /// Creates an empty manager set with capacity `max_managers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_managers == 0`.
+    pub fn new(max_managers: usize) -> Self {
+        assert!(max_managers > 0, "a switch needs room for at least one manager");
+        ManagerSet {
+            max_managers,
+            managers: Vec::new(),
+            evictions: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.max_managers
+    }
+
+    /// Number of managers currently registered.
+    pub fn len(&self) -> usize {
+        self.managers.len()
+    }
+
+    /// Returns `true` when no manager is registered (an *unmanaged* switch).
+    pub fn is_empty(&self) -> bool {
+        self.managers.is_empty()
+    }
+
+    /// Number of managers evicted because the set was full.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Returns `true` when `controller` currently manages this switch.
+    pub fn contains(&self, controller: NodeId) -> bool {
+        self.managers.contains(&controller)
+    }
+
+    /// Adds (or refreshes) a manager; evicts the least recently refreshed manager when
+    /// the set is full. Returns `true` if an eviction happened.
+    pub fn add(&mut self, controller: NodeId) -> bool {
+        if let Some(pos) = self.managers.iter().position(|&m| m == controller) {
+            // Refresh: move to the most-recently-used position.
+            self.managers.remove(pos);
+            self.managers.push(controller);
+            return false;
+        }
+        let mut evicted = false;
+        if self.managers.len() >= self.max_managers {
+            self.managers.remove(0);
+            self.evictions += 1;
+            evicted = true;
+        }
+        self.managers.push(controller);
+        evicted
+    }
+
+    /// Removes a manager. Returns `true` if it was present.
+    pub fn remove(&mut self, controller: NodeId) -> bool {
+        match self.managers.iter().position(|&m| m == controller) {
+            Some(pos) => {
+                self.managers.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The managers in identifier order (the order reported in query replies).
+    pub fn to_sorted_vec(&self) -> Vec<NodeId> {
+        let mut out = self.managers.clone();
+        out.sort();
+        out
+    }
+
+    /// Iterates over managers in recency order (least recently refreshed first).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.managers.iter().copied()
+    }
+
+    /// Removes every manager (used to model factory-reset or corrupted switches).
+    pub fn clear(&mut self) {
+        self.managers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn add_remove_contains() {
+        let mut m = ManagerSet::new(4);
+        assert!(m.is_empty());
+        m.add(n(1));
+        m.add(n(2));
+        assert!(m.contains(n(1)));
+        assert!(!m.contains(n(3)));
+        assert!(m.remove(n(1)));
+        assert!(!m.remove(n(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.capacity(), 4);
+    }
+
+    #[test]
+    fn refresh_moves_to_back_and_protects_from_eviction() {
+        let mut m = ManagerSet::new(2);
+        m.add(n(1));
+        m.add(n(2));
+        // Refresh 1 so that 2 becomes the eviction victim.
+        assert!(!m.add(n(1)));
+        assert!(m.add(n(3)));
+        assert!(m.contains(n(1)));
+        assert!(!m.contains(n(2)));
+        assert_eq!(m.evictions(), 1);
+    }
+
+    #[test]
+    fn sorted_view_is_by_identifier() {
+        let mut m = ManagerSet::new(4);
+        m.add(n(5));
+        m.add(n(1));
+        m.add(n(3));
+        assert_eq!(m.to_sorted_vec(), vec![n(1), n(3), n(5)]);
+        // Recency order differs from identifier order.
+        let recency: Vec<_> = m.iter().collect();
+        assert_eq!(recency, vec![n(5), n(1), n(3)]);
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut m = ManagerSet::new(4);
+        m.add(n(1));
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one manager")]
+    fn zero_capacity_rejected() {
+        let _ = ManagerSet::new(0);
+    }
+}

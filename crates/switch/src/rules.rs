@@ -1,0 +1,338 @@
+//! Packet-forwarding rules and the bounded rule table of the abstract switch.
+//!
+//! A rule is the tuple `<cID, sID, src, dest, prt, fwd, tag>` of the paper (Figure 4):
+//! controller that installed it, switch that stores it, matched source and destination,
+//! priority, forwarding next hop, and the synchronization-round tag. The table is
+//! bounded by `maxRules` and evicts the least-recently-updated rules first, which is the
+//! memory-management behaviour the paper requires in Section 2.1.1.
+
+use sdn_tags::Tag;
+use sdn_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single match-action packet-forwarding rule.
+///
+/// The source match is optional: `None` is a wildcard (the paper explicitly allows
+/// wildcard matches, Section 2.1), which is what Renaissance's `myRules()` uses — a
+/// flow's forwarding decision only depends on the destination, so one wildcard rule per
+/// destination and priority level replaces a rule per (source, destination) pair and
+/// keeps the table within the paper's Lemma 1 bound.
+///
+/// # Example
+///
+/// ```
+/// use sdn_switch::rules::Rule;
+/// use sdn_tags::Tag;
+/// use sdn_topology::NodeId;
+/// let r = Rule {
+///     cid: NodeId::new(0),
+///     sid: NodeId::new(5),
+///     src: Some(NodeId::new(0)),
+///     dst: NodeId::new(9),
+///     prt: 3,
+///     fwd: NodeId::new(6),
+///     tag: Tag::new(0, 1),
+/// };
+/// assert!(r.matches(NodeId::new(0), NodeId::new(9)));
+/// assert!(!r.matches(NodeId::new(9), NodeId::new(0)));
+/// let wildcard = Rule { src: None, ..r };
+/// assert!(wildcard.matches(NodeId::new(7), NodeId::new(9)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rule {
+    /// The controller that installed the rule (`cID`).
+    pub cid: NodeId,
+    /// The switch that stores the rule (`sID`).
+    pub sid: NodeId,
+    /// Matched packet source field; `None` is a wildcard.
+    pub src: Option<NodeId>,
+    /// Matched packet destination field.
+    pub dst: NodeId,
+    /// Rule priority; larger values are matched first.
+    pub prt: u8,
+    /// The neighbor the packet is forwarded to when this rule applies.
+    pub fwd: NodeId,
+    /// The synchronization-round tag the rule was installed with.
+    pub tag: Tag,
+}
+
+impl Rule {
+    /// Approximate encoded size of one rule in bytes (used for message-size accounting,
+    /// cf. the paper's Lemma 3).
+    pub const WIRE_SIZE: usize = 24;
+
+    /// Returns `true` when the rule matches a packet with the given source and
+    /// destination header fields.
+    pub fn matches(&self, src: NodeId, dst: NodeId) -> bool {
+        self.src.map_or(true, |s| s == src) && self.dst == dst
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct StoredRule {
+    rule: Rule,
+    /// Monotonic freshness stamp; smaller means less recently updated.
+    stamp: u64,
+}
+
+/// Key identifying a rule slot: one slot per (destination, source, priority, installer).
+type RuleKey = (NodeId, Option<NodeId>, u8, NodeId);
+
+fn key_of(rule: &Rule) -> RuleKey {
+    (rule.dst, rule.src, rule.prt, rule.cid)
+}
+
+/// The bounded rule table of an abstract switch.
+///
+/// Capacity is `max_rules`; inserting into a full table evicts the least-recently
+/// updated rule (the paper's clogged-memory policy). Re-installing an existing rule
+/// refreshes its stamp, so the rules of live controllers — which refresh every round —
+/// are never evicted in favour of stale ones.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleTable {
+    max_rules: usize,
+    rules: BTreeMap<RuleKey, StoredRule>,
+    next_stamp: u64,
+    evictions: u64,
+}
+
+impl RuleTable {
+    /// Creates an empty table with capacity `max_rules`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rules == 0`.
+    pub fn new(max_rules: usize) -> Self {
+        assert!(max_rules > 0, "a switch needs room for at least one rule");
+        RuleTable {
+            max_rules,
+            rules: BTreeMap::new(),
+            next_stamp: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.max_rules
+    }
+
+    /// Number of rules currently stored.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` when no rules are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of rules evicted due to a full table since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Inserts (or refreshes) a rule, evicting the least-recently-updated rule if the
+    /// table is full. Returns `true` if an eviction happened.
+    pub fn insert(&mut self, rule: Rule) -> bool {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let key = key_of(&rule);
+        let is_new = !self.rules.contains_key(&key);
+        let mut evicted = false;
+        if is_new && self.rules.len() >= self.max_rules {
+            // Evict the least recently updated rule.
+            if let Some((&victim, _)) = self.rules.iter().min_by_key(|(_, s)| s.stamp) {
+                self.rules.remove(&victim);
+                self.evictions += 1;
+                evicted = true;
+            }
+        }
+        self.rules.insert(key, StoredRule { rule, stamp });
+        evicted
+    }
+
+    /// Removes every rule installed by `controller`. Returns how many were removed.
+    pub fn delete_controller(&mut self, controller: NodeId) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|_, s| s.rule.cid != controller);
+        before - self.rules.len()
+    }
+
+    /// Replaces the rules of `controller`: existing rules of that controller whose tag
+    /// is *not* in `keep_tags` are removed, then `new_rules` are inserted.
+    ///
+    /// This implements the `updateRule` command; plain Algorithm 2 passes an empty
+    /// `keep_tags` (replace everything), while the Section 6.2 evaluation variant keeps
+    /// the previous round's tag alive for one extra round.
+    ///
+    /// Returns the number of rules removed.
+    pub fn replace_controller_rules(
+        &mut self,
+        controller: NodeId,
+        new_rules: impl IntoIterator<Item = Rule>,
+        keep_tags: &[Tag],
+    ) -> usize {
+        let before = self.rules.len();
+        self.rules
+            .retain(|_, s| s.rule.cid != controller || keep_tags.contains(&s.rule.tag));
+        let removed = before - self.rules.len();
+        for rule in new_rules {
+            self.insert(rule);
+        }
+        removed
+    }
+
+    /// All stored rules, in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> + '_ {
+        self.rules.values().map(|s| &s.rule)
+    }
+
+    /// All rules installed by `controller`.
+    pub fn rules_of(&self, controller: NodeId) -> Vec<Rule> {
+        self.iter().filter(|r| r.cid == controller).copied().collect()
+    }
+
+    /// The set of controllers that currently have at least one rule in the table.
+    pub fn controllers_with_rules(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.iter().map(|r| r.cid).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The rules matching a packet `(src, dst)`, sorted by decreasing priority.
+    pub fn matching(&self, src: NodeId, dst: NodeId) -> Vec<Rule> {
+        let lo: RuleKey = (dst, None, 0, NodeId::new(0));
+        let hi: RuleKey = (dst, Some(NodeId::new(u32::MAX)), u8::MAX, NodeId::new(u32::MAX));
+        let mut out: Vec<Rule> = self
+            .rules
+            .range(lo..=hi)
+            .map(|(_, s)| s.rule)
+            .filter(|r| r.matches(src, dst))
+            .collect();
+        out.sort_by(|a, b| b.prt.cmp(&a.prt).then(a.fwd.cmp(&b.fwd)));
+        out
+    }
+
+    /// Removes every rule (used by tests that model a factory-reset switch).
+    pub fn clear(&mut self) {
+        self.rules.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn rule(cid: u32, src: u32, dst: u32, prt: u8, fwd: u32, tag: u64) -> Rule {
+        Rule {
+            cid: n(cid),
+            sid: n(99),
+            src: Some(n(src)),
+            dst: n(dst),
+            prt,
+            fwd: n(fwd),
+            tag: Tag::new(cid, tag),
+        }
+    }
+
+    #[test]
+    fn insert_and_match_by_priority() {
+        let mut t = RuleTable::new(100);
+        t.insert(rule(0, 0, 9, 1, 5, 1));
+        t.insert(rule(0, 0, 9, 3, 6, 1));
+        t.insert(rule(0, 0, 9, 2, 7, 1));
+        t.insert(rule(0, 1, 9, 7, 8, 1)); // different source, must not match
+        let m = t.matching(n(0), n(9));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].prt, 3);
+        assert_eq!(m[1].prt, 2);
+        assert_eq!(m[2].prt, 1);
+        assert!(t.matching(n(2), n(9)).is_empty());
+    }
+
+    #[test]
+    fn reinserting_same_slot_does_not_grow_table() {
+        let mut t = RuleTable::new(10);
+        t.insert(rule(0, 0, 9, 1, 5, 1));
+        t.insert(rule(0, 0, 9, 1, 6, 2)); // same key, new fwd/tag
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.matching(n(0), n(9))[0].fwd, n(6));
+    }
+
+    #[test]
+    fn full_table_evicts_least_recently_updated() {
+        let mut t = RuleTable::new(2);
+        t.insert(rule(0, 0, 1, 1, 5, 1));
+        t.insert(rule(0, 0, 2, 1, 5, 1));
+        // Refresh the first rule so the second becomes the LRU victim.
+        t.insert(rule(0, 0, 1, 1, 5, 2));
+        let evicted = t.insert(rule(0, 0, 3, 1, 5, 1));
+        assert!(evicted);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evictions(), 1);
+        assert!(t.matching(n(0), n(2)).is_empty(), "LRU rule evicted");
+        assert!(!t.matching(n(0), n(1)).is_empty(), "refreshed rule kept");
+    }
+
+    #[test]
+    fn delete_controller_removes_only_its_rules() {
+        let mut t = RuleTable::new(10);
+        t.insert(rule(0, 0, 1, 1, 5, 1));
+        t.insert(rule(1, 1, 2, 1, 5, 1));
+        t.insert(rule(0, 0, 2, 1, 5, 1));
+        assert_eq!(t.delete_controller(n(0)), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.controllers_with_rules(), vec![n(1)]);
+        assert_eq!(t.delete_controller(n(0)), 0);
+    }
+
+    #[test]
+    fn replace_controller_rules_respects_keep_tags() {
+        let mut t = RuleTable::new(10);
+        t.insert(rule(0, 0, 1, 1, 5, 1)); // tag 1
+        t.insert(rule(0, 0, 2, 1, 5, 2)); // tag 2
+        t.insert(rule(1, 1, 2, 1, 5, 7)); // other controller
+        let removed = t.replace_controller_rules(
+            n(0),
+            [rule(0, 0, 3, 1, 5, 3)],
+            &[Tag::new(0, 2)],
+        );
+        assert_eq!(removed, 1, "only the tag-1 rule is dropped");
+        let of0 = t.rules_of(n(0));
+        assert_eq!(of0.len(), 2);
+        assert!(of0.iter().any(|r| r.tag == Tag::new(0, 2)));
+        assert!(of0.iter().any(|r| r.tag == Tag::new(0, 3)));
+        assert_eq!(t.rules_of(n(1)).len(), 1);
+    }
+
+    #[test]
+    fn rules_of_and_clear() {
+        let mut t = RuleTable::new(10);
+        t.insert(rule(2, 0, 1, 1, 5, 1));
+        assert_eq!(t.rules_of(n(2)).len(), 1);
+        assert_eq!(t.capacity(), 10);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rule_matching_predicate() {
+        let r = rule(0, 3, 4, 1, 5, 1);
+        assert!(r.matches(n(3), n(4)));
+        assert!(!r.matches(n(4), n(3)));
+        assert!(Rule::WIRE_SIZE > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rule")]
+    fn zero_capacity_rejected() {
+        let _ = RuleTable::new(0);
+    }
+}

@@ -1,0 +1,500 @@
+//! Topology generators for the paper's evaluation networks and for tests.
+//!
+//! The paper evaluates Renaissance on five networks (Table 8):
+//!
+//! | network | switches | diameter |
+//! |---------|----------|----------|
+//! | B4      | 12       | 5        |
+//! | Clos    | 20       | 4        |
+//! | Telstra | 57       | 8        |
+//! | AT&T    | 172      | 10       |
+//! | EBONE   | 208      | 11       |
+//!
+//! B4 is Google's inter-datacenter WAN, Clos is a 3-stage datacenter fabric, and the
+//! last three are Rocketfuel-measured ISP topologies. We do not have the Rocketfuel
+//! data sets, so [`isp_like`] generates synthetic ISP-style networks that match the
+//! published node count and diameter *exactly* and are 2-edge-connected (so `kappa = 1`
+//! flows always exist), which is all the evaluation relies on. The Clos network is a
+//! real k=4 fat-tree; B4 uses the same ISP-style generator at B4's published scale.
+//!
+//! Controllers are always attached *in-band*: each controller gets links to two
+//! switches that are at distance two of each other, which preserves the switch-graph
+//! diameter reported in Table 8 and keeps the whole graph 2-edge-connected.
+
+use crate::graph::Graph;
+use crate::ids::{NodeId, NodeKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A generated network together with its controller/switch split and metadata.
+///
+/// # Example
+///
+/// ```
+/// use sdn_topology::builders;
+/// let net = builders::clos(3);
+/// assert_eq!(net.controllers.len(), 3);
+/// assert_eq!(net.switches.len(), 20);
+/// assert_eq!(net.expected_diameter, 4);
+/// assert!(net.graph.node_count() == 23);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NamedTopology {
+    /// Human-readable network name ("B4", "Clos", "Telstra", ...).
+    pub name: String,
+    /// The full communication graph `Gc` including controllers.
+    pub graph: Graph,
+    /// The switch-only graph (what Table 8 describes).
+    pub switch_graph: Graph,
+    /// Controller identifiers (`0..n_controllers`).
+    pub controllers: Vec<NodeId>,
+    /// Switch identifiers (`n_controllers..n_controllers + n_switches`).
+    pub switches: Vec<NodeId>,
+    /// The switch-graph diameter the paper reports for this network.
+    pub expected_diameter: u32,
+}
+
+impl NamedTopology {
+    /// Number of controllers `nC`.
+    pub fn controller_count(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Number of switches `nS`.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Total number of nodes `N = nC + nS`.
+    pub fn node_count(&self) -> usize {
+        self.controllers.len() + self.switches.len()
+    }
+
+    /// The kind of a node in this topology.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        node.kind(self.controllers.len())
+    }
+}
+
+/// The five networks of the paper's Table 8, in the paper's order.
+pub const PAPER_NETWORK_NAMES: [&str; 5] = ["B4", "Clos", "Telstra", "AT&T", "EBONE"];
+
+/// Builds one of the paper's networks by name with the given number of controllers.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`PAPER_NETWORK_NAMES`] (case-insensitive).
+pub fn by_name(name: &str, n_controllers: usize) -> NamedTopology {
+    match name.to_ascii_lowercase().as_str() {
+        "b4" => b4(n_controllers),
+        "clos" => clos(n_controllers),
+        "telstra" => telstra(n_controllers),
+        "at&t" | "att" => att(n_controllers),
+        "ebone" => ebone(n_controllers),
+        other => panic!("unknown paper network: {other}"),
+    }
+}
+
+/// All five paper networks with the given number of controllers, in Table 8 order.
+pub fn paper_networks(n_controllers: usize) -> Vec<NamedTopology> {
+    PAPER_NETWORK_NAMES
+        .iter()
+        .map(|name| by_name(name, n_controllers))
+        .collect()
+}
+
+/// Google's B4 inter-datacenter WAN: 12 switches, diameter 5 (Table 8).
+pub fn b4(n_controllers: usize) -> NamedTopology {
+    isp_named("B4", 12, 5, n_controllers)
+}
+
+/// A k=4 fat-tree Clos fabric: 20 switches (4 core, 8 aggregation, 8 edge), diameter 4.
+pub fn clos(n_controllers: usize) -> NamedTopology {
+    let n_core = 4usize;
+    let n_pods = 4usize;
+    let agg_per_pod = 2usize;
+    let edge_per_pod = 2usize;
+    let n_switches = n_core + n_pods * (agg_per_pod + edge_per_pod);
+    debug_assert_eq!(n_switches, 20);
+
+    let sw = |i: usize| NodeId::new((n_controllers + i) as u32);
+    let mut g = Graph::new();
+    // Switch index layout: [0..4) core, then per pod: 2 agg, 2 edge.
+    let core: Vec<usize> = (0..n_core).collect();
+    let mut pods = Vec::new();
+    let mut next = n_core;
+    for _ in 0..n_pods {
+        let aggs: Vec<usize> = (next..next + agg_per_pod).collect();
+        next += agg_per_pod;
+        let edges: Vec<usize> = (next..next + edge_per_pod).collect();
+        next += edge_per_pod;
+        pods.push((aggs, edges));
+    }
+    for (aggs, edges) in &pods {
+        // Full bipartite agg <-> edge inside the pod.
+        for &a in aggs {
+            for &e in edges {
+                g.add_link(sw(a), sw(e));
+            }
+        }
+        // Each aggregation switch connects to half of the core switches.
+        for (ai, &a) in aggs.iter().enumerate() {
+            for (ci, &c) in core.iter().enumerate() {
+                if ci % agg_per_pod == ai {
+                    g.add_link(sw(a), sw(c));
+                }
+            }
+        }
+    }
+    // Attach controllers: controller i connects to an edge switch and one of its
+    // aggregation switches (adjacent pair), pods chosen round-robin.
+    let switch_graph = g.clone();
+    let mut full = g;
+    let controllers: Vec<NodeId> = (0..n_controllers).map(|i| NodeId::new(i as u32)).collect();
+    for (i, &c) in controllers.iter().enumerate() {
+        let (aggs, edges) = &pods[i % n_pods];
+        full.add_link(c, sw(edges[0]));
+        full.add_link(c, sw(aggs[0]));
+    }
+    let switches: Vec<NodeId> = (0..n_switches).map(|i| sw(i)).collect();
+    NamedTopology {
+        name: "Clos".to_string(),
+        graph: full,
+        switch_graph,
+        controllers,
+        switches,
+        expected_diameter: 4,
+    }
+}
+
+/// Rocketfuel Telstra (AS1221) stand-in: 57 switches, diameter 8.
+pub fn telstra(n_controllers: usize) -> NamedTopology {
+    isp_named("Telstra", 57, 8, n_controllers)
+}
+
+/// Rocketfuel AT&T (AS7018) stand-in: 172 switches, diameter 10.
+pub fn att(n_controllers: usize) -> NamedTopology {
+    isp_named("AT&T", 172, 10, n_controllers)
+}
+
+/// Rocketfuel EBONE (AS1755) stand-in: 208 switches, diameter 11.
+pub fn ebone(n_controllers: usize) -> NamedTopology {
+    isp_named("EBONE", 208, 11, n_controllers)
+}
+
+fn isp_named(name: &str, n_switches: usize, diameter: u32, n_controllers: usize) -> NamedTopology {
+    let mut net = isp_like(n_switches, diameter, n_controllers);
+    net.name = name.to_string();
+    net
+}
+
+/// Synthetic ISP-style topology with an exact diameter and 2-edge-connectivity.
+///
+/// The construction is a backbone ring of `2 * diameter` switches (which has diameter
+/// exactly `diameter`) plus access switches, each attached to a pair of backbone
+/// switches at ring-distance two. This keeps all pairwise distances at most `diameter`
+/// while never shrinking the backbone distances, so the diameter is exact. Every node
+/// has degree at least two, hence the graph is 2-edge-connected.
+///
+/// # Panics
+///
+/// Panics if `n_switches < 2 * diameter` or `diameter < 2`.
+pub fn isp_like(n_switches: usize, diameter: u32, n_controllers: usize) -> NamedTopology {
+    assert!(diameter >= 2, "isp_like needs diameter >= 2");
+    let ring_len = 2 * diameter as usize;
+    assert!(
+        n_switches >= ring_len,
+        "isp_like needs at least 2*diameter switches ({} < {})",
+        n_switches,
+        ring_len
+    );
+    let sw = |i: usize| NodeId::new((n_controllers + i) as u32);
+    let mut g = Graph::new();
+    // Backbone ring: switches 0..ring_len.
+    for i in 0..ring_len {
+        g.add_link(sw(i), sw((i + 1) % ring_len));
+    }
+    // Access switches: each attaches to backbone nodes (a, a+2) — distance two apart —
+    // spread round-robin around the ring.
+    for (j, i) in (ring_len..n_switches).enumerate() {
+        let a = (j * 2) % ring_len;
+        g.add_link(sw(i), sw(a));
+        g.add_link(sw(i), sw((a + 2) % ring_len));
+    }
+    let switch_graph = g.clone();
+    // Controllers: attach to backbone nodes (a, a+2), spread evenly around the ring.
+    let mut full = g;
+    let controllers: Vec<NodeId> = (0..n_controllers).map(|i| NodeId::new(i as u32)).collect();
+    for (i, &c) in controllers.iter().enumerate() {
+        let a = (i * ring_len / n_controllers.max(1)) % ring_len;
+        full.add_link(c, sw(a));
+        full.add_link(c, sw((a + 2) % ring_len));
+    }
+    let switches: Vec<NodeId> = (0..n_switches).map(|i| sw(i)).collect();
+    NamedTopology {
+        name: format!("ISP-{n_switches}-{diameter}"),
+        graph: full,
+        switch_graph,
+        controllers,
+        switches,
+        expected_diameter: diameter,
+    }
+}
+
+/// A ring of `n_switches` switches with controllers attached — the smallest useful
+/// 2-edge-connected test topology.
+///
+/// # Panics
+///
+/// Panics if `n_switches < 3`.
+pub fn ring(n_switches: usize, n_controllers: usize) -> NamedTopology {
+    assert!(n_switches >= 3, "ring needs at least 3 switches");
+    let sw = |i: usize| NodeId::new((n_controllers + i) as u32);
+    let mut g = Graph::new();
+    for i in 0..n_switches {
+        g.add_link(sw(i), sw((i + 1) % n_switches));
+    }
+    let switch_graph = g.clone();
+    let mut full = g;
+    let controllers: Vec<NodeId> = (0..n_controllers).map(|i| NodeId::new(i as u32)).collect();
+    for (i, &c) in controllers.iter().enumerate() {
+        let a = (i * n_switches / n_controllers.max(1)) % n_switches;
+        full.add_link(c, sw(a));
+        full.add_link(c, sw((a + 1) % n_switches));
+    }
+    let switches: Vec<NodeId> = (0..n_switches).map(|i| sw(i)).collect();
+    NamedTopology {
+        name: format!("Ring-{n_switches}"),
+        graph: full,
+        switch_graph,
+        controllers,
+        switches,
+        expected_diameter: (n_switches / 2) as u32,
+    }
+}
+
+/// A single line of switches (1-edge-connected) — useful for testing `kappa = 0`
+/// behaviour and disconnection scenarios.
+///
+/// # Panics
+///
+/// Panics if `n_switches == 0`.
+pub fn line(n_switches: usize, n_controllers: usize) -> NamedTopology {
+    assert!(n_switches >= 1, "line needs at least one switch");
+    let sw = |i: usize| NodeId::new((n_controllers + i) as u32);
+    let mut g = Graph::new();
+    g.add_node(sw(0));
+    for i in 1..n_switches {
+        g.add_link(sw(i - 1), sw(i));
+    }
+    let switch_graph = g.clone();
+    let mut full = g;
+    let controllers: Vec<NodeId> = (0..n_controllers).map(|i| NodeId::new(i as u32)).collect();
+    for (i, &c) in controllers.iter().enumerate() {
+        let a = (i * n_switches / n_controllers.max(1)) % n_switches;
+        full.add_link(c, sw(a));
+    }
+    let switches: Vec<NodeId> = (0..n_switches).map(|i| sw(i)).collect();
+    NamedTopology {
+        name: format!("Line-{n_switches}"),
+        graph: full,
+        switch_graph,
+        controllers,
+        switches,
+        expected_diameter: n_switches.saturating_sub(1) as u32,
+    }
+}
+
+/// A random connected 2-edge-connected topology, reproducible from `seed`.
+///
+/// Starts from a ring (guaranteeing 2-edge-connectivity) and adds `extra_links` random
+/// chords. Used by property tests to exercise the algorithms on irregular graphs.
+///
+/// # Panics
+///
+/// Panics if `n_switches < 3`.
+pub fn random_2connected(
+    n_switches: usize,
+    extra_links: usize,
+    n_controllers: usize,
+    seed: u64,
+) -> NamedTopology {
+    assert!(n_switches >= 3, "random_2connected needs at least 3 switches");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sw = |i: usize| NodeId::new((n_controllers + i) as u32);
+    // Random ring: permute the switches so the ring order is not the identifier order.
+    let mut order: Vec<usize> = (0..n_switches).collect();
+    order.shuffle(&mut rng);
+    let mut g = Graph::new();
+    for i in 0..n_switches {
+        g.add_link(sw(order[i]), sw(order[(i + 1) % n_switches]));
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra_links && attempts < extra_links * 20 + 100 {
+        attempts += 1;
+        let a = rng.gen_range(0..n_switches);
+        let b = rng.gen_range(0..n_switches);
+        if a != b && !g.has_link(sw(a), sw(b)) {
+            g.add_link(sw(a), sw(b));
+            added += 1;
+        }
+    }
+    let switch_graph = g.clone();
+    let mut full = g;
+    let controllers: Vec<NodeId> = (0..n_controllers).map(|i| NodeId::new(i as u32)).collect();
+    for &c in &controllers {
+        let a = rng.gen_range(0..n_switches);
+        let mut b = rng.gen_range(0..n_switches);
+        while b == a {
+            b = rng.gen_range(0..n_switches);
+        }
+        full.add_link(c, sw(a));
+        full.add_link(c, sw(b));
+    }
+    let switches: Vec<NodeId> = (0..n_switches).map(|i| sw(i)).collect();
+    let expected_diameter = crate::paths::diameter(&switch_graph);
+    NamedTopology {
+        name: format!("Random-{n_switches}-{seed}"),
+        graph: full,
+        switch_graph,
+        controllers,
+        switches,
+        expected_diameter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity;
+    use crate::paths;
+
+    #[test]
+    fn table8_node_counts_and_diameters() {
+        // Regenerates the paper's Table 8 and checks it exactly.
+        let expected = [("B4", 12, 5), ("Clos", 20, 4), ("Telstra", 57, 8), ("AT&T", 172, 10), ("EBONE", 208, 11)];
+        for (name, nodes, diameter) in expected {
+            let net = by_name(name, 3);
+            assert_eq!(net.switch_count(), nodes, "{name} switch count");
+            assert_eq!(
+                paths::diameter(&net.switch_graph),
+                diameter,
+                "{name} diameter"
+            );
+            assert_eq!(net.expected_diameter, diameter);
+        }
+    }
+
+    #[test]
+    fn paper_networks_are_two_edge_connected() {
+        for net in paper_networks(3) {
+            assert!(
+                connectivity::supports_kappa(&net.graph, 1),
+                "{} must be 2-edge-connected including controllers",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn controllers_and_switches_partition_ids() {
+        let net = telstra(4);
+        assert_eq!(net.controller_count(), 4);
+        assert_eq!(net.switch_count(), 57);
+        assert_eq!(net.node_count(), 61);
+        assert_eq!(net.graph.node_count(), 61);
+        for (i, c) in net.controllers.iter().enumerate() {
+            assert_eq!(c.index() as usize, i);
+            assert_eq!(net.kind(*c), NodeKind::Controller);
+        }
+        for s in &net.switches {
+            assert_eq!(net.kind(*s), NodeKind::Switch);
+        }
+    }
+
+    #[test]
+    fn clos_is_a_fat_tree() {
+        let net = clos(1);
+        assert_eq!(net.switch_count(), 20);
+        // Edge and aggregation switches have degree >= 2; cores have degree 4.
+        for s in &net.switches {
+            assert!(net.switch_graph.degree(*s) >= 2);
+        }
+        assert_eq!(paths::diameter(&net.switch_graph), 4);
+    }
+
+    #[test]
+    fn by_name_accepts_all_paper_names() {
+        for name in PAPER_NETWORK_NAMES {
+            let net = by_name(name, 2);
+            assert_eq!(net.controller_count(), 2);
+        }
+        // case-insensitive and the AT&T alias
+        assert_eq!(by_name("att", 1).switch_count(), 172);
+        assert_eq!(by_name("ebone", 1).switch_count(), 208);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown paper network")]
+    fn by_name_rejects_unknown() {
+        let _ = by_name("arpanet", 1);
+    }
+
+    #[test]
+    fn isp_like_diameter_is_exact() {
+        for (n, d) in [(20, 5), (40, 7), (100, 9)] {
+            let net = isp_like(n, d, 2);
+            assert_eq!(paths::diameter(&net.switch_graph), d, "n={n} d={d}");
+            assert!(connectivity::supports_kappa(&net.switch_graph, 1));
+        }
+    }
+
+    #[test]
+    fn controllers_stay_close_to_backbone() {
+        // Attaching controllers must not blow up the full-graph diameter by more than 2.
+        for net in paper_networks(7) {
+            let full_d = paths::diameter(&net.graph);
+            assert!(
+                full_d <= net.expected_diameter + 2,
+                "{}: full diameter {} vs switch diameter {}",
+                net.name,
+                full_d,
+                net.expected_diameter
+            );
+        }
+    }
+
+    #[test]
+    fn ring_and_line_shapes() {
+        let r = ring(6, 2);
+        assert_eq!(r.switch_count(), 6);
+        assert_eq!(paths::diameter(&r.switch_graph), 3);
+        assert!(connectivity::supports_kappa(&r.switch_graph, 1));
+
+        let l = line(5, 1);
+        assert_eq!(l.switch_count(), 5);
+        assert_eq!(paths::diameter(&l.switch_graph), 4);
+        assert_eq!(connectivity::edge_connectivity(&l.switch_graph), 1);
+    }
+
+    #[test]
+    fn random_topology_is_reproducible_and_robust() {
+        let a = random_2connected(30, 10, 3, 42);
+        let b = random_2connected(30, 10, 3, 42);
+        assert_eq!(a.graph, b.graph);
+        assert!(connectivity::supports_kappa(&a.graph, 1));
+        let c = random_2connected(30, 10, 3, 43);
+        assert_ne!(a.graph, c.graph, "different seeds should differ");
+    }
+
+    #[test]
+    fn zero_controllers_is_allowed_by_builders() {
+        // The degenerate case is useful for pure data-plane tests.
+        let net = isp_like(24, 4, 0);
+        assert_eq!(net.controller_count(), 0);
+        assert_eq!(net.graph.node_count(), 24);
+    }
+}

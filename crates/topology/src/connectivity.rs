@@ -1,0 +1,195 @@
+//! Edge connectivity `lambda(Gc)` and related checks.
+//!
+//! Renaissance's fault model assumes the connected topology `Gc` stays
+//! `(kappa + 1)`-edge-connected throughout recovery (paper, Section 3.4.2). The bench
+//! harness and the property tests use this module to (a) validate generated topologies
+//! and (b) choose the largest `kappa` a topology can support.
+//!
+//! Edge connectivity is computed with unit-capacity max-flow (Edmonds–Karp) between a
+//! fixed node and every other node, which is exact for undirected graphs.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::paths;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Maximum number of edge-disjoint paths between `source` and `target`.
+///
+/// Returns 0 when either endpoint is missing or the nodes are disconnected, and
+/// `usize::MAX` is never returned (the value is bounded by the minimum degree).
+///
+/// # Example
+///
+/// ```
+/// use sdn_topology::{Graph, NodeId, connectivity};
+/// let g = Graph::from_links([
+///     (NodeId::new(0), NodeId::new(1)),
+///     (NodeId::new(1), NodeId::new(2)),
+///     (NodeId::new(2), NodeId::new(0)),
+/// ]);
+/// assert_eq!(connectivity::edge_disjoint_paths(&g, NodeId::new(0), NodeId::new(2)), 2);
+/// ```
+pub fn edge_disjoint_paths(graph: &Graph, source: NodeId, target: NodeId) -> usize {
+    if source == target {
+        return usize::from(graph.contains_node(source));
+    }
+    if !graph.contains_node(source) || !graph.contains_node(target) {
+        return 0;
+    }
+    // Residual capacities over directed arcs; an undirected edge becomes two arcs of
+    // capacity 1 each, which is the standard reduction for undirected edge connectivity.
+    let mut capacity: BTreeMap<(NodeId, NodeId), i64> = BTreeMap::new();
+    for link in graph.links() {
+        capacity.insert((link.a, link.b), 1);
+        capacity.insert((link.b, link.a), 1);
+    }
+    let mut flow = 0usize;
+    loop {
+        // BFS over arcs with residual capacity.
+        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        parent.insert(source, source);
+        while let Some(u) = queue.pop_front() {
+            if u == target {
+                break;
+            }
+            for v in graph.neighbors(u) {
+                if !parent.contains_key(&v) && capacity.get(&(u, v)).copied().unwrap_or(0) > 0 {
+                    parent.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !parent.contains_key(&target) {
+            break;
+        }
+        // Augment along the path by one unit.
+        let mut v = target;
+        while v != source {
+            let u = parent[&v];
+            *capacity.entry((u, v)).or_insert(0) -= 1;
+            *capacity.entry((v, u)).or_insert(0) += 1;
+            v = u;
+        }
+        flow += 1;
+    }
+    flow
+}
+
+/// Computes the edge connectivity `lambda(G)`: the minimum number of link removals that
+/// can disconnect the graph. Returns 0 for graphs with fewer than 2 nodes or graphs that
+/// are already disconnected.
+///
+/// Uses the classic reduction: `lambda(G) = min over v != v0 of maxflow(v0, v)`.
+pub fn edge_connectivity(graph: &Graph) -> usize {
+    let nodes: Vec<NodeId> = graph.nodes().collect();
+    if nodes.len() < 2 {
+        return 0;
+    }
+    if !paths::is_connected(graph) {
+        return 0;
+    }
+    let v0 = nodes[0];
+    nodes[1..]
+        .iter()
+        .map(|&v| edge_disjoint_paths(graph, v0, v))
+        .min()
+        .unwrap_or(0)
+}
+
+/// Returns `true` when the graph can tolerate `kappa` link failures without
+/// disconnecting, i.e. when it is `(kappa + 1)`-edge-connected.
+pub fn supports_kappa(graph: &Graph, kappa: usize) -> bool {
+    edge_connectivity(graph) >= kappa + 1
+}
+
+/// Largest `kappa` such that the graph is `(kappa + 1)`-edge-connected
+/// (0 for trees and disconnected graphs).
+pub fn max_supported_kappa(graph: &Graph) -> usize {
+    edge_connectivity(graph).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn cycle(k: u32) -> Graph {
+        Graph::from_links((0..k).map(|i| (n(i), n((i + 1) % k))))
+    }
+
+    fn complete(k: u32) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                g.add_link(n(i), n(j));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn path_graph_has_connectivity_one() {
+        let g = Graph::from_links([(n(0), n(1)), (n(1), n(2))]);
+        assert_eq!(edge_connectivity(&g), 1);
+        assert!(supports_kappa(&g, 0));
+        assert!(!supports_kappa(&g, 1));
+        assert_eq!(max_supported_kappa(&g), 0);
+    }
+
+    #[test]
+    fn cycle_has_connectivity_two() {
+        let g = cycle(6);
+        assert_eq!(edge_connectivity(&g), 2);
+        assert!(supports_kappa(&g, 1));
+        assert!(!supports_kappa(&g, 2));
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        let g = complete(5);
+        assert_eq!(edge_connectivity(&g), 4);
+        assert_eq!(max_supported_kappa(&g), 3);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_connectivity() {
+        let mut g = cycle(3);
+        g.add_node(n(10));
+        assert_eq!(edge_connectivity(&g), 0);
+        assert!(!supports_kappa(&g, 0));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(edge_connectivity(&Graph::new()), 0);
+        let mut g = Graph::new();
+        g.add_node(n(0));
+        assert_eq!(edge_connectivity(&g), 0);
+        assert_eq!(edge_disjoint_paths(&g, n(0), n(0)), 1);
+        assert_eq!(edge_disjoint_paths(&g, n(0), n(1)), 0);
+    }
+
+    #[test]
+    fn disjoint_paths_on_two_parallel_routes() {
+        // 0-1-3 and 0-2-3: two edge-disjoint paths between 0 and 3.
+        let g = Graph::from_links([(n(0), n(1)), (n(1), n(3)), (n(0), n(2)), (n(2), n(3))]);
+        assert_eq!(edge_disjoint_paths(&g, n(0), n(3)), 2);
+        // Removing one middle edge drops it to 1.
+        let g2 = g.without_links(&[crate::ids::Link::new(n(1), n(3))]);
+        assert_eq!(edge_disjoint_paths(&g2, n(0), n(3)), 1);
+    }
+
+    #[test]
+    fn connectivity_matches_min_degree_bound() {
+        // lambda(G) <= min degree always.
+        let g = complete(4);
+        assert!(edge_connectivity(&g) <= g.min_degree());
+        let h = cycle(5);
+        assert!(edge_connectivity(&h) <= h.min_degree());
+    }
+}

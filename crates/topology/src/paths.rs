@@ -1,0 +1,268 @@
+//! Shortest-path machinery: BFS trees, "first shortest paths", distances and diameter.
+//!
+//! The paper (Section 5.4) defines the *first shortest path* between two nodes as the
+//! shortest path that, among all shortest paths, uses the neighbors with minimum
+//! identifiers. Because [`crate::Graph::neighbors`] iterates in ascending identifier
+//! order, a plain BFS that only keeps the *first* discovered parent computes exactly
+//! this path, which keeps every controller's routing decision deterministic and
+//! reproducible.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// The result of a breadth-first search from a single source.
+///
+/// Stores, for every reachable node, its hop distance from the source and its parent on
+/// the first shortest path.
+///
+/// # Example
+///
+/// ```
+/// use sdn_topology::{Graph, NodeId, paths::BfsTree};
+/// let g = Graph::from_links([
+///     (NodeId::new(0), NodeId::new(1)),
+///     (NodeId::new(1), NodeId::new(2)),
+/// ]);
+/// let tree = BfsTree::compute(&g, NodeId::new(0));
+/// assert_eq!(tree.distance(NodeId::new(2)), Some(2));
+/// assert_eq!(tree.path_to(NodeId::new(2)).unwrap(),
+///            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsTree {
+    source: NodeId,
+    distance: BTreeMap<NodeId, u32>,
+    parent: BTreeMap<NodeId, NodeId>,
+}
+
+impl BfsTree {
+    /// Runs a breadth-first search over `graph` starting at `source`.
+    ///
+    /// If `source` is not in the graph, the tree contains only the source itself at
+    /// distance 0 (mirroring a node that knows about itself but nothing else).
+    pub fn compute(graph: &Graph, source: NodeId) -> Self {
+        let mut distance = BTreeMap::new();
+        let mut parent = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        distance.insert(source, 0);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = distance[&u];
+            for v in graph.neighbors(u) {
+                if !distance.contains_key(&v) {
+                    distance.insert(v, du + 1);
+                    parent.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        BfsTree {
+            source,
+            distance,
+            parent,
+        }
+    }
+
+    /// The source node the tree was computed from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Hop distance from the source to `node`, or `None` if unreachable.
+    pub fn distance(&self, node: NodeId) -> Option<u32> {
+        self.distance.get(&node).copied()
+    }
+
+    /// Returns `true` when `node` is reachable from the source.
+    pub fn reaches(&self, node: NodeId) -> bool {
+        self.distance.contains_key(&node)
+    }
+
+    /// The parent of `node` on its first shortest path from the source.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent.get(&node).copied()
+    }
+
+    /// Iterates over all reachable nodes together with their distances.
+    pub fn reachable(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.distance.iter().map(|(&n, &d)| (n, d))
+    }
+
+    /// Number of reachable nodes, including the source.
+    pub fn reachable_count(&self) -> usize {
+        self.distance.len()
+    }
+
+    /// The largest distance of any reachable node (the source's eccentricity restricted
+    /// to its connected component).
+    pub fn eccentricity(&self) -> u32 {
+        self.distance.values().copied().max().unwrap_or(0)
+    }
+
+    /// Reconstructs the first shortest path from the source to `target`
+    /// (inclusive of both endpoints), or `None` if the target is unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if !self.distance.contains_key(&target) {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != self.source {
+            cur = *self.parent.get(&cur)?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The first hop from the source towards `target`, or `None` if the target is the
+    /// source itself or unreachable.
+    pub fn first_hop(&self, target: NodeId) -> Option<NodeId> {
+        let path = self.path_to(target)?;
+        path.get(1).copied()
+    }
+}
+
+/// Computes the first shortest path between `from` and `to`, or `None` when disconnected.
+pub fn first_shortest_path(graph: &Graph, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    BfsTree::compute(graph, from).path_to(to)
+}
+
+/// Computes the hop distance between `from` and `to`, or `None` when disconnected.
+pub fn distance(graph: &Graph, from: NodeId, to: NodeId) -> Option<u32> {
+    BfsTree::compute(graph, from).distance(to)
+}
+
+/// Computes the diameter of the graph: the largest finite pairwise distance.
+///
+/// Disconnected node pairs are ignored; an empty graph has diameter 0.
+pub fn diameter(graph: &Graph) -> u32 {
+    graph
+        .nodes()
+        .map(|n| BfsTree::compute(graph, n).eccentricity())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Returns a pair of nodes realizing the diameter, useful for placing the iperf hosts of
+/// the throughput experiments "at maximal distance from each other" (paper, Section 6.3).
+pub fn farthest_pair(graph: &Graph) -> Option<(NodeId, NodeId, u32)> {
+    let mut best: Option<(NodeId, NodeId, u32)> = None;
+    for n in graph.nodes() {
+        let tree = BfsTree::compute(graph, n);
+        for (m, d) in tree.reachable() {
+            if best.map(|(_, _, bd)| d > bd).unwrap_or(true) {
+                best = Some((n, m, d));
+            }
+        }
+    }
+    best
+}
+
+/// Returns `true` if every node can reach every other node.
+pub fn is_connected(graph: &Graph) -> bool {
+    match graph.nodes().next() {
+        None => true,
+        Some(start) => BfsTree::compute(graph, start).reachable_count() == graph.node_count(),
+    }
+}
+
+/// Returns the set of nodes reachable from `source` (including `source`), in order.
+pub fn reachable_set(graph: &Graph, source: NodeId) -> Vec<NodeId> {
+    BfsTree::compute(graph, source)
+        .reachable()
+        .map(|(n, _)| n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// 0-1-2-3 path plus a chord 0-3.
+    fn ring4() -> Graph {
+        Graph::from_links([(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(3), n(0))])
+    }
+
+    #[test]
+    fn bfs_distances_on_ring() {
+        let tree = BfsTree::compute(&ring4(), n(0));
+        assert_eq!(tree.distance(n(0)), Some(0));
+        assert_eq!(tree.distance(n(1)), Some(1));
+        assert_eq!(tree.distance(n(3)), Some(1));
+        assert_eq!(tree.distance(n(2)), Some(2));
+        assert_eq!(tree.eccentricity(), 2);
+        assert_eq!(tree.reachable_count(), 4);
+        assert!(tree.reaches(n(2)));
+    }
+
+    #[test]
+    fn first_shortest_path_uses_lowest_index_neighbors() {
+        // Two shortest paths 0->3: 0-1-3 and 0-2-3. The "first" one goes through 1.
+        let g = Graph::from_links([(n(0), n(1)), (n(0), n(2)), (n(1), n(3)), (n(2), n(3))]);
+        let path = first_shortest_path(&g, n(0), n(3)).unwrap();
+        assert_eq!(path, vec![n(0), n(1), n(3)]);
+        let tree = BfsTree::compute(&g, n(0));
+        assert_eq!(tree.first_hop(n(3)), Some(n(1)));
+        assert_eq!(tree.first_hop(n(0)), None);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_path() {
+        let mut g = ring4();
+        g.add_node(n(9));
+        let tree = BfsTree::compute(&g, n(0));
+        assert_eq!(tree.distance(n(9)), None);
+        assert!(tree.path_to(n(9)).is_none());
+        assert!(!is_connected(&g));
+        assert_eq!(reachable_set(&g, n(0)).len(), 4);
+    }
+
+    #[test]
+    fn bfs_from_missing_source_contains_only_source() {
+        let g = ring4();
+        let tree = BfsTree::compute(&g, n(42));
+        assert_eq!(tree.reachable_count(), 1);
+        assert_eq!(tree.distance(n(42)), Some(0));
+        assert_eq!(tree.distance(n(0)), None);
+    }
+
+    #[test]
+    fn diameter_of_path_graph() {
+        let g = Graph::from_links([(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(3), n(4))]);
+        assert_eq!(diameter(&g), 4);
+        let (a, b, d) = farthest_pair(&g).unwrap();
+        assert_eq!(d, 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn diameter_of_ring_and_empty() {
+        assert_eq!(diameter(&ring4()), 2);
+        assert_eq!(diameter(&Graph::new()), 0);
+        assert!(is_connected(&Graph::new()));
+        assert!(farthest_pair(&Graph::new()).is_none());
+    }
+
+    #[test]
+    fn path_endpoints_are_inclusive() {
+        let g = ring4();
+        let p = first_shortest_path(&g, n(1), n(1)).unwrap();
+        assert_eq!(p, vec![n(1)]);
+        let p = first_shortest_path(&g, n(1), n(2)).unwrap();
+        assert_eq!(p.first(), Some(&n(1)));
+        assert_eq!(p.last(), Some(&n(2)));
+    }
+
+    #[test]
+    fn distance_helper_matches_tree() {
+        let g = ring4();
+        assert_eq!(distance(&g, n(0), n(2)), Some(2));
+        assert_eq!(distance(&g, n(0), n(99)), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! The iperf-style throughput experiment of the paper's Section 6.4.3.
+//!
+//! Two hosts sit at maximal distance from each other (we attach them to the two
+//! farthest-apart switches); a TCP Reno flow runs between them for 30 seconds; after 10
+//! seconds a link as close to the middle of the primary path as possible fails. With
+//! Renaissance running ("with recovery", Figure 15) the controllers repair the
+//! kappa-fault-resilient flows using tagged updates; without recovery (Figure 16) only
+//! the pre-installed backup paths carry the traffic. Either way the data plane fails
+//! over locally, so the throughput only dips briefly.
+
+use crate::reno::{PathEvent, RenoConfig, RenoConnection, StepOutcome};
+use renaissance::{legitimacy, SdnNetwork};
+use sdn_netsim::SimDuration;
+use sdn_topology::{paths, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one throughput experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IperfConfig {
+    /// Total duration in seconds (the paper uses 30).
+    pub duration_secs: u32,
+    /// The second at which the link failure is injected (the paper uses 10).
+    pub failure_at_secs: u32,
+    /// Whether the controllers keep repairing flows after the failure
+    /// (`true` = Figure 15, `false` = Figure 16).
+    pub recovery_enabled: bool,
+    /// TCP model parameters.
+    pub reno: RenoConfig,
+}
+
+impl Default for IperfConfig {
+    fn default() -> Self {
+        IperfConfig {
+            duration_secs: 30,
+            failure_at_secs: 10,
+            recovery_enabled: true,
+            reno: RenoConfig::default(),
+        }
+    }
+}
+
+/// Result of one throughput experiment: per-second series, exactly the quantities the
+/// paper plots in Figures 15, 16, 18, 19, and 20.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IperfRun {
+    /// The two endpoints the flow ran between.
+    pub endpoints: (NodeId, NodeId),
+    /// The link that was failed at `failure_at_secs`.
+    pub failed_link: Option<(NodeId, NodeId)>,
+    /// Per-second goodput in Mbit/s.
+    pub throughput_mbps: Vec<f64>,
+    /// Per-second retransmission percentage.
+    pub retransmission_pct: Vec<f64>,
+    /// Per-second BAD-TCP percentage.
+    pub bad_tcp_pct: Vec<f64>,
+    /// Per-second out-of-order percentage.
+    pub out_of_order_pct: Vec<f64>,
+    /// Per-second hop count of the path in use (useful for debugging / the examples).
+    pub path_hops: Vec<usize>,
+}
+
+impl IperfRun {
+    /// Average goodput over the whole run.
+    pub fn mean_throughput(&self) -> f64 {
+        if self.throughput_mbps.is_empty() {
+            return 0.0;
+        }
+        self.throughput_mbps.iter().sum::<f64>() / self.throughput_mbps.len() as f64
+    }
+
+    /// The lowest per-second goodput (the failure dip).
+    pub fn min_throughput(&self) -> f64 {
+        self.throughput_mbps.iter().copied().fold(f64::MAX, f64::min)
+    }
+}
+
+/// Picks the two switches at maximal distance in the switch graph — where the paper
+/// attaches its iperf hosts.
+pub fn farthest_switch_pair(sdn: &SdnNetwork) -> Option<(NodeId, NodeId)> {
+    paths::farthest_pair(&sdn.topology().switch_graph).map(|(a, b, _)| (a, b))
+}
+
+/// Runs the throughput experiment on an already-bootstrapped network.
+///
+/// The data packets follow the same in-band forwarding semantics as the control plane:
+/// highest-priority applicable rule, local fast-failover, bounce-back. The TCP model is
+/// driven by whether the path exists and whether it changed since the previous second.
+pub fn run_throughput_experiment(
+    sdn: &mut SdnNetwork,
+    src: NodeId,
+    dst: NodeId,
+    config: IperfConfig,
+) -> IperfRun {
+    let mut reno = RenoConnection::new(config.reno);
+    let mut run = IperfRun {
+        endpoints: (src, dst),
+        ..IperfRun::default()
+    };
+    let mut previous_path: Option<Vec<NodeId>> = current_path(sdn, src, dst);
+
+    for second in 0..config.duration_secs {
+        if second == config.failure_at_secs {
+            run.failed_link = fail_mid_path_link(sdn, previous_path.as_deref());
+        }
+        if config.recovery_enabled {
+            sdn.run_for(SimDuration::from_secs(1));
+        }
+        let path = current_path(sdn, src, dst);
+        let event = match (&previous_path, &path) {
+            (_, None) => PathEvent::Unavailable,
+            (None, Some(_)) => PathEvent::Rerouted,
+            (Some(old), Some(new)) if old != new => PathEvent::Rerouted,
+            _ => PathEvent::Stable,
+        };
+        let hops = path.as_ref().map(|p| p.len().saturating_sub(1)).unwrap_or(0);
+        let outcome: StepOutcome = reno.step(1.0, hops.max(1), event);
+        run.throughput_mbps.push(outcome.throughput_mbps);
+        run.retransmission_pct.push(outcome.retransmission_pct());
+        run.bad_tcp_pct.push(outcome.bad_tcp_pct());
+        run.out_of_order_pct.push(outcome.out_of_order_pct());
+        run.path_hops.push(hops);
+        previous_path = path;
+    }
+    run
+}
+
+/// The data-plane path currently taken by packets from `src` to `dst`, or `None`.
+fn current_path(sdn: &SdnNetwork, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    let operational = sdn.sim().operational_graph();
+    legitimacy::route_in_band(sdn, &operational, src, dst)
+}
+
+/// Fails the link closest to the middle of `path`, preferring links whose removal keeps
+/// the topology connected (the paper chooses a link "such that it enables a backup
+/// path"). Returns the failed link.
+fn fail_mid_path_link(
+    sdn: &mut SdnNetwork,
+    path: Option<&[NodeId]>,
+) -> Option<(NodeId, NodeId)> {
+    let path = path?;
+    if path.len() < 2 {
+        return None;
+    }
+    let mid = path.len() / 2;
+    // Try the middle link first, then walk outwards until a safe link is found.
+    let mut candidates: Vec<usize> = (0..path.len() - 1).collect();
+    candidates.sort_by_key(|&i| i.abs_diff(mid.saturating_sub(1)));
+    for i in candidates {
+        let (a, b) = (path[i], path[i + 1]);
+        let mut graph = sdn.sim().topology().clone();
+        graph.remove_link(a, b);
+        if paths::is_connected(&graph) {
+            sdn.remove_link(a, b);
+            return Some((a, b));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renaissance::{ControllerConfig, HarnessConfig};
+    use sdn_topology::builders;
+
+    fn bootstrapped_b4() -> SdnNetwork {
+        let topology = builders::b4(3);
+        let mut sdn = SdnNetwork::new(
+            topology,
+            ControllerConfig::for_network(3, 12),
+            HarnessConfig::default()
+                .with_task_delay(SimDuration::from_millis(200))
+                .with_seed(5),
+        );
+        sdn.run_until_legitimate(SimDuration::from_millis(500), SimDuration::from_secs(300))
+            .expect("bootstrap B4");
+        sdn
+    }
+
+    #[test]
+    fn throughput_experiment_shows_failure_dip_and_recovery() {
+        let mut sdn = bootstrapped_b4();
+        let (src, dst) = farthest_switch_pair(&sdn).expect("farthest pair");
+        let config = IperfConfig {
+            duration_secs: 20,
+            failure_at_secs: 8,
+            recovery_enabled: true,
+            ..IperfConfig::default()
+        };
+        let run = run_throughput_experiment(&mut sdn, src, dst, config);
+        assert_eq!(run.throughput_mbps.len(), 20);
+        assert!(run.failed_link.is_some(), "a mid-path link must fail");
+        // Steady state before the failure.
+        let before = run.throughput_mbps[7];
+        assert!(before > 200.0, "pre-failure throughput {before}");
+        // The retransmission burst happens at / right after the failure second.
+        let burst: f64 = run.retransmission_pct[8..=10.min(run.retransmission_pct.len() - 1)]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        assert!(burst > 0.0, "failure must cause retransmissions");
+        // The flow keeps running: the last seconds are back near the pre-failure rate.
+        let after = *run.throughput_mbps.last().unwrap();
+        assert!(after > before * 0.8, "after {after} vs before {before}");
+        assert!(run.min_throughput() <= before);
+        assert!(run.mean_throughput() > 0.0);
+    }
+
+    #[test]
+    fn no_recovery_still_survives_thanks_to_backup_paths() {
+        let mut sdn = bootstrapped_b4();
+        let (src, dst) = farthest_switch_pair(&sdn).expect("farthest pair");
+        let config = IperfConfig {
+            duration_secs: 16,
+            failure_at_secs: 6,
+            recovery_enabled: false,
+            ..IperfConfig::default()
+        };
+        let run = run_throughput_experiment(&mut sdn, src, dst, config);
+        assert!(run.failed_link.is_some());
+        let after = *run.throughput_mbps.last().unwrap();
+        assert!(
+            after > 100.0,
+            "backup paths must keep the flow alive without controller help, got {after}"
+        );
+    }
+
+    #[test]
+    fn farthest_pair_spans_the_diameter() {
+        let sdn = bootstrapped_b4();
+        let (a, b) = farthest_switch_pair(&sdn).unwrap();
+        let d = paths::distance(&sdn.topology().switch_graph, a, b).unwrap();
+        assert_eq!(d, sdn.topology().expected_diameter);
+    }
+}

@@ -1,0 +1,112 @@
+//! Aggregation helpers over throughput runs: the quantities behind the paper's
+//! Table 17 (correlation between the with-recovery and without-recovery runs) and the
+//! per-second percentage plots of Figures 18–20.
+
+use crate::iperf::IperfRun;
+use sdn_netsim::metrics::pearson_correlation;
+use serde::{Deserialize, Serialize};
+
+/// A named per-second series, ready to be printed as one curve of a figure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (usually the network name).
+    pub label: String,
+    /// One value per second.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Series {
+            label: label.into(),
+            values,
+        }
+    }
+
+    /// Mean of the values (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Maximum value (0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Pearson correlation between the throughput curves of two runs, the statistic the
+/// paper reports in Table 17 (values of 0.92–0.96 across networks).
+pub fn throughput_correlation(with_recovery: &IperfRun, without_recovery: &IperfRun) -> Option<f64> {
+    pearson_correlation(
+        &with_recovery.throughput_mbps,
+        &without_recovery.throughput_mbps,
+    )
+}
+
+/// Extracts the Figure 15/16 curve (throughput) from a run.
+pub fn throughput_series(label: &str, run: &IperfRun) -> Series {
+    Series::new(label, run.throughput_mbps.clone())
+}
+
+/// Extracts the Figure 18 curve (retransmission percentage) from a run.
+pub fn retransmission_series(label: &str, run: &IperfRun) -> Series {
+    Series::new(label, run.retransmission_pct.clone())
+}
+
+/// Extracts the Figure 19 curve (BAD-TCP percentage) from a run.
+pub fn bad_tcp_series(label: &str, run: &IperfRun) -> Series {
+    Series::new(label, run.bad_tcp_pct.clone())
+}
+
+/// Extracts the Figure 20 curve (out-of-order percentage) from a run.
+pub fn out_of_order_series(label: &str, run: &IperfRun) -> Series {
+    Series::new(label, run.out_of_order_pct.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_with(values: Vec<f64>) -> IperfRun {
+        IperfRun {
+            throughput_mbps: values.clone(),
+            retransmission_pct: values.iter().map(|v| v / 100.0).collect(),
+            bad_tcp_pct: values.iter().map(|v| v / 80.0).collect(),
+            out_of_order_pct: values.iter().map(|v| v / 500.0).collect(),
+            ..IperfRun::default()
+        }
+    }
+
+    #[test]
+    fn series_statistics() {
+        let s = Series::new("B4", vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.label, "B4");
+        let empty = Series::new("x", vec![]);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.max(), 0.0);
+    }
+
+    #[test]
+    fn correlation_of_similar_runs_is_high() {
+        let a = run_with(vec![500.0, 505.0, 480.0, 500.0, 502.0]);
+        let b = run_with(vec![501.0, 506.0, 482.0, 499.0, 503.0]);
+        let r = throughput_correlation(&a, &b).unwrap();
+        assert!(r > 0.9, "correlation {r}");
+    }
+
+    #[test]
+    fn series_extractors_use_the_right_field() {
+        let run = run_with(vec![100.0, 200.0]);
+        assert_eq!(throughput_series("t", &run).values, vec![100.0, 200.0]);
+        assert_eq!(retransmission_series("r", &run).values, vec![1.0, 2.0]);
+        assert_eq!(bad_tcp_series("b", &run).values, vec![1.25, 2.5]);
+        assert_eq!(out_of_order_series("o", &run).values, vec![0.2, 0.4]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Workspace facade crate: re-exports every crate of the Renaissance reproduction so
+//! that the repository-level examples and integration tests can use a single import
+//! root. Library users should depend on the individual crates (`renaissance`,
+//! `sdn-topology`, ...) directly.
+
+pub use renaissance;
+pub use sdn_channel;
+pub use sdn_netsim;
+pub use sdn_switch;
+pub use sdn_tags;
+pub use sdn_topology;
+pub use sdn_traffic;

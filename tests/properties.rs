@@ -1,0 +1,131 @@
+//! Property-based tests of the core invariants:
+//!
+//! * kappa-fault-resilient flows really survive any single link failure on
+//!   2-edge-connected topologies (the Section 2.2.2 guarantee),
+//! * the first-shortest-path plan routes along shortest paths when nothing fails,
+//! * the self-stabilizing channel delivers in order, exactly once, under arbitrary
+//!   loss/duplication patterns,
+//! * the bounded switch structures never exceed their configured capacities.
+
+use proptest::prelude::*;
+use sdn_channel::{Receiver, Sender};
+use sdn_switch::{ManagerSet, Rule, RuleTable};
+use sdn_tags::Tag;
+use sdn_topology::{builders, ids::Link, FlowPlanner, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single link failure on a random 2-edge-connected topology leaves every pair
+    /// of nodes routable through the planned fast-failover candidates.
+    #[test]
+    fn flows_survive_any_single_link_failure(
+        n_switches in 4usize..16,
+        extra_links in 0usize..8,
+        seed in 0u64..1000,
+        failed_index in 0usize..64,
+    ) {
+        let net = builders::random_2connected(n_switches, extra_links, 2, seed);
+        let plan = FlowPlanner::new(1).plan(&net.graph);
+        let links: Vec<Link> = net.graph.links().collect();
+        let failed = links[failed_index % links.len()];
+        let ttl = 4 * net.graph.node_count();
+        for a in net.graph.nodes() {
+            for b in net.graph.nodes() {
+                if a == b {
+                    continue;
+                }
+                let path = plan.route(a, b, |x, y| Link::new(x, y) != failed, ttl);
+                prop_assert!(path.is_some(), "{a}->{b} unroutable with {failed} down");
+                let path = path.unwrap();
+                prop_assert_eq!(*path.last().unwrap(), b);
+            }
+        }
+    }
+
+    /// Without failures, the planned route between any two nodes has exactly the
+    /// shortest-path length.
+    #[test]
+    fn primary_routes_are_shortest_paths(
+        n_switches in 4usize..14,
+        extra_links in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let net = builders::random_2connected(n_switches, extra_links, 0, seed);
+        let plan = FlowPlanner::new(1).plan(&net.graph);
+        let ttl = 4 * net.graph.node_count();
+        for a in net.graph.nodes() {
+            for b in net.graph.nodes() {
+                if a == b {
+                    continue;
+                }
+                let path = plan.route(a, b, |_, _| true, ttl).expect("connected");
+                let expected = sdn_topology::paths::distance(&net.graph, a, b).unwrap() as usize;
+                prop_assert_eq!(path.len() - 1, expected, "{}->{}", a, b);
+            }
+        }
+    }
+
+    /// The self-stabilizing channel never duplicates or reorders messages, no matter
+    /// which prefix of transmissions is lost.
+    #[test]
+    fn channel_is_exactly_once_in_order(loss_pattern in proptest::collection::vec(any::<bool>(), 40..200)) {
+        let mut tx: Sender<u32> = Sender::new();
+        let mut rx: Receiver<u32> = Receiver::new();
+        for i in 0..20u32 {
+            tx.push(i);
+        }
+        let mut delivered = Vec::new();
+        for &lose in &loss_pattern {
+            if let Some(frame) = tx.frame_to_send() {
+                if lose {
+                    continue; // the medium dropped the data frame
+                }
+                let (msg, ack) = rx.on_frame(frame);
+                if let Some(m) = msg {
+                    delivered.push(m);
+                }
+                tx.on_ack(ack);
+            }
+        }
+        // In-order, exactly-once prefix of the pushed sequence.
+        let expected: Vec<u32> = (0..delivered.len() as u32).collect();
+        prop_assert_eq!(delivered, expected);
+    }
+
+    /// The bounded rule table and manager set never exceed their capacities, whatever
+    /// sequence of insertions is applied.
+    #[test]
+    fn switch_memory_bounds_hold(
+        capacity in 1usize..32,
+        inserts in proptest::collection::vec((0u32..8, 0u32..16, 0u32..4, 0u32..8), 1..200),
+    ) {
+        let mut table = RuleTable::new(capacity);
+        let mut managers = ManagerSet::new(capacity);
+        for (cid, dst, prt, fwd) in inserts {
+            table.insert(Rule {
+                cid: NodeId::new(cid),
+                sid: NodeId::new(100),
+                src: None,
+                dst: NodeId::new(dst),
+                prt: prt as u8,
+                fwd: NodeId::new(fwd),
+                tag: Tag::new(cid, 1),
+            });
+            managers.add(NodeId::new(cid));
+            prop_assert!(table.len() <= capacity);
+            prop_assert!(managers.len() <= capacity);
+        }
+    }
+
+    /// Generated ISP-style topologies always match the requested size and diameter and
+    /// stay 2-edge-connected — the invariants Table 8 depends on.
+    #[test]
+    fn isp_generator_invariants(diameter in 2u32..7, extra in 0usize..20) {
+        let n_switches = 2 * diameter as usize + extra;
+        let net = builders::isp_like(n_switches, diameter, 2);
+        prop_assert_eq!(net.switch_count(), n_switches);
+        prop_assert_eq!(sdn_topology::paths::diameter(&net.switch_graph), diameter);
+        prop_assert!(sdn_topology::connectivity::supports_kappa(&net.graph, 1));
+    }
+}
