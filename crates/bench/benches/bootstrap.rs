@@ -1,10 +1,18 @@
-//! Criterion benchmark of the end-to-end in-band bootstrap (the Figure 5 quantity,
+//! Wall-clock benchmark of the end-to-end in-band bootstrap (the Figure 5 quantity,
 //! measured in wall-clock simulation cost rather than simulated seconds).
+//!
+//! The workspace builds offline, so this is a plain `harness = false` timing binary
+//! instead of a criterion benchmark: each case runs `RENAISSANCE_BENCH_ITERS`
+//! iterations (default 3) and reports mean wall-clock time per iteration.
+//!
+//! Run with: `cargo bench -p renaissance-bench --bench bootstrap`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use renaissance::{ControllerConfig, HarnessConfig, SdnNetwork};
 use sdn_netsim::SimDuration;
 use sdn_topology::builders;
+
+#[path = "common/timing.rs"]
+mod timing;
 
 fn bootstrap(name: &str, controllers: usize) -> f64 {
     let topology = builders::by_name(name, controllers);
@@ -18,29 +26,20 @@ fn bootstrap(name: &str, controllers: usize) -> f64 {
         .as_secs_f64()
 }
 
-fn bench_bootstrap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bootstrap");
-    group.sample_size(10);
+fn main() {
+    println!("bootstrap wall-clock benchmark");
     for name in ["B4", "Clos"] {
-        group.bench_with_input(BenchmarkId::new("paper_network", name), &name, |b, name| {
-            b.iter(|| bootstrap(name, 3))
-        });
+        timing::bench(&format!("paper_network/{name}"), || bootstrap(name, 3));
     }
-    group.bench_function("ring_10_switches_2_controllers", |b| {
-        b.iter(|| {
-            let topology = builders::ring(10, 2);
-            let mut sdn = SdnNetwork::new(
-                topology,
-                ControllerConfig::for_network(2, 10),
-                HarnessConfig::default().with_task_delay(SimDuration::from_millis(100)),
-            );
-            sdn.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(300))
-                .expect("bootstrap")
-                .as_secs_f64()
-        })
+    timing::bench("ring_10_switches_2_controllers", || {
+        let topology = builders::ring(10, 2);
+        let mut sdn = SdnNetwork::new(
+            topology,
+            ControllerConfig::for_network(2, 10),
+            HarnessConfig::default().with_task_delay(SimDuration::from_millis(100)),
+        );
+        sdn.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(300))
+            .expect("bootstrap")
+            .as_secs_f64()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_bootstrap);
-criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Minimal shared timing helper for the `harness = false` benchmark binaries.
+//!
+//! Each benchmark case runs a warm-up iteration followed by `RENAISSANCE_BENCH_ITERS`
+//! measured iterations (default 3) and prints the mean, min, and max wall-clock time.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of measured iterations, from `RENAISSANCE_BENCH_ITERS` (default 3).
+pub fn iterations() -> usize {
+    std::env::var("RENAISSANCE_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(3)
+}
+
+/// Times `f` over the configured number of iterations and prints a one-line summary.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let iters = iterations();
+    black_box(f()); // warm-up
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "{name:<44} mean {:>9.3} ms  min {:>9.3} ms  max {:>9.3} ms  ({iters} iters)",
+        mean * 1e3,
+        min * 1e3,
+        max * 1e3
+    );
+}

@@ -1,10 +1,14 @@
-//! Criterion benchmark of recovery from benign failures and from transient state
+//! Wall-clock benchmark of recovery from benign failures and from transient state
 //! corruption (the Figure 10/13 and Theorem 2 quantities, at micro-benchmark scale).
+//!
+//! Run with: `cargo bench -p renaissance-bench --bench recovery`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use renaissance::{ControllerConfig, CorruptionPlan, FaultInjector, HarnessConfig, SdnNetwork};
 use sdn_netsim::SimDuration;
 use sdn_topology::builders;
+
+#[path = "common/timing.rs"]
+mod timing;
 
 fn bootstrapped_b4() -> SdnNetwork {
     let topology = builders::b4(3);
@@ -18,48 +22,36 @@ fn bootstrapped_b4() -> SdnNetwork {
     sdn
 }
 
-fn bench_recovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("recovery");
-    group.sample_size(10);
+fn main() {
+    println!("recovery wall-clock benchmark");
 
-    group.bench_function("b4_link_failure", |b| {
-        b.iter(|| {
-            let mut sdn = bootstrapped_b4();
-            let mut injector = FaultInjector::new(7);
-            let links = injector.random_safe_links(&sdn, 1);
-            for (a, x) in links {
-                sdn.remove_link(a, x);
-            }
-            sdn.run_until_legitimate(SimDuration::from_millis(200), SimDuration::from_secs(600))
-                .expect("recovery")
-                .as_secs_f64()
-        })
+    timing::bench("b4_link_failure", || {
+        let mut sdn = bootstrapped_b4();
+        let mut injector = FaultInjector::new(7);
+        let links = injector.random_safe_links(&sdn, 1);
+        for (a, x) in links {
+            sdn.remove_link(a, x);
+        }
+        sdn.run_until_legitimate(SimDuration::from_millis(200), SimDuration::from_secs(600))
+            .expect("recovery")
+            .as_secs_f64()
     });
 
-    group.bench_function("b4_controller_failure", |b| {
-        b.iter(|| {
-            let mut sdn = bootstrapped_b4();
-            let victim = sdn.controller_ids()[2];
-            sdn.fail_controller(victim);
-            sdn.run_until_legitimate(SimDuration::from_millis(200), SimDuration::from_secs(600))
-                .expect("recovery")
-                .as_secs_f64()
-        })
+    timing::bench("b4_controller_failure", || {
+        let mut sdn = bootstrapped_b4();
+        let victim = sdn.controller_ids()[2];
+        sdn.fail_controller(victim);
+        sdn.run_until_legitimate(SimDuration::from_millis(200), SimDuration::from_secs(600))
+            .expect("recovery")
+            .as_secs_f64()
     });
 
-    group.bench_function("b4_transient_corruption", |b| {
-        b.iter(|| {
-            let mut sdn = bootstrapped_b4();
-            let mut injector = FaultInjector::new(11);
-            injector.corrupt(&mut sdn, CorruptionPlan::heavy());
-            sdn.run_until_legitimate(SimDuration::from_millis(200), SimDuration::from_secs(600))
-                .expect("self-stabilization")
-                .as_secs_f64()
-        })
+    timing::bench("b4_transient_corruption", || {
+        let mut sdn = bootstrapped_b4();
+        let mut injector = FaultInjector::new(11);
+        injector.corrupt(&mut sdn, CorruptionPlan::heavy());
+        sdn.run_until_legitimate(SimDuration::from_millis(200), SimDuration::from_secs(600))
+            .expect("self-stabilization")
+            .as_secs_f64()
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_recovery);
-criterion_main!(benches);

@@ -1,32 +1,21 @@
-//! Criterion micro-benchmarks of the substrates Renaissance is built on: flow planning,
-//! the switch rule table, and the self-stabilizing channel. These are the per-iteration
-//! costs that dominate the controller's do-forever loop (paper, Section 6.1 discusses
-//! how the number of messages and rule computations drives the observed recovery times).
+//! Wall-clock micro-benchmarks of the substrates Renaissance is built on: flow
+//! planning, the switch rule table, and the self-stabilizing channel. These are the
+//! per-iteration costs that dominate the controller's do-forever loop (paper,
+//! Section 6.1 discusses how the number of messages and rule computations drives the
+//! observed recovery times).
+//!
+//! Run with: `cargo bench -p renaissance-bench --bench substrates`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdn_channel::{Receiver, Sender};
 use sdn_switch::{Rule, RuleTable};
 use sdn_tags::Tag;
 use sdn_topology::{builders, paths, FlowPlanner, NodeId};
 
-fn bench_flow_planning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flow_planning");
-    for name in ["B4", "Telstra"] {
-        let net = builders::by_name(name, 3);
-        group.bench_with_input(BenchmarkId::new("plan_all_pairs", name), &net, |b, net| {
-            let planner = FlowPlanner::new(1).with_max_candidates(3);
-            b.iter(|| planner.plan(&net.graph));
-        });
-        group.bench_with_input(BenchmarkId::new("diameter", name), &net, |b, net| {
-            b.iter(|| paths::diameter(&net.switch_graph));
-        });
-    }
-    group.finish();
-}
+#[path = "common/timing.rs"]
+mod timing;
 
-fn bench_rule_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rule_table");
-    let make_rule = |i: u32| Rule {
+fn make_rule(i: u32) -> Rule {
+    Rule {
         cid: NodeId::new(i % 3),
         sid: NodeId::new(100),
         src: None,
@@ -34,55 +23,60 @@ fn bench_rule_table(c: &mut Criterion) {
         prt: (i % 4) as u8,
         fwd: NodeId::new(i % 8),
         tag: Tag::new(i % 3, 1),
-    };
-    group.bench_function("insert_1000", |b| {
-        b.iter(|| {
-            let mut table = RuleTable::new(2_000);
-            for i in 0..1_000u32 {
-                table.insert(make_rule(i));
-            }
-            table.len()
-        })
+    }
+}
+
+fn main() {
+    println!("substrate wall-clock micro-benchmarks");
+
+    for name in ["B4", "Telstra"] {
+        let net = builders::by_name(name, 3);
+        timing::bench(&format!("flow_planning/plan_all_pairs/{name}"), || {
+            let planner = FlowPlanner::new(1).with_max_candidates(3);
+            planner.plan(&net.graph)
+        });
+        timing::bench(&format!("flow_planning/diameter/{name}"), || {
+            paths::diameter(&net.switch_graph)
+        });
+    }
+
+    timing::bench("rule_table/insert_1000", || {
+        let mut table = RuleTable::new(2_000);
+        for i in 0..1_000u32 {
+            table.insert(make_rule(i));
+        }
+        table.len()
     });
+
     let mut table = RuleTable::new(2_000);
     for i in 0..1_000u32 {
         table.insert(make_rule(i));
     }
-    group.bench_function("match_lookup", |b| {
-        b.iter(|| table.matching(NodeId::new(5), NodeId::new(7)).len())
+    timing::bench("rule_table/match_lookup", || {
+        table.matching(NodeId::new(5), NodeId::new(7)).len()
     });
-    group.bench_function("replace_controller_rules", |b| {
-        b.iter(|| {
-            let mut t = table.clone();
-            t.replace_controller_rules(NodeId::new(0), (0..200u32).map(make_rule), &[]);
-            t.len()
-        })
+    timing::bench("rule_table/replace_controller_rules", || {
+        let mut t = table.clone();
+        t.replace_controller_rules(NodeId::new(0), (0..200u32).map(make_rule), &[]);
+        t.len()
     });
-    group.finish();
-}
 
-fn bench_channel(c: &mut Criterion) {
-    c.bench_function("channel_roundtrip_100_messages", |b| {
-        b.iter(|| {
-            let mut tx: Sender<u64> = Sender::new();
-            let mut rx: Receiver<u64> = Receiver::new();
-            for i in 0..100 {
-                tx.push(i);
-            }
-            let mut delivered = 0;
-            while delivered < 100 {
-                if let Some(frame) = tx.frame_to_send() {
-                    let (msg, ack) = rx.on_frame(frame);
-                    if msg.is_some() {
-                        delivered += 1;
-                    }
-                    tx.on_ack(ack);
+    timing::bench("channel_roundtrip_100_messages", || {
+        let mut tx: Sender<u64> = Sender::new();
+        let mut rx: Receiver<u64> = Receiver::new();
+        for i in 0..100 {
+            tx.push(i);
+        }
+        let mut delivered = 0;
+        while delivered < 100 {
+            if let Some(frame) = tx.frame_to_send() {
+                let (msg, ack) = rx.on_frame(frame);
+                if msg.is_some() {
+                    delivered += 1;
                 }
+                tx.on_ack(ack);
             }
-            delivered
-        })
-    });
+        }
+        delivered
+    })
 }
-
-criterion_group!(benches, bench_flow_planning, bench_rule_table, bench_channel);
-criterion_main!(benches);

@@ -11,7 +11,15 @@ fn main() {
         .iter()
         .map(|r| {
             Row::new(
-                format!("{} ({})", r.network, if r.memory_adaptive { "adaptive" } else { "non-adaptive" }),
+                format!(
+                    "{} ({})",
+                    r.network,
+                    if r.memory_adaptive {
+                        "adaptive"
+                    } else {
+                        "non-adaptive"
+                    }
+                ),
                 vec![
                     fmt2(r.transient_recovery.median()),
                     fmt2(r.transient_recovery.mean()),

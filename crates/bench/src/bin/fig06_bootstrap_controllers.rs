@@ -15,7 +15,11 @@ fn main() {
         .map(|r| {
             Row::new(
                 format!("{} ({} ctrl)", r.network, r.controllers),
-                vec![fmt2(r.measurement.median()), fmt2(r.measurement.mean()), fmt2(r.measurement.max())],
+                vec![
+                    fmt2(r.measurement.median()),
+                    fmt2(r.measurement.mean()),
+                    fmt2(r.measurement.max()),
+                ],
             )
         })
         .collect();

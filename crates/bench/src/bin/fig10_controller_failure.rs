@@ -8,7 +8,16 @@ fn main() {
     let results = recovery_after_failure(&scale, 3, FailureKind::Controllers { count: 1 });
     let rows: Vec<Row> = results
         .iter()
-        .map(|r| Row::new(r.network.clone(), vec![fmt2(r.measurement.median()), fmt2(r.measurement.mean()), fmt2(r.measurement.max())]))
+        .map(|r| {
+            Row::new(
+                r.network.clone(),
+                vec![
+                    fmt2(r.measurement.median()),
+                    fmt2(r.measurement.mean()),
+                    fmt2(r.measurement.max()),
+                ],
+            )
+        })
         .collect();
     print_table(
         "Figure 10 — recovery time after one controller fail-stop (simulated seconds)",

@@ -8,7 +8,16 @@ fn main() {
     let results = recovery_after_failure(&scale, 3, FailureKind::Links { count: 1 });
     let rows: Vec<Row> = results
         .iter()
-        .map(|r| Row::new(r.network.clone(), vec![fmt2(r.measurement.median()), fmt2(r.measurement.mean()), fmt2(r.measurement.max())]))
+        .map(|r| {
+            Row::new(
+                r.network.clone(),
+                vec![
+                    fmt2(r.measurement.median()),
+                    fmt2(r.measurement.mean()),
+                    fmt2(r.measurement.max()),
+                ],
+            )
+        })
         .collect();
     print_table(
         "Figure 13 — recovery time after a permanent link failure (simulated seconds)",

@@ -14,7 +14,7 @@ fn main() {
                 vec![
                     fmt2(r.run.mean_throughput()),
                     fmt2(r.run.min_throughput()),
-                    format!("{:?}", r.run.failed_link),
+                    r.failed_link.clone().unwrap_or_default(),
                 ],
             )
         })
@@ -26,6 +26,14 @@ fn main() {
         &results,
     );
     for r in &results {
-        println!("{} per-second Mbit/s: {:?}", r.network, r.run.throughput_mbps.iter().map(|v| v.round()).collect::<Vec<_>>());
+        println!(
+            "{} per-second Mbit/s: {:?}",
+            r.network,
+            r.run
+                .throughput_mbps
+                .iter()
+                .map(|v| v.round())
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -22,6 +22,14 @@ fn main() {
         &results,
     );
     for r in &results {
-        println!("{} per-second Mbit/s: {:?}", r.network, r.run.throughput_mbps.iter().map(|v| v.round()).collect::<Vec<_>>());
+        println!(
+            "{} per-second Mbit/s: {:?}",
+            r.network,
+            r.run
+                .throughput_mbps
+                .iter()
+                .map(|v| v.round())
+                .collect::<Vec<_>>()
+        );
     }
 }

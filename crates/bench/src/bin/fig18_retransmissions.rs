@@ -13,8 +13,21 @@ fn main() {
             Row::new(r.network.clone(), vec![fmt2(peak)])
         })
         .collect();
-    print_table("Figure 18 — peak retransmission % (burst at the failure second)", &["peak %"], &rows, &results);
+    print_table(
+        "Figure 18 — peak retransmission % (burst at the failure second)",
+        &["peak %"],
+        &rows,
+        &results,
+    );
     for r in &results {
-        println!("{} per-second retransmission %: {:?}", r.network, r.run.retransmission_pct.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>());
+        println!(
+            "{} per-second retransmission %: {:?}",
+            r.network,
+            r.run
+                .retransmission_pct
+                .iter()
+                .map(|v| (v * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
+        );
     }
 }

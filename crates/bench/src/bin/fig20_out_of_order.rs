@@ -13,8 +13,21 @@ fn main() {
             Row::new(r.network.clone(), vec![fmt2(peak)])
         })
         .collect();
-    print_table("Figure 20 — peak out-of-order % (burst at the failure second)", &["peak %"], &rows, &results);
+    print_table(
+        "Figure 20 — peak out-of-order % (burst at the failure second)",
+        &["peak %"],
+        &rows,
+        &results,
+    );
     for r in &results {
-        println!("{} per-second out-of-order %: {:?}", r.network, r.run.out_of_order_pct.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+        println!(
+            "{} per-second out-of-order %: {:?}",
+            r.network,
+            r.run
+                .out_of_order_pct
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -1,6 +1,8 @@
 //! Table 17: correlation of the average throughput with vs without recovery.
 
-use renaissance_bench::experiments::{throughput_correlations, throughput_under_failure, ExperimentScale};
+use renaissance_bench::experiments::{
+    throughput_correlations, throughput_under_failure, ExperimentScale,
+};
 use renaissance_bench::report::{print_table, Row};
 
 fn main() {

@@ -7,7 +7,17 @@ fn main() {
     let rows_data = table8();
     let rows: Vec<Row> = rows_data
         .iter()
-        .map(|r| Row::new(r.network.clone(), vec![r.nodes.to_string(), r.diameter.to_string()]))
+        .map(|r| {
+            Row::new(
+                r.network.clone(),
+                vec![r.nodes.to_string(), r.diameter.to_string()],
+            )
+        })
         .collect();
-    print_table("Table 8 — studied networks", &["nodes", "diameter"], &rows, &rows_data);
+    print_table(
+        "Table 8 — studied networks",
+        &["nodes", "diameter"],
+        &rows,
+        &rows_data,
+    );
 }

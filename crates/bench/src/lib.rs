@@ -3,7 +3,8 @@
 //!
 //! Each `fig*`/`table*` binary in `src/bin/` is a thin wrapper around a function of the
 //! [`experiments`] module; all of them print a human-readable table to stdout and, when
-//! the `RENAISSANCE_JSON` environment variable is set, also emit the raw results as JSON
+//! the `RENAISSANCE_DUMP` environment variable is set, also emit the raw results as a
+//! structured dump
 //! so EXPERIMENTS.md can be regenerated mechanically.
 //!
 //! Scale knobs (environment variables, so `cargo run -p renaissance-bench --bin ...`

@@ -1,9 +1,9 @@
-//! Tiny plain-text / JSON reporting helpers shared by the experiment binaries.
+//! Tiny plain-text reporting helpers shared by the experiment binaries.
 
-use serde::Serialize;
+use std::fmt::Debug;
 
 /// One row of an experiment output table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Row label (network name, configuration, ...).
     pub label: String,
@@ -22,8 +22,10 @@ impl Row {
 }
 
 /// Prints a fixed-width table with a title and per-column headers, and (when the
-/// `RENAISSANCE_JSON` environment variable is set) a JSON dump of `payload`.
-pub fn print_table<T: Serialize>(title: &str, headers: &[&str], rows: &[Row], payload: &T) {
+/// `RENAISSANCE_DUMP` environment variable is set) a structured dump of `payload` so
+/// EXPERIMENTS.md can be regenerated mechanically. `RENAISSANCE_JSON` is accepted as a
+/// legacy alias for the dump switch.
+pub fn print_table<T: Debug>(title: &str, headers: &[&str], rows: &[Row], payload: &T) {
     println!("\n== {title} ==");
     let label_width = rows
         .iter()
@@ -43,11 +45,8 @@ pub fn print_table<T: Serialize>(title: &str, headers: &[&str], rows: &[Row], pa
         }
         println!();
     }
-    if std::env::var("RENAISSANCE_JSON").is_ok() {
-        match serde_json::to_string_pretty(payload) {
-            Ok(json) => println!("\n--- JSON ---\n{json}"),
-            Err(err) => eprintln!("failed to serialize results: {err}"),
-        }
+    if std::env::var("RENAISSANCE_DUMP").is_ok() || std::env::var("RENAISSANCE_JSON").is_ok() {
+        println!("\n--- RAW ---\n{payload:#?}");
     }
 }
 
@@ -66,7 +65,7 @@ mod tests {
         assert_eq!(row.label, "B4");
         assert_eq!(row.values, vec!["1.23".to_string(), "5.00".to_string()]);
         // Printing must not panic even with empty rows.
-        print_table("test", &["a", "b"], &[row], &serde_json::json!({"ok": true}));
-        print_table::<serde_json::Value>("empty", &[], &[], &serde_json::json!(null));
+        print_table("test", &["a", "b"], &[row], &"payload");
+        print_table::<()>("empty", &[], &[], &());
     }
 }

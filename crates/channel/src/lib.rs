@@ -48,7 +48,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Size of the bounded label domain.
@@ -59,7 +58,7 @@ pub const LABEL_DOMAIN: u8 = 3;
 pub const DELTA_COMM: usize = 3;
 
 /// A frame exchanged between a [`Sender`] and a [`Receiver`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame<M> {
     /// A data frame carrying the current message and the sender's label.
     Data {
@@ -95,7 +94,7 @@ impl<M> Frame<M> {
 /// message (the *token*) is in flight; [`Sender::frame_to_send`] returns the frame to
 /// (re)transmit and should be called on every timer tick — retransmission is what makes
 /// the protocol tolerate omissions.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Sender<M> {
     label: u8,
     queue: VecDeque<M>,
@@ -183,7 +182,7 @@ impl<M: Clone> Sender<M> {
 }
 
 /// Receiver half of the self-stabilizing channel.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Receiver<M> {
     last_label: u8,
     delivered: u64,
@@ -255,7 +254,7 @@ impl<M> Receiver<M> {
 /// A bidirectional reliable mailbox built from a [`Sender`] and a [`Receiver`] in each
 /// direction — the "logical FIFO communication channel" a Renaissance node keeps per
 /// peer.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Endpoint<M> {
     /// Outgoing half.
     pub tx: Sender<M>,
@@ -307,8 +306,7 @@ impl<M: Clone> Endpoint<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use sdn_rng::Rng;
 
     /// Simulates `ticks` rounds of the protocol over a lossy/duplicating FIFO medium and
     /// returns the messages delivered in order.
@@ -320,7 +318,7 @@ mod tests {
         dup: f64,
         seed: u64,
     ) -> Vec<u32> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut delivered = Vec::new();
         // FIFO queues modelling the two directions of the medium.
         let mut to_rx: VecDeque<Frame<u32>> = VecDeque::new();
@@ -416,7 +414,10 @@ mod tests {
                 // No duplicates among the real messages.
                 let mut dedup = tail_of_expected.clone();
                 dedup.dedup();
-                assert_eq!(dedup, tail_of_expected, "duplicate delivery for labels {s_label}/{r_label}");
+                assert_eq!(
+                    dedup, tail_of_expected,
+                    "duplicate delivery for labels {s_label}/{r_label}"
+                );
                 // In-order suffix: the delivered real messages must be increasing.
                 assert!(
                     tail_of_expected.windows(2).all(|w| w[0] < w[1]),
@@ -431,11 +432,112 @@ mod tests {
         }
     }
 
+    /// Property: from *any* corrupted sender/receiver label pair, under a randomly
+    /// lossy and duplicating medium, the channel stabilizes within [`DELTA_COMM`]
+    /// spurious deliveries: the pushed stream arrives in order, without duplicates,
+    /// missing at most `DELTA_COMM` messages from its front.
+    #[test]
+    fn stabilizes_from_arbitrary_labels_under_random_media() {
+        for case in 0..24u64 {
+            let mut rng = Rng::seed_from_u64(0xC044A1 + case);
+            let loss = rng.gen_f64() * 0.4;
+            let dup = rng.gen_f64() * 0.4;
+            for s_label in 0..LABEL_DOMAIN {
+                for r_label in 0..LABEL_DOMAIN {
+                    let mut tx = Sender::new();
+                    let mut rx = Receiver::new();
+                    tx.corrupt_label(s_label);
+                    rx.corrupt_label(r_label);
+                    for i in 100..130u32 {
+                        tx.push(i);
+                    }
+                    let delivered = run_lossy(&mut tx, &mut rx, 8_000, loss, dup, 0x5EED + case);
+                    let expected: Vec<u32> = (100..130).collect();
+                    let real: Vec<u32> = delivered
+                        .iter()
+                        .filter(|v| expected.contains(v))
+                        .copied()
+                        .collect();
+                    let mut dedup = real.clone();
+                    dedup.dedup();
+                    assert_eq!(
+                        dedup, real,
+                        "case {case}: duplicate delivery for labels {s_label}/{r_label}"
+                    );
+                    assert!(
+                        real.windows(2).all(|w| w[0] < w[1]),
+                        "case {case}: out-of-order delivery for labels {s_label}/{r_label}"
+                    );
+                    assert!(
+                        real.len() + DELTA_COMM >= expected.len(),
+                        "case {case}: lost {} messages for labels {s_label}/{r_label}, \
+                         more than DELTA_COMM = {DELTA_COMM}",
+                        expected.len() - real.len(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Property: an arbitrary initial state may also include one stale frame per
+    /// direction already in flight. Those frames cause at most [`DELTA_COMM`] spurious
+    /// deliveries before the channel behaves like a reliable FIFO channel.
+    #[test]
+    fn stale_in_flight_frames_cause_at_most_delta_comm_spurious_deliveries() {
+        for case in 0..24u64 {
+            let mut rng = Rng::seed_from_u64(0x57A1E + case);
+            let s_label = rng.gen_range(0..LABEL_DOMAIN as u32) as u8;
+            let r_label = rng.gen_range(0..LABEL_DOMAIN as u32) as u8;
+            let stale_data_label = rng.gen_range(0..LABEL_DOMAIN as u32) as u8;
+            let stale_ack_label = rng.gen_range(0..LABEL_DOMAIN as u32) as u8;
+            let mut tx: Sender<u32> = Sender::new();
+            let mut rx: Receiver<u32> = Receiver::new();
+            tx.corrupt_label(s_label);
+            rx.corrupt_label(r_label);
+            for i in 200..220u32 {
+                tx.push(i);
+            }
+            // The stale payload value 999 is outside the pushed stream, so every
+            // delivery of it is spurious by construction.
+            let mut spurious = 0usize;
+            let (msg, ack) = rx.on_frame(Frame::Data {
+                label: stale_data_label,
+                payload: 999,
+            });
+            if msg.is_some() {
+                spurious += 1;
+            }
+            tx.on_ack(ack);
+            tx.on_ack(Frame::Ack {
+                label: stale_ack_label,
+            });
+            let delivered = run_lossy(&mut tx, &mut rx, 2_000, 0.0, 0.0, 0xACE + case);
+            spurious += delivered.iter().filter(|&&v| v == 999).count();
+            assert!(
+                spurious <= DELTA_COMM,
+                "case {case}: {spurious} spurious deliveries exceed DELTA_COMM"
+            );
+            let real: Vec<u32> = delivered.iter().filter(|&&v| v != 999).copied().collect();
+            let expected: Vec<u32> = (200..220).collect();
+            assert!(
+                real.len() + DELTA_COMM >= expected.len(),
+                "case {case}: too many real messages lost during recovery"
+            );
+            assert!(
+                real.windows(2).all(|w| w[0] < w[1]),
+                "case {case}: out-of-order delivery after stale frames"
+            );
+        }
+    }
+
     #[test]
     fn sender_ignores_stray_data_frames_and_wrong_labels() {
         let mut tx: Sender<u32> = Sender::new();
         tx.push(1);
-        assert!(!tx.on_ack(Frame::Data { label: 0, payload: 9 }));
+        assert!(!tx.on_ack(Frame::Data {
+            label: 0,
+            payload: 9
+        }));
         assert!(!tx.on_ack(Frame::Ack { label: 2 }));
         assert_eq!(tx.pending(), 1);
         assert!(tx.on_ack(Frame::Ack { label: 0 }));
@@ -447,10 +549,16 @@ mod tests {
     #[test]
     fn receiver_acknowledges_duplicates_without_delivering() {
         let mut rx: Receiver<u32> = Receiver::new();
-        let (first, ack1) = rx.on_frame(Frame::Data { label: 0, payload: 5 });
+        let (first, ack1) = rx.on_frame(Frame::Data {
+            label: 0,
+            payload: 5,
+        });
         assert_eq!(first, Some(5));
         assert_eq!(ack1, Frame::Ack { label: 0 });
-        let (second, ack2) = rx.on_frame(Frame::Data { label: 0, payload: 5 });
+        let (second, ack2) = rx.on_frame(Frame::Data {
+            label: 0,
+            payload: 5,
+        });
         assert_eq!(second, None);
         assert_eq!(ack2, Frame::Ack { label: 0 });
         assert_eq!(rx.delivered(), 1);
@@ -483,7 +591,10 @@ mod tests {
 
     #[test]
     fn frame_accessors() {
-        let d: Frame<u32> = Frame::Data { label: 2, payload: 1 };
+        let d: Frame<u32> = Frame::Data {
+            label: 2,
+            payload: 1,
+        };
         let a: Frame<u32> = Frame::Ack { label: 1 };
         assert!(d.is_data());
         assert!(!a.is_data());

@@ -1,10 +1,9 @@
 //! Configuration of Renaissance controllers and of the simulation harness.
 
 use sdn_netsim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Which algorithmic variant a controller runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Variant {
     /// The paper's main algorithm (Algorithm 2): memory adaptive — controllers actively
     /// delete stale managers and rules of unreachable controllers, and perform C-resets
@@ -20,7 +19,7 @@ pub enum Variant {
 }
 
 /// Configuration shared by every controller of a deployment.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ControllerConfig {
     /// The number of controller identifiers in the deployment (`NC`); node identifiers
     /// below this value are controllers, the rest are switches.
@@ -83,7 +82,7 @@ impl ControllerConfig {
 }
 
 /// Configuration of the simulation harness wrapping controllers and switches.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HarnessConfig {
     /// Delay between iterations of each controller's do-forever loop and between the
     /// switches' neighborhood-discovery refreshes — the paper's *task delay*
@@ -155,7 +154,9 @@ mod tests {
         let h = HarnessConfig::default();
         assert_eq!(h.task_delay.as_millis(), 500);
         assert!(h.packet_ttl > 0);
-        let h2 = h.with_task_delay(SimDuration::from_millis(100)).with_seed(9);
+        let h2 = h
+            .with_task_delay(SimDuration::from_millis(100))
+            .with_seed(9);
         assert_eq!(h2.task_delay.as_millis(), 100);
         assert_eq!(h2.seed, 9);
     }

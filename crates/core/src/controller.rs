@@ -12,12 +12,11 @@ use crate::reply_db::{InsertOutcome, ReplyDb};
 use sdn_switch::{CommandBatch, QueryReply, Rule, SwitchCommand};
 use sdn_tags::{RoundTracker, Tag, TagGenerator};
 use sdn_topology::{FlowPlan, FlowPlanner, Graph, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Counters describing a controller's activity; several experiments (Figure 9, the
 /// Theorem 1 illegitimate-deletion bound) are read straight off these numbers.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ControllerStats {
     /// Iterations of the do-forever loop executed.
     pub iterations: u64,
@@ -40,7 +39,7 @@ pub struct ControllerStats {
 }
 
 /// One Renaissance controller (a member of `PC`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Controller {
     id: NodeId,
     config: ControllerConfig,
@@ -191,7 +190,11 @@ impl Controller {
                 .collect();
 
         // Lines 14–19: build one batch per reachable node.
-        let keep_tags = if self.config.three_tags { vec![prev] } else { Vec::new() };
+        let keep_tags = if self.config.three_tags {
+            vec![prev]
+        } else {
+            Vec::new()
+        };
         let mut messages = Vec::new();
         for dst in sdn_topology::paths::reachable_set(&fusion_graph, self.id) {
             if dst == self.id {
@@ -211,7 +214,9 @@ impl Controller {
                     // discovered through a neighbor's reply but have not heard from yet
                     // still gets a flow towards us installed — otherwise its own reply
                     // could never travel back and discovery would stall at distance two.
-                    commands.push(SwitchCommand::AddManager { controller: self.id });
+                    commands.push(SwitchCommand::AddManager {
+                        controller: self.id,
+                    });
                 }
                 commands.push(SwitchCommand::UpdateRules {
                     rules: self.my_rules(&rule_plan, &refer_graph, dst, curr),
@@ -254,7 +259,9 @@ impl Controller {
             };
             for &manager in &reply.managers {
                 if is_stale(&manager) {
-                    commands.push(SwitchCommand::DelManager { controller: manager });
+                    commands.push(SwitchCommand::DelManager {
+                        controller: manager,
+                    });
                     self.stats.manager_deletions_requested += 1;
                 }
             }
@@ -267,7 +274,9 @@ impl Controller {
                 }
             }
         }
-        commands.push(SwitchCommand::AddManager { controller: self.id });
+        commands.push(SwitchCommand::AddManager {
+            controller: self.id,
+        });
         commands
     }
 
@@ -421,7 +430,10 @@ mod tests {
         let out = c.iterate(&[n(1)]);
         let destinations: Vec<NodeId> = out.iter().map(|(d, _)| *d).collect();
         assert!(destinations.contains(&n(1)));
-        assert!(destinations.contains(&n(2)), "second hop discovered via switch 1's reply");
+        assert!(
+            destinations.contains(&n(2)),
+            "second hop discovered via switch 1's reply"
+        );
         // Switch 1 (which has answered) and the freshly discovered switch 2 both receive
         // rule updates; switch 2's rules give it a path back to the controller via 1.
         for switch in [n(1), n(2)] {
@@ -434,7 +446,10 @@ mod tests {
                     _ => None,
                 })
                 .unwrap_or_else(|| panic!("switch {switch} must receive rules"));
-            assert!(rules.iter().any(|r| r.dst == n(0)), "switch {switch} needs a flow to the controller");
+            assert!(
+                rules.iter().any(|r| r.dst == n(0)),
+                "switch {switch} needs a flow to the controller"
+            );
         }
     }
 
@@ -481,7 +496,10 @@ mod tests {
         let tag_before = c.curr_tag();
         let _ = c.iterate(&[n(1)]);
         assert_eq!(c.stats().rounds_completed, before + 1);
-        assert!(c.curr_tag() > tag_before, "a fresh, larger tag starts the new round");
+        assert!(
+            c.curr_tag() > tag_before,
+            "a fresh, larger tag starts the new round"
+        );
         assert_eq!(c.prev_tag(), tag_before);
     }
 
@@ -492,20 +510,31 @@ mod tests {
         // Switch 1 reports a manager (controller 7) that does not exist any more, with
         // leftover rules, and switch 2 completes the discovery.
         let tag = c.curr_tag();
-        c.on_reply(reply_from_switch(1, &[0, 2], &[0, 7], vec![stale_rule(7, 1)], tag));
+        c.on_reply(reply_from_switch(
+            1,
+            &[0, 2],
+            &[0, 7],
+            vec![stale_rule(7, 1)],
+            tag,
+        ));
         c.on_reply(reply_from_switch(2, &[1], &[0], vec![], tag));
         // This iteration completes the round; the next one must emit the cleanup.
         let _ = c.iterate(&[n(1)]);
         let tag = c.curr_tag();
-        c.on_reply(reply_from_switch(1, &[0, 2], &[0, 7], vec![stale_rule(7, 1)], tag));
+        c.on_reply(reply_from_switch(
+            1,
+            &[0, 2],
+            &[0, 7],
+            vec![stale_rule(7, 1)],
+            tag,
+        ));
         c.on_reply(reply_from_switch(2, &[1], &[0], vec![], tag));
         let out = c.iterate(&[n(1)]);
         let batch_for_1 = &out.iter().find(|(d, _)| *d == n(1)).unwrap().1;
         assert!(
-            batch_for_1
-                .commands
-                .iter()
-                .any(|cmd| matches!(cmd, SwitchCommand::DelManager { controller } if *controller == n(7))),
+            batch_for_1.commands.iter().any(
+                |cmd| matches!(cmd, SwitchCommand::DelManager { controller } if *controller == n(7))
+            ),
             "unreachable controller 7 must be removed from the manager set"
         );
         assert!(
@@ -524,10 +553,22 @@ mod tests {
         let mut c = Controller::new(n(0), config().non_adaptive());
         let _ = c.iterate(&[n(1)]);
         let tag = c.curr_tag();
-        c.on_reply(reply_from_switch(1, &[0], &[0, 7], vec![stale_rule(7, 1)], tag));
+        c.on_reply(reply_from_switch(
+            1,
+            &[0],
+            &[0, 7],
+            vec![stale_rule(7, 1)],
+            tag,
+        ));
         let _ = c.iterate(&[n(1)]);
         let tag = c.curr_tag();
-        c.on_reply(reply_from_switch(1, &[0], &[0, 7], vec![stale_rule(7, 1)], tag));
+        c.on_reply(reply_from_switch(
+            1,
+            &[0],
+            &[0, 7],
+            vec![stale_rule(7, 1)],
+            tag,
+        ));
         let out = c.iterate(&[n(1)]);
         let batch_for_1 = &out.iter().find(|(d, _)| *d == n(1)).unwrap().1;
         assert!(!batch_for_1.commands.iter().any(|cmd| matches!(

@@ -8,15 +8,13 @@
 //! `ablation_variants` bench use this module to check that empirically.
 
 use crate::harness::SdnNetwork;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdn_rng::Rng;
 use sdn_switch::{QueryReply, Rule};
 use sdn_tags::Tag;
 use sdn_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// How aggressively to corrupt the network state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CorruptionPlan {
     /// Number of garbage rules injected per switch.
     pub garbage_rules_per_switch: usize,
@@ -69,14 +67,14 @@ impl CorruptionPlan {
 /// Deterministic transient-fault injector.
 #[derive(Debug)]
 pub struct FaultInjector {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl FaultInjector {
     /// Creates an injector with a fixed seed (experiments stay reproducible).
     pub fn new(seed: u64) -> Self {
         FaultInjector {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -113,8 +111,14 @@ impl FaultInjector {
 
         for &c in &controllers {
             if plan.corrupt_controller_tags {
-                let curr = Tag::new(self.rng.gen_range(0..node_count), self.rng.gen_range(1..1_000));
-                let prev = Tag::new(self.rng.gen_range(0..node_count), self.rng.gen_range(1..1_000));
+                let curr = Tag::new(
+                    self.rng.gen_range(0..node_count),
+                    self.rng.gen_range(1..1_000u64),
+                );
+                let prev = Tag::new(
+                    self.rng.gen_range(0..node_count),
+                    self.rng.gen_range(1..1_000u64),
+                );
                 if let Some(controller) = net.controller_mut(c) {
                     controller.corrupt_tags(curr, prev);
                     mutations += 1;
@@ -191,15 +195,18 @@ impl FaultInjector {
                 Some(NodeId::new(self.rng.gen_range(0..node_count)))
             },
             dst: NodeId::new(self.rng.gen_range(0..node_count)),
-            prt: self.rng.gen(),
+            prt: self.rng.gen_range(0..=u8::MAX),
             fwd: NodeId::new(self.rng.gen_range(0..node_count)),
-            tag: Tag::new(self.rng.gen_range(0..node_count), self.rng.gen_range(1..500)),
+            tag: Tag::new(
+                self.rng.gen_range(0..node_count),
+                self.rng.gen_range(1..500u64),
+            ),
         }
     }
 
     fn random_reply(&mut self, node_count: u32) -> QueryReply {
         let responder = NodeId::new(self.rng.gen_range(0..node_count + 8));
-        let neighbors = (0..self.rng.gen_range(0..4))
+        let neighbors = (0..self.rng.gen_range(0..4u32))
             .map(|_| NodeId::new(self.rng.gen_range(0..node_count)))
             .filter(|&n| n != responder)
             .collect();
@@ -208,7 +215,10 @@ impl FaultInjector {
             neighbors,
             managers: vec![],
             rules: vec![],
-            echo_tag: Tag::new(self.rng.gen_range(0..node_count), self.rng.gen_range(1..500)),
+            echo_tag: Tag::new(
+                self.rng.gen_range(0..node_count),
+                self.rng.gen_range(1..500u64),
+            ),
         }
     }
 }
@@ -273,7 +283,10 @@ mod tests {
 
     #[test]
     fn corruption_plans_differ_in_aggressiveness() {
-        assert!(CorruptionPlan::heavy().garbage_rules_per_switch > CorruptionPlan::light().garbage_rules_per_switch);
+        assert!(
+            CorruptionPlan::heavy().garbage_rules_per_switch
+                > CorruptionPlan::light().garbage_rules_per_switch
+        );
         assert!(!CorruptionPlan::light().corrupt_controller_tags);
         assert!(CorruptionPlan::default().clear_some_switches);
     }

@@ -50,13 +50,7 @@ impl SdnNetwork {
             ..SimConfig::default()
         };
         let mut sim = Simulator::new(&topology.graph, sim_config);
-        let switch_config = SwitchConfig::for_network(
-            topology.controller_count(),
-            topology.node_count(),
-            controller_config
-                .max_priorities
-                .unwrap_or(topology.graph.max_degree() + 1),
-        );
+        let switch_config = network_switch_config(&topology, &controller_config);
         for &controller_id in &topology.controllers {
             let controller = Controller::new(controller_id, controller_config);
             sim.add_node(
@@ -282,11 +276,14 @@ impl SdnNetwork {
     }
 
     /// Revives a previously failed switch with empty configuration.
+    ///
+    /// The switch capacity is recomputed from the deployment
+    /// ([`SwitchConfig::for_network`], the Lemma 1 sizing) rather than copied from
+    /// whatever node state happens to survive — a revived switch starts fresh
+    /// (Lemma 8), and falling back to `SwitchConfig::default()` when the old node was
+    /// gone used to silently mis-size its rule capacity.
     pub fn revive_switch(&mut self, id: NodeId) {
-        let switch_config = self
-            .switch(id)
-            .map(|s| s.config())
-            .unwrap_or_default();
+        let switch_config = network_switch_config(&self.topology, &self.controller_config);
         let node = SdnNode::Switch(SwitchNode::new(
             AbstractSwitch::new(id, switch_config),
             &self.harness_config,
@@ -295,6 +292,21 @@ impl SdnNetwork {
         self.sim.revive_node(id);
         self.sim.start();
     }
+}
+
+/// The per-switch capacity prescribed by Lemma 1 for this deployment — used both when
+/// wiring the network and when reviving a switch with fresh state.
+fn network_switch_config(
+    topology: &NamedTopology,
+    controller_config: &ControllerConfig,
+) -> SwitchConfig {
+    SwitchConfig::for_network(
+        topology.controller_count(),
+        topology.node_count(),
+        controller_config
+            .max_priorities
+            .unwrap_or(topology.graph.max_degree() + 1),
+    )
 }
 
 #[cfg(test)]
@@ -325,10 +337,13 @@ mod tests {
         for s in sdn.switch_ids() {
             let switch = sdn.switch(s).unwrap();
             assert_eq!(switch.managers().len(), 2, "switch {s} managers");
-            assert!(switch.rules().len() > 0);
+            assert!(!switch.rules().is_empty());
         }
         assert!(sdn.total_rules() > 0);
-        assert!(sdn.max_rules_per_switch() <= sdn.switch(sdn.switch_ids()[0]).unwrap().config().max_rules);
+        assert!(
+            sdn.max_rules_per_switch()
+                <= sdn.switch(sdn.switch_ids()[0]).unwrap().config().max_rules
+        );
     }
 
     #[test]
@@ -366,6 +381,35 @@ mod tests {
             .run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
             .expect("recovery after link failure");
         assert!(elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn revived_switch_gets_network_sized_config() {
+        let mut sdn = small_net();
+        sdn.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("bootstrap");
+        let victim = sdn.switch_ids()[2];
+        let expected = sdn.switch(victim).unwrap().config();
+        sdn.fail_switch(victim);
+        // Simulate the old node's state being gone (or corrupted): replace it with a
+        // switch carrying the wrong, default capacity before reviving.
+        let bogus = SdnNode::Switch(SwitchNode::new(
+            AbstractSwitch::new(victim, SwitchConfig::default()),
+            &sdn.harness_config(),
+        ));
+        sdn.sim_mut().replace_node(victim, bogus);
+        sdn.revive_switch(victim);
+        let revived = sdn.switch(victim).unwrap();
+        assert_eq!(
+            revived.config(),
+            expected,
+            "revival must recompute the Lemma 1 capacity, not inherit stale state"
+        );
+        assert_eq!(revived.rules().len(), 0, "revived switch starts empty");
+        // The revived switch rejoins the deployment and ends up managed again.
+        sdn.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("recovery after switch revival");
+        assert!(!sdn.switch(victim).unwrap().managers().is_empty());
     }
 
     #[test]

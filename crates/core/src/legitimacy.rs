@@ -15,11 +15,10 @@
 use crate::harness::SdnNetwork;
 use sdn_switch::forwarding;
 use sdn_topology::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// The outcome of a legitimacy check: an empty issue list means the state is legitimate.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LegitimacyReport {
     /// Human-readable descriptions of every violated condition.
     pub issues: Vec<String>,
@@ -95,8 +94,11 @@ pub fn check(net: &SdnNetwork) -> LegitimacyReport {
                 "switch {s} managers {actual_managers:?} differ from live controllers {expected_managers:?}"
             ));
         }
-        let rule_owners: BTreeSet<NodeId> =
-            switch.rules().controllers_with_rules().into_iter().collect();
+        let rule_owners: BTreeSet<NodeId> = switch
+            .rules()
+            .controllers_with_rules()
+            .into_iter()
+            .collect();
         for owner in rule_owners {
             if !expected_managers.contains(&owner) {
                 report.push(format!(
@@ -117,7 +119,9 @@ pub fn check(net: &SdnNetwork) -> LegitimacyReport {
                 report.push(format!("no in-band path from controller {c} to {node}"));
             }
             if route_in_band(net, &operational, node, c).is_none() {
-                report.push(format!("no in-band path from {node} back to controller {c}"));
+                report.push(format!(
+                    "no in-band path from {node} back to controller {c}"
+                ));
             }
         }
     }
@@ -199,21 +203,14 @@ pub fn route_in_band(
                     .first_hop_candidates(to)
                     .into_iter()
                     .find(|h| neighbors.contains(h) && !visited.contains(h))
-                    .or_else(|| {
-                        (neighbors.contains(&to) && !visited.contains(&to)).then_some(to)
-                    })
+                    .or_else(|| (neighbors.contains(&to) && !visited.contains(&to)).then_some(to))
             } else {
                 None
             }
         } else if let Some(switch) = net.switch(cur) {
-            forwarding::decide(
-                switch.rules(),
-                from,
-                to,
-                &visited,
-                &neighbors,
-                &mut |_| true,
-            )
+            forwarding::decide(switch.rules(), from, to, &visited, &neighbors, &mut |_| {
+                true
+            })
         } else {
             None
         };
@@ -290,7 +287,10 @@ mod tests {
         let victim = sdn.switch_ids()[2];
         sdn.switch_mut(victim).unwrap().corrupt_clear();
         let report = sdn.legitimacy_report();
-        assert!(!report.is_legitimate(), "cleared switch must break legitimacy");
+        assert!(
+            !report.is_legitimate(),
+            "cleared switch must break legitimacy"
+        );
         // The controller re-installs everything within a bounded time.
         let elapsed = sdn
             .run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
@@ -312,7 +312,9 @@ mod tests {
             tag: sdn_tags::Tag::new(99, 1),
         };
         sdn.switch_mut(victim).unwrap().corrupt_install_rule(bogus);
-        sdn.switch_mut(victim).unwrap().corrupt_add_manager(NodeId::new(99));
+        sdn.switch_mut(victim)
+            .unwrap()
+            .corrupt_add_manager(NodeId::new(99));
         let report = sdn.legitimacy_report();
         assert!(report
             .issues

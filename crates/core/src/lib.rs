@@ -16,19 +16,46 @@
 //!   switches, discrete-event network) with fault injection, replacing the paper's
 //!   OVS/Floodlight/Mininet testbed,
 //! * [`faults`] — arbitrary transient-state corruption (the Theorem 2 experiments the
-//!   original prototype could not run).
+//!   original prototype could not run),
+//! * [`scenario`] — the declarative experiment API: [`scenario::ScenarioBuilder`]
+//!   composes a topology, configurations, a typed fault schedule, traffic workloads,
+//!   and probes, and a single event-driven runner executes the whole experiment over
+//!   multiple seeds.
 //!
 //! # Quick start
+//!
+//! Declare an experiment — topology, faults, repetitions — and run it:
+//!
+//! ```
+//! use renaissance::scenario::{ControllerSelector, FaultEvent, Scenario};
+//! use sdn_netsim::SimDuration;
+//!
+//! // A small ring with 2 controllers bootstraps in-band to a legitimate state; one
+//! // controller then fail-stops and the survivor cleans up after it.
+//! let report = Scenario::builder("quickstart")
+//!     .topology(sdn_topology::builders::ring(5, 2))
+//!     .task_delay(SimDuration::from_millis(100))
+//!     .fault_at(
+//!         SimDuration::from_secs(1),
+//!         FaultEvent::FailController(ControllerSelector::Index(1)),
+//!     )
+//!     .runs(2)
+//!     .run();
+//! assert!(report.all_converged());
+//! assert!(report.bootstrap_samples().mean() > 0.0);
+//! assert!(report.recovery_samples().mean() > 0.0);
+//! ```
+//!
+//! The [`harness::SdnNetwork`] escape hatch underneath remains available for ad-hoc
+//! driving:
 //!
 //! ```
 //! use renaissance::{ControllerConfig, HarnessConfig, SdnNetwork};
 //! use sdn_netsim::SimDuration;
 //! use sdn_topology::builders;
 //!
-//! // A small ring network with 2 controllers bootstraps in-band to a legitimate state.
-//! let topology = builders::ring(5, 2);
 //! let mut sdn = SdnNetwork::new(
-//!     topology,
+//!     builders::ring(5, 2),
 //!     ControllerConfig::for_network(2, 5),
 //!     HarnessConfig::default().with_task_delay(SimDuration::from_millis(100)),
 //! );
@@ -49,6 +76,7 @@ pub mod legitimacy;
 pub mod nodes;
 pub mod packet;
 pub mod reply_db;
+pub mod scenario;
 
 pub use config::{ControllerConfig, HarnessConfig, Variant};
 pub use controller::{Controller, ControllerStats};
@@ -58,3 +86,4 @@ pub use legitimacy::LegitimacyReport;
 pub use nodes::SdnNode;
 pub use packet::{ControlPacket, PacketBody};
 pub use reply_db::ReplyDb;
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioReport, ScenarioRunner};

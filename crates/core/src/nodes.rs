@@ -38,7 +38,12 @@ impl ControllerNode {
         }
     }
 
-    fn send_packet(&mut self, ctx: &mut Context<ControlPacket>, mut packet: ControlPacket, hint: Option<NodeId>) {
+    fn send_packet(
+        &mut self,
+        ctx: &mut Context<ControlPacket>,
+        mut packet: ControlPacket,
+        hint: Option<NodeId>,
+    ) {
         let dst = packet.dst;
         packet.arrive_at(ctx.id());
         // Prefer the flow plan's candidates, then a direct neighbor, then the hint
@@ -92,7 +97,12 @@ impl Node<ControlPacket> for ControllerNode {
         ctx.schedule(next, TASK_TIMER);
     }
 
-    fn on_message(&mut self, from: NodeId, packet: ControlPacket, ctx: &mut Context<ControlPacket>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        packet: ControlPacket,
+        ctx: &mut Context<ControlPacket>,
+    ) {
         if packet.dst != self.controller.id() {
             // Controllers do not forward packets; the data plane must route around them.
             self.unroutable_packets += 1;
@@ -147,13 +157,11 @@ impl SwitchNode {
         }
         packet.arrive_at(self.switch.id());
         let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
-        let decision = self.switch.next_hop(
-            packet.src,
-            packet.dst,
-            &packet.visited,
-            &neighbors,
-            |_| true,
-        );
+        let decision =
+            self.switch
+                .next_hop(packet.src, packet.dst, &packet.visited, &neighbors, |_| {
+                    true
+                });
         match decision {
             Some(hop) => ctx.send(hop, packet),
             None => {
@@ -168,7 +176,12 @@ impl SwitchNode {
 }
 
 impl Node<ControlPacket> for SwitchNode {
-    fn on_message(&mut self, _from: NodeId, packet: ControlPacket, ctx: &mut Context<ControlPacket>) {
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        packet: ControlPacket,
+        ctx: &mut Context<ControlPacket>,
+    ) {
         if packet.dst != self.switch.id() {
             self.forward(ctx, packet);
             return;

@@ -10,10 +10,9 @@
 use sdn_netsim::Payload;
 use sdn_switch::{CommandBatch, QueryReply};
 use sdn_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// What a control packet carries.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum PacketBody {
     /// A controller-to-node command batch (switches apply it; controllers answer the
     /// trailing query and ignore the rest, per Algorithm 2 line 23).
@@ -48,7 +47,7 @@ impl PacketBody {
 /// assert_eq!(pkt.dst, NodeId::new(7));
 /// assert_eq!(pkt.visited, vec![NodeId::new(0)]);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ControlPacket {
     /// The node that originated the packet (matched by the rules' source field).
     pub src: NodeId,
@@ -124,7 +123,12 @@ mod tests {
     }
 
     fn query_packet(src: u32, dst: u32, ttl: u16) -> ControlPacket {
-        let batch = CommandBatch::new(n(src), vec![SwitchCommand::Query { tag: Tag::new(src, 1) }]);
+        let batch = CommandBatch::new(
+            n(src),
+            vec![SwitchCommand::Query {
+                tag: Tag::new(src, 1),
+            }],
+        );
         ControlPacket::new(n(src), n(dst), ttl, PacketBody::Commands(batch))
     }
 
@@ -178,7 +182,11 @@ mod tests {
             n(5),
             n(0),
             8,
-            PacketBody::Reply(QueryReply::from_controller(n(5), vec![n(1)], Tag::new(0, 1))),
+            PacketBody::Reply(QueryReply::from_controller(
+                n(5),
+                vec![n(1)],
+                Tag::new(0, 1),
+            )),
         );
         assert!(reply.wire_size() > 24);
     }

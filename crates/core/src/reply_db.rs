@@ -10,7 +10,6 @@
 use sdn_switch::QueryReply;
 use sdn_tags::Tag;
 use sdn_topology::{paths, Graph, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Outcome of inserting a reply into the database.
@@ -25,7 +24,7 @@ pub enum InsertOutcome {
 }
 
 /// Bounded store of query replies keyed by `(responder, round tag)`.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ReplyDb {
     max_replies: usize,
     records: BTreeMap<(NodeId, Tag), QueryReply>,
@@ -90,12 +89,7 @@ impl ReplyDb {
     /// Removes every reply whose tag is not in `live_tags` or whose responder is not
     /// reachable from the controller according to the topology derivable from replies of
     /// the *same* tag (Algorithm 2 line 8).
-    pub fn prune(
-        &mut self,
-        self_id: NodeId,
-        self_neighbors: &[NodeId],
-        live_tags: &[Tag],
-    ) {
+    pub fn prune(&mut self, self_id: NodeId, self_neighbors: &[NodeId], live_tags: &[Tag]) {
         // Replies claiming to come from the controller itself are always synthesized
         // fresh, never stored (line 5 of Algorithm 1): drop any stored one.
         self.records.retain(|(node, _), _| *node != self_id);
@@ -307,7 +301,7 @@ mod tests {
         let mut db = ReplyDb::new(8);
         db.insert(reply(3, &[0, 4], T1), T1);
         db.insert(reply(9, &[10], T1), T1); // not connected to controller 0
-        // An old-tag reply sneaks in (e.g. left over from a corrupted state).
+                                            // An old-tag reply sneaks in (e.g. left over from a corrupted state).
         db.records.insert((n(7), T2), reply(7, &[0], T2));
         db.prune(n(0), &[n(3)], &[T1]);
         assert!(db.get(n(3), T1).is_some());
@@ -331,7 +325,11 @@ mod tests {
         db.records.insert((n(5), T1), reply(5, &[0], T1));
         let fusion = db.fusion(T2, T1);
         assert_eq!(fusion[&n(3)].neighbors.len(), 2, "current-round reply wins");
-        assert_eq!(fusion[&n(5)].neighbors.len(), 1, "previous round fills gaps");
+        assert_eq!(
+            fusion[&n(5)].neighbors.len(),
+            1,
+            "previous round fills gaps"
+        );
         let g = db.fusion_graph(T2, T1, n(0), &[n(3), n(5)]);
         assert!(g.has_link(n(3), n(4)));
         assert!(g.has_link(n(0), n(5)));

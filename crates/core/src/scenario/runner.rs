@@ -1,0 +1,480 @@
+//! The event-driven scenario executor.
+//!
+//! One [`ScenarioRunner`] run replaces the bespoke bootstrap/inject/poll loops the
+//! experiment binaries used to hand-roll: a single agenda merges fault batches,
+//! workload ticks, probe samples, and legitimacy checks, and the simulator is advanced
+//! from one agenda instant to the next. Legitimacy is still evaluated on the
+//! scenario's `check_every` cadence — measurement resolution is unchanged from the
+//! polling days, so results are bit-identical with equal seeds (the scenario
+//! regression test relies on this).
+
+use super::report::{InjectedFault, RecoveryRecord, RunReport, ScenarioReport};
+use super::schedule::FaultContext;
+use super::workload::{Workload, WorkloadTick};
+use super::{ControlPlane, ProbeSeries, Scenario};
+use crate::config::ControllerConfig;
+use crate::harness::SdnNetwork;
+use sdn_netsim::{SimDuration, SimTime};
+
+/// Executes a [`Scenario`] over its configured seeds.
+pub struct ScenarioRunner<'a> {
+    scenario: &'a Scenario,
+}
+
+impl<'a> ScenarioRunner<'a> {
+    /// Creates a runner for `scenario`.
+    pub fn new(scenario: &'a Scenario) -> Self {
+        ScenarioRunner { scenario }
+    }
+
+    /// Runs every seed and aggregates the per-run reports.
+    pub fn run(&self) -> ScenarioReport {
+        let base = self.scenario.base_seed();
+        let mut report = ScenarioReport {
+            scenario: self.scenario.name.clone(),
+            network: self.scenario.topology.label(),
+            runs: Vec::with_capacity(self.scenario.runs),
+        };
+        for i in 0..self.scenario.runs {
+            report.runs.push(self.run_seed(base + i as u64));
+        }
+        report
+    }
+
+    /// Runs the scenario once with an explicit seed.
+    pub fn run_seed(&self, seed: u64) -> RunReport {
+        SingleRun::new(self.scenario, seed).execute()
+    }
+}
+
+/// One agenda entry of the post-bootstrap phase. Offsets are relative to the bootstrap
+/// instant; `order` breaks ties at equal offsets: workload ticks observe the pre-fault
+/// state, then workloads finish, then fault batches fire.
+struct AgendaItem {
+    offset: SimDuration,
+    order: u8,
+    kind: AgendaKind,
+}
+
+enum AgendaKind {
+    Tick { workload: usize, tick: WorkloadTick },
+    Finish { workload: usize },
+    Batch { index: usize },
+}
+
+struct SingleRun<'a> {
+    sc: &'a Scenario,
+    seed: u64,
+    net: SdnNetwork,
+    ctx: FaultContext,
+    workloads: Vec<Box<dyn Workload>>,
+    probe_series: Vec<ProbeSeries>,
+    next_probe: Option<SimTime>,
+    /// The run's logical clock: equals the simulator clock in live mode, advances
+    /// virtually past the bootstrap instant in frozen mode.
+    clock: SimTime,
+    report: RunReport,
+}
+
+impl<'a> SingleRun<'a> {
+    fn new(sc: &'a Scenario, seed: u64) -> Self {
+        let topology = sc.topology.build(sc.controllers);
+        let controller_config = sc.controller_config.unwrap_or_else(|| {
+            ControllerConfig::for_network(topology.controller_count(), topology.switch_count())
+        });
+        let controller_config = match sc.tune {
+            Some(tune) => tune(controller_config),
+            None => controller_config,
+        };
+        let harness = sc.harness.with_seed(seed);
+        let net = SdnNetwork::new(topology, controller_config, harness);
+        let probe_series = sc
+            .probes
+            .iter()
+            .map(|p| ProbeSeries::new(p.name()))
+            .collect();
+        let next_probe = if sc.probes.is_empty() {
+            None
+        } else {
+            Some(net.now())
+        };
+        SingleRun {
+            sc,
+            seed,
+            net,
+            ctx: FaultContext::new(seed),
+            workloads: sc.workloads.iter().map(|factory| factory()).collect(),
+            probe_series,
+            next_probe,
+            clock: SimTime::ZERO,
+            report: RunReport {
+                seed,
+                ..RunReport::default()
+            },
+        }
+    }
+
+    fn execute(mut self) -> RunReport {
+        let bootstrap = self.bootstrap();
+        self.report.bootstrap_s = bootstrap.map(|d| d.as_secs_f64());
+        if bootstrap.is_some() {
+            self.post_bootstrap();
+        }
+        self.finalize()
+    }
+
+    /// Phase A: from the initial (empty-configuration) state to the first legitimate
+    /// state. Semantically identical to `SdnNetwork::run_until_legitimate` — legitimacy
+    /// is checked every `check_every` — with probe samples interleaved.
+    fn bootstrap(&mut self) -> Option<SimDuration> {
+        let started = self.net.now();
+        let deadline = started + self.sc.timeout;
+        loop {
+            if self.net.is_legitimate() {
+                return Some(self.net.now() - started);
+            }
+            if self.net.now() >= deadline {
+                return None;
+            }
+            let target = self.net.now() + self.sc.check_every;
+            self.advance_to(target, true);
+        }
+    }
+
+    /// Phase B: workloads, scheduled faults, and recovery measurements, all relative to
+    /// the bootstrap instant.
+    fn post_bootstrap(&mut self) {
+        let origin = self.net.now();
+        let live = self.sc.control_plane == ControlPlane::Live;
+
+        for workload in &mut self.workloads {
+            workload.start(&mut self.net);
+        }
+        let agenda = self.build_agenda();
+        let batches = self.sc.schedule.batches();
+
+        let mut idx = 0usize;
+        // Time of the fault batch we are currently measuring recovery for, plus the
+        // instant of its next legitimacy check.
+        let mut awaiting: Option<SimTime> = None;
+        let mut next_check = SimTime::ZERO;
+        loop {
+            let agenda_at = agenda.get(idx).map(|item| origin + item.offset);
+            let check_at = if live {
+                awaiting.map(|_| next_check)
+            } else {
+                None
+            };
+            let step = match (agenda_at, check_at) {
+                (None, None) => break,
+                (Some(a), Some(c)) if c <= a => Step::Check(c),
+                (Some(a), _) => Step::Agenda(a),
+                (None, Some(c)) => Step::Check(c),
+            };
+            match step {
+                Step::Check(at) => {
+                    self.advance_to(at, live);
+                    let since = awaiting.expect("check scheduled while not awaiting");
+                    if self.net.is_legitimate() {
+                        self.report.recoveries.push(RecoveryRecord {
+                            fault_at_s: (since - origin).as_secs_f64(),
+                            recovered_in_s: Some((at - since).as_secs_f64()),
+                        });
+                        awaiting = None;
+                    } else if at >= since + self.sc.timeout {
+                        self.report.recoveries.push(RecoveryRecord {
+                            fault_at_s: (since - origin).as_secs_f64(),
+                            recovered_in_s: None,
+                        });
+                        awaiting = None;
+                    } else {
+                        next_check = at + self.sc.check_every;
+                    }
+                }
+                Step::Agenda(at) => {
+                    self.advance_to(at, live);
+                    let item = &agenda[idx];
+                    idx += 1;
+                    match item.kind {
+                        AgendaKind::Tick { workload, tick } => {
+                            self.workloads[workload].tick(&mut self.net, tick);
+                        }
+                        AgendaKind::Finish { workload } => {
+                            let report = self.workloads[workload].finish(&mut self.net);
+                            self.report.workloads.push(report);
+                        }
+                        AgendaKind::Batch { index } => {
+                            // A new batch interrupts any still-pending recovery wait.
+                            if let Some(since) = awaiting.take() {
+                                self.report.recoveries.push(RecoveryRecord {
+                                    fault_at_s: (since - origin).as_secs_f64(),
+                                    recovered_in_s: None,
+                                });
+                            }
+                            let (offset, events) = &batches[index];
+                            for event in events {
+                                for description in self.ctx.apply(&mut self.net, event) {
+                                    self.report.injected.push(InjectedFault {
+                                        at_s: offset.as_secs_f64(),
+                                        description,
+                                    });
+                                }
+                            }
+                            if live {
+                                awaiting = Some(at);
+                                next_check = at;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the sorted post-bootstrap agenda from workload windows and fault batches.
+    fn build_agenda(&self) -> Vec<AgendaItem> {
+        let mut items = Vec::new();
+        for (wi, workload) in self.workloads.iter().enumerate() {
+            let interval = workload.tick_interval();
+            assert!(
+                !interval.is_zero(),
+                "workload '{}' has a zero tick interval",
+                workload.label()
+            );
+            let ticks = workload.duration().as_micros() / interval.as_micros();
+            let mut offset = SimDuration::ZERO;
+            for k in 1..=ticks {
+                offset += interval;
+                items.push(AgendaItem {
+                    offset,
+                    order: 0,
+                    kind: AgendaKind::Tick {
+                        workload: wi,
+                        tick: WorkloadTick {
+                            index: k as u32,
+                            elapsed: offset,
+                        },
+                    },
+                });
+            }
+            items.push(AgendaItem {
+                offset,
+                order: 1,
+                kind: AgendaKind::Finish { workload: wi },
+            });
+        }
+        for (bi, (offset, _)) in self.sc.schedule.batches().iter().enumerate() {
+            items.push(AgendaItem {
+                offset: *offset,
+                order: 2,
+                kind: AgendaKind::Batch { index: bi },
+            });
+        }
+        items.sort_by_key(|item| (item.offset, item.order));
+        items
+    }
+
+    /// Brings the run to `target`: samples every probe instant up to `target`, and (in
+    /// live mode) advances the simulator. In frozen mode the simulator clock stands
+    /// still and probe timestamps advance virtually.
+    fn advance_to(&mut self, target: SimTime, live: bool) {
+        while let Some(at) = self.next_probe {
+            if at > target {
+                break;
+            }
+            if live {
+                self.net.run_until(at);
+            }
+            for (probe, series) in self.sc.probes.iter().zip(&mut self.probe_series) {
+                series.push(at.as_secs_f64(), probe.sample(&self.net));
+            }
+            self.next_probe = Some(at + self.sc.sample_every);
+        }
+        if live {
+            self.net.run_until(target);
+        }
+        self.clock = self.clock.max(target);
+    }
+
+    /// One last probe sample at the end of the run, so every series reflects the final
+    /// state even when the run ends between two scheduled samples.
+    fn sample_probes_at_end(&mut self) {
+        if self.sc.probes.is_empty() {
+            return;
+        }
+        let at = self.clock.as_secs_f64();
+        if self.probe_series[0].times_s.last() == Some(&at) {
+            return;
+        }
+        for (probe, series) in self.sc.probes.iter().zip(&mut self.probe_series) {
+            series.push(at, probe.sample(&self.net));
+        }
+    }
+
+    fn finalize(mut self) -> RunReport {
+        self.sample_probes_at_end();
+        for (name, f) in &self.sc.summaries {
+            self.report.summaries.push((name.clone(), f(&self.net)));
+        }
+        self.report.probes = self.probe_series;
+        self.report.final_legitimate = self.net.is_legitimate();
+        self.report.total_rules = self.net.total_rules();
+        self.report.max_rules_per_switch = self.net.max_rules_per_switch();
+        self.report.messages_sent = self.net.metrics().total_sent();
+        self.report.sim_end_s = self.net.now().as_secs_f64();
+        self.report.seed = self.seed;
+        self.report
+    }
+}
+
+enum Step {
+    Agenda(SimTime),
+    Check(SimTime),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{
+        ControllerSelector, Endpoints, FaultEvent, LinkSelector, Probe, Scenario, SwitchSelector,
+    };
+    use sdn_topology::builders;
+
+    fn small(name: &str) -> crate::scenario::ScenarioBuilder {
+        Scenario::builder(name)
+            .topology(builders::ring(5, 2))
+            .task_delay(SimDuration::from_millis(100))
+            .check_every(SimDuration::from_millis(100))
+            .timeout(SimDuration::from_secs(120))
+    }
+
+    #[test]
+    fn bootstrap_only_scenario_measures_bootstrap() {
+        let report = small("bootstrap").runs(2).run();
+        assert_eq!(report.network, "Ring-5");
+        assert_eq!(report.runs.len(), 2);
+        assert!(report.all_converged());
+        let samples = report.bootstrap_samples();
+        assert_eq!(samples.len(), 2);
+        assert!(samples.min() > 0.0);
+        // Different seeds are recorded per run.
+        assert_ne!(report.runs[0].seed, report.runs[1].seed);
+    }
+
+    #[test]
+    fn scenario_matches_direct_harness_run() {
+        // The runner's bootstrap must be bit-identical to the polling escape hatch.
+        let report = small("parity").seeds_from(3).run();
+        let topology = builders::ring(5, 2);
+        let mut direct = SdnNetwork::new(
+            topology,
+            ControllerConfig::for_network(2, 5),
+            crate::HarnessConfig::default()
+                .with_task_delay(SimDuration::from_millis(100))
+                .with_seed(3),
+        );
+        let elapsed = direct
+            .run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("bootstrap");
+        assert_eq!(report.runs[0].bootstrap_s, Some(elapsed.as_secs_f64()));
+    }
+
+    #[test]
+    fn fault_batches_produce_recovery_records() {
+        let report = small("controller-failure")
+            .fault_at(
+                SimDuration::ZERO,
+                FaultEvent::FailController(ControllerSelector::Index(1)),
+            )
+            .run();
+        let run = &report.runs[0];
+        assert_eq!(run.recoveries.len(), 1);
+        assert_eq!(run.recoveries[0].fault_at_s, 0.0);
+        assert!(run.recoveries[0].recovered_in_s.unwrap() > 0.0);
+        assert_eq!(run.injected.len(), 1);
+        assert!(run.injected[0].description.contains("fail-stop controller"));
+        assert!(run.final_legitimate);
+    }
+
+    #[test]
+    fn temporary_link_failure_and_restore_are_two_batches() {
+        let report = small("flap")
+            .fault_at(
+                SimDuration::ZERO,
+                FaultEvent::FailLink(LinkSelector::RandomSafe { count: 1 }),
+            )
+            .fault_at(
+                SimDuration::from_secs(30),
+                FaultEvent::RestoreLastFailedLinks,
+            )
+            .run();
+        let run = &report.runs[0];
+        assert_eq!(run.recoveries.len(), 2);
+        assert!(run.recoveries.iter().all(|r| r.recovered_in_s.is_some()));
+        assert!(run.final_legitimate);
+    }
+
+    #[test]
+    fn probes_sample_through_the_run() {
+        let report = small("probed")
+            .probe(Probe::legitimacy())
+            .probe(Probe::total_rules())
+            .sample_probes_every(SimDuration::from_millis(500))
+            .fault_at(
+                SimDuration::ZERO,
+                FaultEvent::FailSwitch(SwitchSelector::Random),
+            )
+            .run();
+        let run = &report.runs[0];
+        let legitimacy = run.probe("legitimacy").expect("legitimacy series");
+        assert!(legitimacy.values.len() > 2);
+        // First sample is at t=0 with an un-bootstrapped (illegitimate) network.
+        assert_eq!(legitimacy.times_s[0], 0.0);
+        assert_eq!(legitimacy.values[0], 0.0);
+        // It ends legitimate after recovery.
+        assert_eq!(legitimacy.last(), Some(1.0));
+        let rules = run.probe("total_rules").expect("total_rules series");
+        assert!(rules.last().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn mid_path_removal_with_fixed_endpoints_recovers() {
+        let report = small("mid-path")
+            .fault_at(
+                SimDuration::from_secs(2),
+                FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
+            )
+            .run();
+        let run = &report.runs[0];
+        assert_eq!(run.injected.len(), 1);
+        assert!(run.injected[0].description.contains("remove link"));
+        assert!(run.recoveries[0].recovered_in_s.is_some());
+    }
+
+    #[test]
+    fn frozen_control_plane_skips_recovery_tracking() {
+        let report = small("frozen")
+            .control_plane(ControlPlane::Frozen)
+            .fault_at(
+                SimDuration::from_secs(1),
+                FaultEvent::RemoveLink(LinkSelector::RandomSafe { count: 1 }),
+            )
+            .run();
+        let run = &report.runs[0];
+        assert!(run.bootstrap_s.is_some());
+        assert_eq!(run.injected.len(), 1);
+        // No recovery record: the control plane never ran after the fault.
+        assert!(run.recoveries.is_empty());
+        // The simulated clock did not advance past the bootstrap instant.
+        assert_eq!(run.sim_end_s, run.bootstrap_s.unwrap());
+    }
+
+    #[test]
+    fn summaries_are_evaluated_at_end_of_run() {
+        let report = small("summarized")
+            .summary("live_switches", |net| net.live_switch_ids().len() as f64)
+            .run();
+        assert_eq!(report.runs[0].summary("live_switches"), Some(5.0));
+        assert_eq!(report.summary_samples("live_switches").mean(), 5.0);
+    }
+}

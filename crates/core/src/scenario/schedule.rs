@@ -1,0 +1,472 @@
+//! Typed, time-stamped fault schedules.
+//!
+//! A [`FaultSchedule`] is a list of [`FaultEvent`]s at offsets relative to the moment
+//! the network first reaches a legitimate state (the paper injects every fault into an
+//! already-stabilized network). Events carry *selectors* rather than concrete victims,
+//! so one declarative scenario covers the paper's randomized experiments: the runner
+//! resolves selectors per seeded run, deterministically.
+
+use crate::faults::{CorruptionPlan, FaultInjector};
+use crate::harness::SdnNetwork;
+use crate::legitimacy;
+use sdn_netsim::SimDuration;
+use sdn_rng::Rng;
+use sdn_topology::{paths, NodeId};
+
+/// How a fault event picks its controller victim(s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControllerSelector {
+    /// A concrete controller.
+    Id(NodeId),
+    /// The controller at this index of [`SdnNetwork::controller_ids`].
+    Index(usize),
+    /// `count` random live controllers — but never all of them, so the control-plane
+    /// task stays solvable (the paper's Figures 10/11 always leave one controller).
+    Random {
+        /// How many controllers fail simultaneously.
+        count: usize,
+    },
+}
+
+/// How a fault event picks its switch victim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchSelector {
+    /// A concrete switch.
+    Id(NodeId),
+    /// A random live switch whose removal keeps the rest of the network connected
+    /// (the paper's Figure 12 experiment also always stays connected).
+    Random,
+}
+
+/// Endpoints of a data-plane path, used by [`LinkSelector::MidPath`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoints {
+    /// Two concrete nodes.
+    Nodes(NodeId, NodeId),
+    /// The two switches at maximal distance in the switch graph — where the paper
+    /// attaches its iperf hosts (Section 6.4.3).
+    FarthestSwitches,
+}
+
+impl Endpoints {
+    /// Resolves the endpoints against a concrete network.
+    pub fn resolve(&self, net: &SdnNetwork) -> Option<(NodeId, NodeId)> {
+        match *self {
+            Endpoints::Nodes(a, b) => Some((a, b)),
+            Endpoints::FarthestSwitches => {
+                paths::farthest_pair(&net.topology().switch_graph).map(|(a, b, _)| (a, b))
+            }
+        }
+    }
+}
+
+/// How a fault event picks the link(s) it acts on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkSelector {
+    /// A concrete link.
+    Between(NodeId, NodeId),
+    /// `count` random links whose removal keeps the network in-band connected
+    /// (Figures 13/14).
+    RandomSafe {
+        /// How many links are picked simultaneously.
+        count: usize,
+    },
+    /// The link closest to the middle of the current in-band data-plane path between
+    /// the endpoints, preferring links whose removal keeps the topology connected —
+    /// the paper's Figures 15/16 mid-path failure.
+    MidPath(Endpoints),
+}
+
+/// One typed fault, to be applied at a scheduled instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Fail-stop of one or more controllers (Figures 10/11).
+    FailController(ControllerSelector),
+    /// Fail-stop of a switch (Figure 12).
+    FailSwitch(SwitchSelector),
+    /// Permanent removal of link(s) from `Gc` (Figures 13/14).
+    RemoveLink(LinkSelector),
+    /// Temporary link failure — the link stays part of `Gc`.
+    FailLink(LinkSelector),
+    /// Restores a concrete temporarily-failed link.
+    RestoreLink(NodeId, NodeId),
+    /// Restores every link taken down by the most recent `FailLink` event.
+    RestoreLastFailedLinks,
+    /// Adds a brand-new link to `Gc`.
+    AddLink(NodeId, NodeId),
+    /// Revives a concrete controller with fresh (empty) state (Lemma 8).
+    ReviveController(NodeId),
+    /// Revives the controller taken down by the most recent `FailController` event.
+    ReviveLastFailedController,
+    /// Revives a concrete switch with empty configuration.
+    ReviveSwitch(NodeId),
+    /// Revives the switch taken down by the most recent `FailSwitch` event.
+    ReviveLastFailedSwitch,
+    /// Arbitrary transient state corruption (the Theorem 2 experiments).
+    CorruptState(CorruptionPlan),
+}
+
+/// A time-ordered list of fault events, offsets relative to the bootstrap instant.
+///
+/// # Example
+///
+/// ```
+/// use renaissance::scenario::{ControllerSelector, FaultEvent, FaultSchedule, LinkSelector};
+/// use sdn_netsim::SimDuration;
+///
+/// let schedule = FaultSchedule::new()
+///     .at(SimDuration::from_secs(5), FaultEvent::RemoveLink(LinkSelector::RandomSafe { count: 2 }))
+///     .at(SimDuration::from_secs(5), FaultEvent::FailController(ControllerSelector::Random { count: 1 }));
+/// assert_eq!(schedule.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<(SimDuration, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Adds an event at `offset` after the bootstrap instant. Events at equal offsets
+    /// form one *batch*: they are applied together and recovery is measured once for
+    /// the whole batch.
+    pub fn at(mut self, offset: SimDuration, event: FaultEvent) -> Self {
+        self.events.push((offset, event));
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events grouped into batches by offset, sorted by offset (stable: insertion
+    /// order is kept within a batch).
+    pub fn batches(&self) -> Vec<(SimDuration, Vec<FaultEvent>)> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|&(offset, _)| offset);
+        let mut batches: Vec<(SimDuration, Vec<FaultEvent>)> = Vec::new();
+        for (offset, event) in sorted {
+            match batches.last_mut() {
+                Some((at, events)) if *at == offset => events.push(event),
+                _ => batches.push((offset, vec![event])),
+            }
+        }
+        batches
+    }
+}
+
+/// Per-run state the fault executor threads through event applications: deterministic
+/// randomness plus the victims of the most recent events (for the `*LastFailed*`
+/// targets).
+#[derive(Debug)]
+pub struct FaultContext {
+    rng: Rng,
+    injector: FaultInjector,
+    /// Links taken down by the most recent `FailLink` event.
+    pub last_failed_links: Vec<(NodeId, NodeId)>,
+    /// Controller taken down most recently.
+    pub last_failed_controller: Option<NodeId>,
+    /// Switch taken down most recently.
+    pub last_failed_switch: Option<NodeId>,
+}
+
+impl FaultContext {
+    /// Creates a context for one seeded run. Equal seeds resolve selectors to equal
+    /// victims.
+    pub fn new(seed: u64) -> Self {
+        FaultContext {
+            rng: Rng::seed_from_u64(seed ^ 0x5CEA_A210),
+            injector: FaultInjector::new(seed ^ 0xFA17),
+            last_failed_links: Vec::new(),
+            last_failed_controller: None,
+            last_failed_switch: None,
+        }
+    }
+
+    /// Applies one event to `net`, resolving selectors, and returns a human-readable
+    /// description of everything that was actually done.
+    pub fn apply(&mut self, net: &mut SdnNetwork, event: &FaultEvent) -> Vec<String> {
+        let mut done = Vec::new();
+        match *event {
+            FaultEvent::FailController(selector) => {
+                for victim in self.resolve_controllers(net, selector) {
+                    net.fail_controller(victim);
+                    self.last_failed_controller = Some(victim);
+                    done.push(format!("fail-stop controller {victim}"));
+                }
+            }
+            FaultEvent::FailSwitch(selector) => {
+                if let Some(victim) = self.resolve_switch(net, selector) {
+                    net.fail_switch(victim);
+                    self.last_failed_switch = Some(victim);
+                    done.push(format!("fail-stop switch {victim}"));
+                }
+            }
+            FaultEvent::RemoveLink(selector) => {
+                for (a, b) in self.resolve_links(net, selector) {
+                    net.remove_link(a, b);
+                    done.push(format!("remove link {a}-{b}"));
+                }
+            }
+            FaultEvent::FailLink(selector) => {
+                let links = self.resolve_links(net, selector);
+                if !links.is_empty() {
+                    self.last_failed_links = links.clone();
+                }
+                for (a, b) in links {
+                    net.fail_link(a, b);
+                    done.push(format!("fail link {a}-{b}"));
+                }
+            }
+            FaultEvent::RestoreLink(a, b) => {
+                net.restore_link(a, b);
+                done.push(format!("restore link {a}-{b}"));
+            }
+            FaultEvent::RestoreLastFailedLinks => {
+                for (a, b) in std::mem::take(&mut self.last_failed_links) {
+                    net.restore_link(a, b);
+                    done.push(format!("restore link {a}-{b}"));
+                }
+            }
+            FaultEvent::AddLink(a, b) => {
+                net.add_link(a, b);
+                done.push(format!("add link {a}-{b}"));
+            }
+            FaultEvent::ReviveController(id) => {
+                net.revive_controller(id);
+                done.push(format!("revive controller {id}"));
+            }
+            FaultEvent::ReviveLastFailedController => {
+                if let Some(id) = self.last_failed_controller.take() {
+                    net.revive_controller(id);
+                    done.push(format!("revive controller {id}"));
+                }
+            }
+            FaultEvent::ReviveSwitch(id) => {
+                net.revive_switch(id);
+                done.push(format!("revive switch {id}"));
+            }
+            FaultEvent::ReviveLastFailedSwitch => {
+                if let Some(id) = self.last_failed_switch.take() {
+                    net.revive_switch(id);
+                    done.push(format!("revive switch {id}"));
+                }
+            }
+            FaultEvent::CorruptState(plan) => {
+                let mutations = self.injector.corrupt(net, plan);
+                done.push(format!("corrupt state ({mutations} mutations)"));
+            }
+        }
+        done
+    }
+
+    fn resolve_controllers(
+        &mut self,
+        net: &SdnNetwork,
+        selector: ControllerSelector,
+    ) -> Vec<NodeId> {
+        match selector {
+            ControllerSelector::Id(id) => vec![id],
+            ControllerSelector::Index(i) => {
+                let ids = net.controller_ids();
+                ids.get(i).copied().into_iter().collect()
+            }
+            ControllerSelector::Random { count } => {
+                let mut candidates = net.live_controller_ids();
+                // Never kill every controller: the task needs at least one.
+                let kill = count.min(candidates.len().saturating_sub(1));
+                let mut victims = Vec::with_capacity(kill);
+                for _ in 0..kill {
+                    let idx = self.rng.gen_range(0..candidates.len());
+                    victims.push(candidates.remove(idx));
+                }
+                victims
+            }
+        }
+    }
+
+    fn resolve_switch(&mut self, net: &SdnNetwork, selector: SwitchSelector) -> Option<NodeId> {
+        match selector {
+            SwitchSelector::Id(id) => Some(id),
+            SwitchSelector::Random => {
+                let switches = net.live_switch_ids();
+                if switches.is_empty() {
+                    return None;
+                }
+                let graph = net.sim().topology();
+                let mut candidates: Vec<NodeId> = switches
+                    .iter()
+                    .copied()
+                    .filter(|&s| {
+                        let pruned = graph.without_nodes(&[s]);
+                        paths::is_connected(&pruned)
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    candidates = switches;
+                }
+                Some(candidates[self.rng.gen_range(0..candidates.len())])
+            }
+        }
+    }
+
+    fn resolve_links(&mut self, net: &SdnNetwork, selector: LinkSelector) -> Vec<(NodeId, NodeId)> {
+        match selector {
+            LinkSelector::Between(a, b) => vec![(a, b)],
+            LinkSelector::RandomSafe { count } => self.injector.random_safe_links(net, count),
+            LinkSelector::MidPath(endpoints) => {
+                let Some((src, dst)) = endpoints.resolve(net) else {
+                    return Vec::new();
+                };
+                mid_path_link(net, src, dst).into_iter().collect()
+            }
+        }
+    }
+}
+
+/// The link closest to the middle of the current in-band path from `src` to `dst`,
+/// preferring links whose removal keeps the topology connected (the paper chooses a
+/// link "such that it enables a backup path").
+pub fn mid_path_link(net: &SdnNetwork, src: NodeId, dst: NodeId) -> Option<(NodeId, NodeId)> {
+    let operational = net.sim().operational_graph();
+    let path = legitimacy::route_in_band(net, &operational, src, dst)?;
+    if path.len() < 2 {
+        return None;
+    }
+    let mid = path.len() / 2;
+    // Try the middle link first, then walk outwards until a safe link is found.
+    let mut candidates: Vec<usize> = (0..path.len() - 1).collect();
+    candidates.sort_by_key(|&i| i.abs_diff(mid.saturating_sub(1)));
+    for i in candidates {
+        let (a, b) = (path[i], path[i + 1]);
+        let mut graph = net.sim().topology().clone();
+        graph.remove_link(a, b);
+        if paths::is_connected(&graph) {
+            return Some((a, b));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ControllerConfig, HarnessConfig};
+    use sdn_topology::builders;
+
+    fn bootstrapped() -> SdnNetwork {
+        let topology = builders::ring(5, 2);
+        let mut net = SdnNetwork::new(
+            topology,
+            ControllerConfig::for_network(2, 5),
+            HarnessConfig::default()
+                .with_task_delay(SimDuration::from_millis(100))
+                .with_seed(3),
+        );
+        net.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("bootstrap");
+        net
+    }
+
+    #[test]
+    fn schedule_batches_group_equal_offsets_in_order() {
+        let schedule = FaultSchedule::new()
+            .at(
+                SimDuration::from_secs(10),
+                FaultEvent::RestoreLastFailedLinks,
+            )
+            .at(
+                SimDuration::from_secs(5),
+                FaultEvent::FailLink(LinkSelector::RandomSafe { count: 1 }),
+            )
+            .at(
+                SimDuration::from_secs(5),
+                FaultEvent::FailController(ControllerSelector::Index(1)),
+            );
+        let batches = schedule.batches();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].0, SimDuration::from_secs(5));
+        assert_eq!(batches[0].1.len(), 2);
+        assert!(matches!(batches[0].1[0], FaultEvent::FailLink(_)));
+        assert_eq!(batches[1].0, SimDuration::from_secs(10));
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.len(), 3);
+    }
+
+    #[test]
+    fn selectors_resolve_deterministically() {
+        let net = bootstrapped();
+        let mut a = FaultContext::new(9);
+        let mut b = FaultContext::new(9);
+        assert_eq!(
+            a.resolve_controllers(&net, ControllerSelector::Random { count: 1 }),
+            b.resolve_controllers(&net, ControllerSelector::Random { count: 1 }),
+        );
+        assert_eq!(
+            a.resolve_switch(&net, SwitchSelector::Random),
+            b.resolve_switch(&net, SwitchSelector::Random),
+        );
+        assert_eq!(
+            a.resolve_links(&net, LinkSelector::RandomSafe { count: 2 }),
+            b.resolve_links(&net, LinkSelector::RandomSafe { count: 2 }),
+        );
+    }
+
+    #[test]
+    fn random_controller_selector_never_kills_everyone() {
+        let net = bootstrapped();
+        let mut ctx = FaultContext::new(5);
+        let victims = ctx.resolve_controllers(&net, ControllerSelector::Random { count: 99 });
+        assert_eq!(victims.len(), net.controller_ids().len() - 1);
+    }
+
+    #[test]
+    fn fail_and_restore_last_failed_links_round_trip() {
+        let mut net = bootstrapped();
+        let mut ctx = FaultContext::new(7);
+        let done = ctx.apply(
+            &mut net,
+            &FaultEvent::FailLink(LinkSelector::RandomSafe { count: 1 }),
+        );
+        assert_eq!(done.len(), 1);
+        assert_eq!(ctx.last_failed_links.len(), 1);
+        let (a, b) = ctx.last_failed_links[0];
+        assert!(!net.sim().link_is_operational(a, b));
+        let done = ctx.apply(&mut net, &FaultEvent::RestoreLastFailedLinks);
+        assert_eq!(done.len(), 1);
+        assert!(net.sim().link_is_operational(a, b));
+        assert!(ctx.last_failed_links.is_empty());
+    }
+
+    #[test]
+    fn mid_path_link_is_on_the_path_and_safe() {
+        let net = bootstrapped();
+        let (src, dst) = Endpoints::FarthestSwitches
+            .resolve(&net)
+            .expect("endpoints");
+        let (a, b) = mid_path_link(&net, src, dst).expect("mid-path link");
+        assert!(net.sim().topology().has_link(a, b));
+        let mut graph = net.sim().topology().clone();
+        graph.remove_link(a, b);
+        assert!(paths::is_connected(&graph));
+    }
+
+    #[test]
+    fn corrupt_state_event_reports_mutations() {
+        let mut net = bootstrapped();
+        let mut ctx = FaultContext::new(11);
+        let done = ctx.apply(&mut net, &FaultEvent::CorruptState(CorruptionPlan::light()));
+        assert_eq!(done.len(), 1);
+        assert!(done[0].starts_with("corrupt state ("));
+        assert!(!net.is_legitimate());
+    }
+}

@@ -2,8 +2,7 @@
 //! the paper's fault model allows (packet omission, duplication, reordering).
 
 use crate::time::SimDuration;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use sdn_rng::Rng;
 
 /// Configuration of the physical behaviour of every link in the simulated network.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.latency.as_micros(), 200);
 /// assert_eq!(cfg.loss_probability, 0.0);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkConfig {
     /// One-way propagation latency applied to every packet.
     pub latency: SimDuration,
@@ -90,7 +89,10 @@ impl LinkConfig {
     ///
     /// Panics if `loss` is not within `[0, 1]`.
     pub fn with_loss(mut self, loss: f64) -> Self {
-        assert!((0.0..=1.0).contains(&loss), "loss probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "loss probability must be in [0, 1]"
+        );
         self.loss_probability = loss;
         self
     }
@@ -101,7 +103,10 @@ impl LinkConfig {
     ///
     /// Panics if `dup` is not within `[0, 1]`.
     pub fn with_duplication(mut self, dup: f64) -> Self {
-        assert!((0.0..=1.0).contains(&dup), "duplication probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&dup),
+            "duplication probability must be in [0, 1]"
+        );
         self.duplication_probability = dup;
         self
     }
@@ -113,7 +118,7 @@ impl LinkConfig {
     }
 
     /// Samples the fate of one packet transmission over this link.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> TransmissionOutcome {
+    pub fn sample(&self, rng: &mut Rng) -> TransmissionOutcome {
         if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability.min(1.0)) {
             return TransmissionOutcome::Lost;
         }
@@ -140,7 +145,9 @@ impl LinkConfig {
     pub fn serialization_delay(&self, bytes: usize) -> SimDuration {
         match self.bandwidth_bps {
             None | Some(0) => SimDuration::ZERO,
-            Some(bps) => SimDuration::from_micros((bytes as u64 * 8).saturating_mul(1_000_000) / bps),
+            Some(bps) => {
+                SimDuration::from_micros((bytes as u64 * 8).saturating_mul(1_000_000) / bps)
+            }
         }
     }
 }
@@ -160,7 +167,7 @@ pub enum TransmissionOutcome {
 }
 
 /// The administrative / operational state of a link in the simulation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum LinkStatus {
     /// The link forwards packets.
     #[default]
@@ -182,13 +189,11 @@ impl LinkStatus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn reliable_link_always_delivers_once() {
         let cfg = LinkConfig::reliable(SimDuration::from_micros(100));
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..100 {
             match cfg.sample(&mut rng) {
                 TransmissionOutcome::Delivered { copies, delay } => {
@@ -203,7 +208,7 @@ mod tests {
     #[test]
     fn lossy_link_loses_roughly_the_configured_fraction() {
         let cfg = LinkConfig::lossy(SimDuration::from_micros(10), 0.3, 0.0, SimDuration::ZERO);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let lost = (0..10_000)
             .filter(|_| matches!(cfg.sample(&mut rng), TransmissionOutcome::Lost))
             .count();
@@ -213,7 +218,7 @@ mod tests {
     #[test]
     fn duplication_produces_two_copies() {
         let cfg = LinkConfig::lossy(SimDuration::from_micros(10), 0.0, 1.0, SimDuration::ZERO);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         match cfg.sample(&mut rng) {
             TransmissionOutcome::Delivered { copies, .. } => assert_eq!(copies, 2),
             TransmissionOutcome::Lost => panic!("unexpected loss"),
@@ -225,7 +230,7 @@ mod tests {
         let cfg = LinkConfig::default()
             .with_latency(SimDuration::from_micros(100))
             .with_jitter(SimDuration::from_micros(50));
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         for _ in 0..200 {
             if let TransmissionOutcome::Delivered { delay, .. } = cfg.sample(&mut rng) {
                 assert!(delay >= SimDuration::from_micros(100));

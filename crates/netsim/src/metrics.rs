@@ -3,11 +3,10 @@
 
 use crate::time::SimTime;
 use sdn_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-node send/receive counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NodeCounters {
     /// Messages handed to the network by this node.
     pub sent: u64,
@@ -32,7 +31,7 @@ pub struct NodeCounters {
 /// assert_eq!(m.total_sent(), 1);
 /// assert_eq!(m.node(NodeId::new(1)).received, 1);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetworkMetrics {
     per_node: BTreeMap<NodeId, NodeCounters>,
     dropped: u64,
@@ -151,7 +150,7 @@ impl NetworkMetrics {
 
 /// A single timestamped sample of a scalar observable, used for time-series outputs
 /// such as the throughput curves of Figures 15 and 16.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Sample {
     /// When the sample was taken.
     pub at: SimTime,
@@ -172,7 +171,7 @@ pub struct Sample {
 /// assert_eq!(ts.len(), 2);
 /// assert_eq!(ts.mean(), Some(490.0));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TimeSeries {
     name: String,
     samples: Vec<Sample>,
@@ -222,16 +221,18 @@ impl TimeSeries {
 
     /// Minimum value, or `None` when empty.
     pub fn min(&self) -> Option<f64> {
-        self.samples.iter().map(|s| s.value).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.samples
+            .iter()
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Maximum value, or `None` when empty.
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().map(|s| s.value).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.samples
+            .iter()
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// The values as a plain vector (timestamps dropped).

@@ -5,7 +5,6 @@
 
 use crate::time::{SimDuration, SimTime};
 use sdn_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A message that can be carried by the simulated network.
@@ -36,9 +35,7 @@ impl Payload for () {}
 
 /// Identifier of a timer registered by a node; the meaning of the value is private to
 /// the node that scheduled it.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct TimerId(pub u64);
 
 /// The behaviour of a simulated node.

@@ -9,8 +9,7 @@ use crate::link::{LinkConfig, LinkStatus, TransmissionOutcome};
 use crate::metrics::NetworkMetrics;
 use crate::node::{Context, Node, Payload, TimerId};
 use crate::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdn_rng::Rng;
 use sdn_topology::ids::Link;
 use sdn_topology::{Graph, NodeId};
 use std::cmp::Reverse;
@@ -127,14 +126,14 @@ pub struct Simulator<M: Payload, N: Node<M>> {
     link_overrides: BTreeMap<Link, LinkConfig>,
     observed: BTreeMap<NodeId, Vec<NodeId>>,
     config: SimConfig,
-    rng: StdRng,
+    rng: Rng,
     metrics: NetworkMetrics,
 }
 
 impl<M: Payload, N: Node<M>> Simulator<M, N> {
     /// Creates a simulator over the connected topology `Gc`.
     pub fn new(topology: &Graph, config: SimConfig) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = Rng::seed_from_u64(config.seed);
         let mut sim = Simulator {
             now: SimTime::ZERO,
             seq: 0,
@@ -472,7 +471,7 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
             return;
         };
         let neighbors = self.observed_neighbors(id);
-        let random = self.rng.gen();
+        let random = self.rng.next_u64();
         let mut ctx = Context::new(id, self.now, neighbors, random);
         f(&mut node, &mut ctx);
         self.nodes.insert(id, node);

@@ -4,7 +4,6 @@
 //! the paper report seconds, so [`SimTime::as_secs_f64`] is what the bench harness
 //! prints; internally everything is integer arithmetic for determinism.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -17,9 +16,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// let t = SimTime::ZERO + SimDuration::from_millis(1500);
 /// assert_eq!(t.as_secs_f64(), 1.5);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -77,9 +74,7 @@ impl fmt::Display for SimTime {
 /// assert_eq!(SimDuration::from_millis(2).as_micros(), 2000);
 /// assert!(SimDuration::from_secs(1) > SimDuration::from_millis(999));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -107,7 +102,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be non-negative"
+        );
         SimDuration((secs * 1_000_000.0) as u64)
     }
 
@@ -200,7 +198,10 @@ mod tests {
         let mut d = SimDuration::from_millis(1);
         d += SimDuration::from_millis(2);
         assert_eq!(d + SimDuration::from_millis(1), SimDuration::from_millis(4));
-        assert_eq!(SimDuration::from_millis(4).saturating_mul(3).as_millis(), 12);
+        assert_eq!(
+            SimDuration::from_millis(4).saturating_mul(3).as_millis(),
+            12
+        );
     }
 
     #[test]

@@ -7,10 +7,9 @@
 use crate::rules::Rule;
 use sdn_tags::Tag;
 use sdn_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A single command addressed to an abstract switch's control module.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SwitchCommand {
     /// `<'newRound', t_metaRule>`: updates the controller's meta-rule tag at the switch.
     NewRound {
@@ -66,7 +65,7 @@ impl SwitchCommand {
 
 /// A sequence of commands sent by one controller to one switch in a single message
 /// (the paper aggregates all per-destination commands into one message, line 19).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CommandBatch {
     /// The controller that issued the batch.
     pub from: NodeId,
@@ -90,13 +89,17 @@ impl CommandBatch {
 
     /// Approximate encoded size in bytes.
     pub fn wire_size(&self) -> usize {
-        8 + self.commands.iter().map(SwitchCommand::wire_size).sum::<usize>()
+        8 + self
+            .commands
+            .iter()
+            .map(SwitchCommand::wire_size)
+            .sum::<usize>()
     }
 }
 
 /// The switch's (or, degenerately, a controller's) answer to a query command:
 /// `<j, Nc(j), manager(j), rules(j)>` plus the echoed round tag.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueryReply {
     /// The responding node.
     pub responder: NodeId,
@@ -125,9 +128,7 @@ impl QueryReply {
 
     /// Approximate encoded size in bytes.
     pub fn wire_size(&self) -> usize {
-        16 + self.neighbors.len() * 4
-            + self.managers.len() * 4
-            + self.rules.len() * Rule::WIRE_SIZE
+        16 + self.neighbors.len() * 4 + self.managers.len() * 4 + self.rules.len() * Rule::WIRE_SIZE
     }
 }
 
@@ -156,13 +157,18 @@ mod tests {
         let batch = CommandBatch::new(
             n(0),
             vec![
-                SwitchCommand::NewRound { tag: Tag::new(0, 5) },
+                SwitchCommand::NewRound {
+                    tag: Tag::new(0, 5),
+                },
                 SwitchCommand::AddManager { controller: n(0) },
-                SwitchCommand::Query { tag: Tag::new(0, 5) },
+                SwitchCommand::Query {
+                    tag: Tag::new(0, 5),
+                },
             ],
         );
         assert_eq!(batch.query_tag(), Some(Tag::new(0, 5)));
-        let no_query = CommandBatch::new(n(0), vec![SwitchCommand::AddManager { controller: n(0) }]);
+        let no_query =
+            CommandBatch::new(n(0), vec![SwitchCommand::AddManager { controller: n(0) }]);
         assert_eq!(no_query.query_tag(), None);
     }
 

@@ -123,7 +123,10 @@ mod tests {
             decide(&t, n(0), n(5), &[], &[n(5)], &mut |h| h != n(5)),
             None
         );
-        assert_eq!(decide(&t, n(0), n(5), &[n(5)], &[n(5)], &mut |_| true), None);
+        assert_eq!(
+            decide(&t, n(0), n(5), &[n(5)], &[n(5)], &mut |_| true),
+            None
+        );
     }
 
     #[test]

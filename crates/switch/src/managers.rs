@@ -6,7 +6,6 @@
 //! which is what eventually flushes managers left behind by a transient fault.
 
 use sdn_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Bounded, recency-ordered manager set.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!m.contains(NodeId::new(0)));
 /// assert_eq!(m.len(), 2);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ManagerSet {
     max_managers: usize,
     /// Most recently refreshed managers are at the back.
@@ -37,7 +36,10 @@ impl ManagerSet {
     ///
     /// Panics if `max_managers == 0`.
     pub fn new(max_managers: usize) -> Self {
-        assert!(max_managers > 0, "a switch needs room for at least one manager");
+        assert!(
+            max_managers > 0,
+            "a switch needs room for at least one manager"
+        );
         ManagerSet {
             max_managers,
             managers: Vec::new(),

@@ -8,7 +8,6 @@
 
 use sdn_tags::Tag;
 use sdn_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A single match-action packet-forwarding rule.
@@ -39,7 +38,7 @@ use std::collections::BTreeMap;
 /// let wildcard = Rule { src: None, ..r };
 /// assert!(wildcard.matches(NodeId::new(7), NodeId::new(9)));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Rule {
     /// The controller that installed the rule (`cID`).
     pub cid: NodeId,
@@ -65,11 +64,11 @@ impl Rule {
     /// Returns `true` when the rule matches a packet with the given source and
     /// destination header fields.
     pub fn matches(&self, src: NodeId, dst: NodeId) -> bool {
-        self.src.map_or(true, |s| s == src) && self.dst == dst
+        self.src.is_none_or(|s| s == src) && self.dst == dst
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct StoredRule {
     rule: Rule,
     /// Monotonic freshness stamp; smaller means less recently updated.
@@ -89,7 +88,7 @@ fn key_of(rule: &Rule) -> RuleKey {
 /// updated rule (the paper's clogged-memory policy). Re-installing an existing rule
 /// refreshes its stamp, so the rules of live controllers — which refresh every round —
 /// are never evicted in favour of stale ones.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RuleTable {
     max_rules: usize,
     rules: BTreeMap<RuleKey, StoredRule>,
@@ -191,7 +190,10 @@ impl RuleTable {
 
     /// All rules installed by `controller`.
     pub fn rules_of(&self, controller: NodeId) -> Vec<Rule> {
-        self.iter().filter(|r| r.cid == controller).copied().collect()
+        self.iter()
+            .filter(|r| r.cid == controller)
+            .copied()
+            .collect()
     }
 
     /// The set of controllers that currently have at least one rule in the table.
@@ -205,7 +207,12 @@ impl RuleTable {
     /// The rules matching a packet `(src, dst)`, sorted by decreasing priority.
     pub fn matching(&self, src: NodeId, dst: NodeId) -> Vec<Rule> {
         let lo: RuleKey = (dst, None, 0, NodeId::new(0));
-        let hi: RuleKey = (dst, Some(NodeId::new(u32::MAX)), u8::MAX, NodeId::new(u32::MAX));
+        let hi: RuleKey = (
+            dst,
+            Some(NodeId::new(u32::MAX)),
+            u8::MAX,
+            NodeId::new(u32::MAX),
+        );
         let mut out: Vec<Rule> = self
             .rules
             .range(lo..=hi)
@@ -299,11 +306,7 @@ mod tests {
         t.insert(rule(0, 0, 1, 1, 5, 1)); // tag 1
         t.insert(rule(0, 0, 2, 1, 5, 2)); // tag 2
         t.insert(rule(1, 1, 2, 1, 5, 7)); // other controller
-        let removed = t.replace_controller_rules(
-            n(0),
-            [rule(0, 0, 3, 1, 5, 3)],
-            &[Tag::new(0, 2)],
-        );
+        let removed = t.replace_controller_rules(n(0), [rule(0, 0, 3, 1, 5, 3)], &[Tag::new(0, 2)]);
         assert_eq!(removed, 1, "only the tag-1 rule is dropped");
         let of0 = t.rules_of(n(0));
         assert_eq!(of0.len(), 2);
@@ -327,7 +330,10 @@ mod tests {
         let r = rule(0, 3, 4, 1, 5, 1);
         assert!(r.matches(n(3), n(4)));
         assert!(!r.matches(n(4), n(3)));
-        assert!(Rule::WIRE_SIZE > 0);
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(Rule::WIRE_SIZE > 0);
+        }
     }
 
     #[test]

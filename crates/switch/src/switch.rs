@@ -12,11 +12,10 @@ use crate::managers::ManagerSet;
 use crate::rules::{Rule, RuleTable};
 use sdn_tags::Tag;
 use sdn_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Capacity configuration of an abstract switch.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SwitchConfig {
     /// Maximum number of packet-forwarding rules (`maxRules`).
     pub max_rules: usize,
@@ -51,7 +50,7 @@ impl SwitchConfig {
 }
 
 /// Counters describing what a switch has done; used by tests and the overhead benches.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SwitchStats {
     /// Command batches applied.
     pub batches_applied: u64,
@@ -88,7 +87,7 @@ pub struct SwitchStats {
 /// assert_eq!(reply.managers, vec![NodeId::new(0)]);
 /// assert_eq!(reply.echo_tag, tag);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AbstractSwitch {
     id: NodeId,
     config: SwitchConfig,
@@ -147,7 +146,11 @@ impl AbstractSwitch {
     ///
     /// `neighbors` is the switch's currently observed neighborhood `Nc(j)`, supplied by
     /// the local topology-discovery mechanism (in the simulation: the netsim context).
-    pub fn apply_batch(&mut self, batch: &CommandBatch, neighbors: &[NodeId]) -> Option<QueryReply> {
+    pub fn apply_batch(
+        &mut self,
+        batch: &CommandBatch,
+        neighbors: &[NodeId],
+    ) -> Option<QueryReply> {
         self.stats.batches_applied += 1;
         let from = batch.from;
         let mut reply_tag = None;
@@ -210,14 +213,8 @@ impl AbstractSwitch {
     where
         F: FnMut(NodeId) -> bool,
     {
-        let decision = crate::forwarding::decide(
-            &self.rules,
-            src,
-            dst,
-            visited,
-            neighbors,
-            &mut is_up,
-        );
+        let decision =
+            crate::forwarding::decide(&self.rules, src, dst, visited, neighbors, &mut is_up);
         match decision {
             Some(hop) => {
                 self.stats.packets_forwarded += 1;
@@ -351,7 +348,11 @@ mod tests {
             .unwrap();
         assert_eq!(reply.managers, vec![n(0)]);
         assert!(reply.rules.is_empty());
-        assert_eq!(sw.meta_tag(n(1)), None, "delAllRules drops the meta tag too");
+        assert_eq!(
+            sw.meta_tag(n(1)),
+            None,
+            "delAllRules drops the meta tag too"
+        );
         assert_eq!(sw.stats().managers_deleted, 1);
         assert_eq!(sw.stats().rules_deleted, 1);
     }

@@ -14,7 +14,6 @@
 //! observations may be needed before the recycled values are safe to reuse.
 
 use crate::Tag;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Bounded-domain `nextTag()` generator with recycling.
@@ -34,7 +33,7 @@ use std::collections::BTreeSet;
 /// let t2 = gen.next_tag();
 /// assert_ne!(t2, t);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BoundedTagGenerator {
     owner: u32,
     domain_size: u64,
@@ -183,7 +182,7 @@ mod tests {
         // Transient fault: generator believes every value is in use.
         gen.corrupt(5, 0..8);
         let _ = gen.next_tag(); // degenerate output allowed here
-        // One observation round later, reality (only tag 2 in use) is restored.
+                                // One observation round later, reality (only tag 2 in use) is restored.
         gen.begin_observation_round();
         gen.observe(Tag::new(0, 2));
         gen.end_observation_round();

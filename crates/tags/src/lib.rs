@@ -23,7 +23,6 @@
 
 pub mod bounded;
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of synchronization rounds the round-synchronization machinery may need to
@@ -47,9 +46,7 @@ pub const DELTA_SYNCH: usize = 1;
 /// assert_eq!(a.owner(), 3);
 /// assert_eq!(a.value(), 10);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Tag {
     value: u64,
     owner: u32,
@@ -106,7 +103,7 @@ impl fmt::Display for Tag {
 /// assert!(t2.value() > 100);
 /// assert_eq!(t2.owner(), 2);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TagGenerator {
     owner: u32,
     last_value: u64,
@@ -158,7 +155,7 @@ impl TagGenerator {
 /// populated when the tracker is created with [`RoundTracker::with_three_tags`], which
 /// is the variation used by the paper's evaluation (Section 6.2) so that the rules of
 /// the previous round survive one extra round.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RoundTracker {
     curr: Tag,
     prev: Tag,
@@ -213,9 +210,7 @@ impl RoundTracker {
     /// Returns `true` when `tag` matches the current or previous round
     /// (or the round before that, in three-tag mode).
     pub fn is_live(&self, tag: Tag) -> bool {
-        tag == self.curr
-            || tag == self.prev
-            || (self.three_tags && self.before_prev == Some(tag))
+        tag == self.curr || tag == self.prev || (self.three_tags && self.before_prev == Some(tag))
     }
 
     /// Starts a new round with `new_tag`: `prevTag <- currTag`, `currTag <- new_tag`
@@ -325,7 +320,10 @@ mod tests {
         tracker.start_round(t1);
         tracker.start_round(t2);
         assert_eq!(tracker.before_prev(), Some(t0));
-        assert!(tracker.is_live(t0), "three-tag tracker keeps the extra round");
+        assert!(
+            tracker.is_live(t0),
+            "three-tag tracker keeps the extra round"
+        );
         let t3 = gen.next_tag();
         tracker.start_round(t3);
         assert!(!tracker.is_live(t0));

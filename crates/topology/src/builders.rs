@@ -23,10 +23,7 @@
 
 use crate::graph::Graph;
 use crate::ids::{NodeId, NodeKind};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use sdn_rng::Rng;
 
 /// A generated network together with its controller/switch split and metadata.
 ///
@@ -40,7 +37,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(net.expected_diameter, 4);
 /// assert!(net.graph.node_count() == 23);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NamedTopology {
     /// Human-readable network name ("B4", "Clos", "Telstra", ...).
     pub name: String,
@@ -158,7 +155,7 @@ pub fn clos(n_controllers: usize) -> NamedTopology {
         full.add_link(c, sw(edges[0]));
         full.add_link(c, sw(aggs[0]));
     }
-    let switches: Vec<NodeId> = (0..n_switches).map(|i| sw(i)).collect();
+    let switches: Vec<NodeId> = (0..n_switches).map(sw).collect();
     NamedTopology {
         name: "Clos".to_string(),
         graph: full,
@@ -232,7 +229,7 @@ pub fn isp_like(n_switches: usize, diameter: u32, n_controllers: usize) -> Named
         full.add_link(c, sw(a));
         full.add_link(c, sw((a + 2) % ring_len));
     }
-    let switches: Vec<NodeId> = (0..n_switches).map(|i| sw(i)).collect();
+    let switches: Vec<NodeId> = (0..n_switches).map(sw).collect();
     NamedTopology {
         name: format!("ISP-{n_switches}-{diameter}"),
         graph: full,
@@ -264,7 +261,7 @@ pub fn ring(n_switches: usize, n_controllers: usize) -> NamedTopology {
         full.add_link(c, sw(a));
         full.add_link(c, sw((a + 1) % n_switches));
     }
-    let switches: Vec<NodeId> = (0..n_switches).map(|i| sw(i)).collect();
+    let switches: Vec<NodeId> = (0..n_switches).map(sw).collect();
     NamedTopology {
         name: format!("Ring-{n_switches}"),
         graph: full,
@@ -296,7 +293,7 @@ pub fn line(n_switches: usize, n_controllers: usize) -> NamedTopology {
         let a = (i * n_switches / n_controllers.max(1)) % n_switches;
         full.add_link(c, sw(a));
     }
-    let switches: Vec<NodeId> = (0..n_switches).map(|i| sw(i)).collect();
+    let switches: Vec<NodeId> = (0..n_switches).map(sw).collect();
     NamedTopology {
         name: format!("Line-{n_switches}"),
         graph: full,
@@ -321,12 +318,15 @@ pub fn random_2connected(
     n_controllers: usize,
     seed: u64,
 ) -> NamedTopology {
-    assert!(n_switches >= 3, "random_2connected needs at least 3 switches");
-    let mut rng = StdRng::seed_from_u64(seed);
+    assert!(
+        n_switches >= 3,
+        "random_2connected needs at least 3 switches"
+    );
+    let mut rng = Rng::seed_from_u64(seed);
     let sw = |i: usize| NodeId::new((n_controllers + i) as u32);
     // Random ring: permute the switches so the ring order is not the identifier order.
     let mut order: Vec<usize> = (0..n_switches).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let mut g = Graph::new();
     for i in 0..n_switches {
         g.add_link(sw(order[i]), sw(order[(i + 1) % n_switches]));
@@ -354,7 +354,7 @@ pub fn random_2connected(
         full.add_link(c, sw(a));
         full.add_link(c, sw(b));
     }
-    let switches: Vec<NodeId> = (0..n_switches).map(|i| sw(i)).collect();
+    let switches: Vec<NodeId> = (0..n_switches).map(sw).collect();
     let expected_diameter = crate::paths::diameter(&switch_graph);
     NamedTopology {
         name: format!("Random-{n_switches}-{seed}"),
@@ -375,7 +375,13 @@ mod tests {
     #[test]
     fn table8_node_counts_and_diameters() {
         // Regenerates the paper's Table 8 and checks it exactly.
-        let expected = [("B4", 12, 5), ("Clos", 20, 4), ("Telstra", 57, 8), ("AT&T", 172, 10), ("EBONE", 208, 11)];
+        let expected = [
+            ("B4", 12, 5),
+            ("Clos", 20, 4),
+            ("Telstra", 57, 8),
+            ("AT&T", 172, 10),
+            ("EBONE", 208, 11),
+        ];
         for (name, nodes, diameter) in expected {
             let net = by_name(name, 3);
             assert_eq!(net.switch_count(), nodes, "{name} switch count");

@@ -101,7 +101,7 @@ pub fn edge_connectivity(graph: &Graph) -> usize {
 /// Returns `true` when the graph can tolerate `kappa` link failures without
 /// disconnecting, i.e. when it is `(kappa + 1)`-edge-connected.
 pub fn supports_kappa(graph: &Graph, kappa: usize) -> bool {
-    edge_connectivity(graph) >= kappa + 1
+    edge_connectivity(graph) > kappa
 }
 
 /// Largest `kappa` such that the graph is `(kappa + 1)`-edge-connected

@@ -14,7 +14,6 @@
 use crate::graph::Graph;
 use crate::ids::NodeId;
 use crate::paths::BfsTree;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A priority-ordered list of candidate next hops from one node towards a destination.
@@ -22,7 +21,7 @@ use std::collections::BTreeMap;
 /// Index 0 is the primary (first-shortest-path) next hop; index `k` is the `k`-th
 /// failover alternative. The list never contains duplicates and never exceeds
 /// `kappa + 1` entries.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NextHopSet {
     hops: Vec<NodeId>,
 }
@@ -88,7 +87,7 @@ impl NextHopSet {
 /// assert_eq!(hops.primary(), Some(NodeId::new(2)));   // direct link
 /// assert_eq!(hops.at_priority(1), Some(NodeId::new(1))); // detour via 1
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FlowPlan {
     kappa: usize,
     next_hops: BTreeMap<(NodeId, NodeId), NextHopSet>,
@@ -143,7 +142,13 @@ impl FlowPlan {
     ///
     /// This is the reference semantics used by the property tests to check
     /// kappa-fault resilience, and by the traffic model to route host packets.
-    pub fn route<F>(&self, from: NodeId, to: NodeId, mut link_up: F, ttl: usize) -> Option<Vec<NodeId>>
+    pub fn route<F>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        mut link_up: F,
+        ttl: usize,
+    ) -> Option<Vec<NodeId>>
     where
         F: FnMut(NodeId, NodeId) -> bool,
     {
@@ -200,7 +205,7 @@ impl FlowPlan {
 /// whenever the operational graph stays connected — in particular under any `kappa`
 /// failures on a `(kappa + 1)`-edge-connected topology. [`FlowPlanner::with_max_candidates`]
 /// trades that guarantee for smaller rule tables.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlowPlanner {
     kappa: usize,
     max_candidates: Option<usize>,
@@ -307,11 +312,8 @@ impl FlowPlanner {
                     continue; // disconnected pair under the transit restriction
                 };
                 distances.insert((at, target), d_at);
-                let hops: Vec<NodeId> = candidates
-                    .into_iter()
-                    .take(limit)
-                    .map(|(_, h)| h)
-                    .collect();
+                let hops: Vec<NodeId> =
+                    candidates.into_iter().take(limit).map(|(_, h)| h).collect();
                 if !hops.is_empty() {
                     next_hops.insert((at, target), NextHopSet::new(hops));
                 }
@@ -405,12 +407,7 @@ mod tests {
         let plan = FlowPlanner::new(1).plan(&g);
         let failed = Link::new(n(1), n(3));
         let path = plan
-            .route(
-                n(0),
-                n(3),
-                |a, b| Link::new(a, b) != failed,
-                16,
-            )
+            .route(n(0), n(3), |a, b| Link::new(a, b) != failed, 16)
             .unwrap();
         assert_eq!(*path.last().unwrap(), n(3));
         assert!(!path.windows(2).any(|w| Link::new(w[0], w[1]) == failed));
@@ -481,7 +478,10 @@ mod tests {
         let plan = FlowPlanner::new(1).plan_restricted(&g, &non_transit);
         // The flow from 0 to 4 must avoid node 9.
         let path = plan.route(n(0), n(4), |_, _| true, 32).unwrap();
-        assert!(!path.contains(&n(9)), "path {path:?} relays through a controller");
+        assert!(
+            !path.contains(&n(9)),
+            "path {path:?} relays through a controller"
+        );
         assert_eq!(plan.distance(n(0), n(4)), Some(4));
         // Node 9 can still be an endpoint: flows towards it exist.
         let to_nine = plan.next_hops(n(0), n(9)).unwrap();

@@ -5,7 +5,6 @@
 //! requires), and cheap cloning so a controller can snapshot its current view.
 
 use crate::ids::{Link, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An undirected graph over [`NodeId`]s with deterministic (sorted) adjacency.
@@ -26,7 +25,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// assert!(g.has_link(NodeId::new(0), NodeId::new(1)));
 /// assert_eq!(g.neighbors(NodeId::new(1)).count(), 2);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Graph {
     adjacency: BTreeMap<NodeId, BTreeSet<NodeId>>,
 }

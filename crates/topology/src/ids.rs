@@ -5,7 +5,6 @@
 //! `u32` identifier space where the node kind is determined by comparing against the
 //! number of controllers, which every component knows as a configuration constant.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node (controller or switch) in the network.
@@ -21,9 +20,7 @@ use std::fmt;
 /// assert_eq!(a.index(), 3);
 /// assert!(a < NodeId::new(4));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -98,7 +95,7 @@ impl From<NodeId> for u32 {
 /// assert_eq!(NodeId::new(1).kind(2), NodeKind::Controller);
 /// assert_eq!(NodeId::new(2).kind(2), NodeKind::Switch);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum NodeKind {
     /// A member of `PC`: runs the Renaissance control algorithm.
     Controller,
@@ -126,7 +123,7 @@ impl fmt::Display for NodeKind {
 /// let l2 = Link::new(NodeId::new(2), NodeId::new(4));
 /// assert_eq!(l1, l2);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Link {
     /// The lower-indexed endpoint.
     pub a: NodeId,
@@ -218,6 +215,9 @@ mod tests {
         assert_eq!(NodeId::new(5).to_string(), "n5");
         assert_eq!(NodeKind::Controller.to_string(), "controller");
         assert_eq!(NodeKind::Switch.to_string(), "switch");
-        assert_eq!(Link::new(NodeId::new(1), NodeId::new(2)).to_string(), "n1-n2");
+        assert_eq!(
+            Link::new(NodeId::new(1), NodeId::new(2)).to_string(),
+            "n1-n2"
+        );
     }
 }

@@ -50,8 +50,8 @@ impl BfsTree {
         while let Some(u) = queue.pop_front() {
             let du = distance[&u];
             for v in graph.neighbors(u) {
-                if !distance.contains_key(&v) {
-                    distance.insert(v, du + 1);
+                if let std::collections::btree_map::Entry::Vacant(e) = distance.entry(v) {
+                    e.insert(du + 1);
                     parent.insert(v, u);
                     queue.push_back(v);
                 }

@@ -7,15 +7,26 @@
 //! kappa-fault-resilient flows using tagged updates; without recovery (Figure 16) only
 //! the pre-installed backup paths carry the traffic. Either way the data plane fails
 //! over locally, so the throughput only dips briefly.
+//!
+//! Two entry points expose the model:
+//!
+//! * [`IperfWorkload`] — a [`Workload`](renaissance::scenario::Workload) for the
+//!   declarative scenario API: the runner drives the ticks, the mid-path failure is a
+//!   [`FaultEvent`](renaissance::scenario::FaultEvent) on the schedule, and the
+//!   "without recovery" mode is the scenario's
+//!   [`ControlPlane::Frozen`](renaissance::scenario::ControlPlane::Frozen),
+//! * [`run_throughput_experiment`] — the self-contained escape hatch driving an
+//!   [`SdnNetwork`] directly (used by this crate's tests and available to ad-hoc
+//!   experiments).
 
 use crate::reno::{PathEvent, RenoConfig, RenoConnection, StepOutcome};
+use renaissance::scenario::{mid_path_link, Endpoints, Workload, WorkloadReport, WorkloadTick};
 use renaissance::{legitimacy, SdnNetwork};
 use sdn_netsim::SimDuration;
 use sdn_topology::{paths, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of one throughput experiment.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IperfConfig {
     /// Total duration in seconds (the paper uses 30).
     pub duration_secs: u32,
@@ -41,7 +52,7 @@ impl Default for IperfConfig {
 
 /// Result of one throughput experiment: per-second series, exactly the quantities the
 /// paper plots in Figures 15, 16, 18, 19, and 20.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct IperfRun {
     /// The two endpoints the flow ran between.
     pub endpoints: (NodeId, NodeId),
@@ -70,7 +81,10 @@ impl IperfRun {
 
     /// The lowest per-second goodput (the failure dip).
     pub fn min_throughput(&self) -> f64 {
-        self.throughput_mbps.iter().copied().fold(f64::MAX, f64::min)
+        self.throughput_mbps
+            .iter()
+            .copied()
+            .fold(f64::MAX, f64::min)
     }
 }
 
@@ -78,6 +92,54 @@ impl IperfRun {
 /// attaches its iperf hosts.
 pub fn farthest_switch_pair(sdn: &SdnNetwork) -> Option<(NodeId, NodeId)> {
     paths::farthest_pair(&sdn.topology().switch_graph).map(|(a, b, _)| (a, b))
+}
+
+/// The per-tick core of the iperf experiment: observes the in-band data-plane path,
+/// steps the Reno model, and accumulates the per-second series. Shared between the
+/// scenario [`IperfWorkload`] and the self-driving [`run_throughput_experiment`].
+#[derive(Clone, Debug)]
+struct IperfFlow {
+    reno: RenoConnection,
+    previous_path: Option<Vec<NodeId>>,
+    run: IperfRun,
+}
+
+impl IperfFlow {
+    fn new(sdn: &SdnNetwork, src: NodeId, dst: NodeId, reno: RenoConfig) -> Self {
+        IperfFlow {
+            reno: RenoConnection::new(reno),
+            previous_path: current_path(sdn, src, dst),
+            run: IperfRun {
+                endpoints: (src, dst),
+                ..IperfRun::default()
+            },
+        }
+    }
+
+    /// Observes one second of the flow against the current network state.
+    fn observe_second(&mut self, sdn: &SdnNetwork) {
+        let (src, dst) = self.run.endpoints;
+        let path = current_path(sdn, src, dst);
+        let event = match (&self.previous_path, &path) {
+            (_, None) => PathEvent::Unavailable,
+            (None, Some(_)) => PathEvent::Rerouted,
+            (Some(old), Some(new)) if old != new => PathEvent::Rerouted,
+            _ => PathEvent::Stable,
+        };
+        let hops = path
+            .as_ref()
+            .map(|p| p.len().saturating_sub(1))
+            .unwrap_or(0);
+        let outcome: StepOutcome = self.reno.step(1.0, hops.max(1), event);
+        self.run.throughput_mbps.push(outcome.throughput_mbps);
+        self.run
+            .retransmission_pct
+            .push(outcome.retransmission_pct());
+        self.run.bad_tcp_pct.push(outcome.bad_tcp_pct());
+        self.run.out_of_order_pct.push(outcome.out_of_order_pct());
+        self.run.path_hops.push(hops);
+        self.previous_path = path;
+    }
 }
 
 /// Runs the throughput experiment on an already-bootstrapped network.
@@ -91,37 +153,20 @@ pub fn run_throughput_experiment(
     dst: NodeId,
     config: IperfConfig,
 ) -> IperfRun {
-    let mut reno = RenoConnection::new(config.reno);
-    let mut run = IperfRun {
-        endpoints: (src, dst),
-        ..IperfRun::default()
-    };
-    let mut previous_path: Option<Vec<NodeId>> = current_path(sdn, src, dst);
-
+    let mut flow = IperfFlow::new(sdn, src, dst, config.reno);
     for second in 0..config.duration_secs {
         if second == config.failure_at_secs {
-            run.failed_link = fail_mid_path_link(sdn, previous_path.as_deref());
+            flow.run.failed_link = mid_path_link(sdn, src, dst).map(|(a, b)| {
+                sdn.remove_link(a, b);
+                (a, b)
+            });
         }
         if config.recovery_enabled {
             sdn.run_for(SimDuration::from_secs(1));
         }
-        let path = current_path(sdn, src, dst);
-        let event = match (&previous_path, &path) {
-            (_, None) => PathEvent::Unavailable,
-            (None, Some(_)) => PathEvent::Rerouted,
-            (Some(old), Some(new)) if old != new => PathEvent::Rerouted,
-            _ => PathEvent::Stable,
-        };
-        let hops = path.as_ref().map(|p| p.len().saturating_sub(1)).unwrap_or(0);
-        let outcome: StepOutcome = reno.step(1.0, hops.max(1), event);
-        run.throughput_mbps.push(outcome.throughput_mbps);
-        run.retransmission_pct.push(outcome.retransmission_pct());
-        run.bad_tcp_pct.push(outcome.bad_tcp_pct());
-        run.out_of_order_pct.push(outcome.out_of_order_pct());
-        run.path_hops.push(hops);
-        previous_path = path;
+        flow.observe_second(sdn);
     }
-    run
+    flow.run
 }
 
 /// The data-plane path currently taken by packets from `src` to `dst`, or `None`.
@@ -130,36 +175,137 @@ fn current_path(sdn: &SdnNetwork, src: NodeId, dst: NodeId) -> Option<Vec<NodeId
     legitimacy::route_in_band(sdn, &operational, src, dst)
 }
 
-/// Fails the link closest to the middle of `path`, preferring links whose removal keeps
-/// the topology connected (the paper chooses a link "such that it enables a backup
-/// path"). Returns the failed link.
-fn fail_mid_path_link(
-    sdn: &mut SdnNetwork,
-    path: Option<&[NodeId]>,
-) -> Option<(NodeId, NodeId)> {
-    let path = path?;
-    if path.len() < 2 {
-        return None;
-    }
-    let mid = path.len() / 2;
-    // Try the middle link first, then walk outwards until a safe link is found.
-    let mut candidates: Vec<usize> = (0..path.len() - 1).collect();
-    candidates.sort_by_key(|&i| i.abs_diff(mid.saturating_sub(1)));
-    for i in candidates {
-        let (a, b) = (path[i], path[i + 1]);
-        let mut graph = sdn.sim().topology().clone();
-        graph.remove_link(a, b);
-        if paths::is_connected(&graph) {
-            sdn.remove_link(a, b);
-            return Some((a, b));
+/// The iperf experiment as a scenario [`Workload`].
+///
+/// The workload only models the TCP flow; inject the paper's mid-path link failure via
+/// the scenario's fault schedule, e.g.
+/// `FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches))` at
+/// second 10, and select Figure 16's "without recovery" mode with
+/// [`ControlPlane::Frozen`](renaissance::scenario::ControlPlane::Frozen).
+///
+/// # Example
+///
+/// ```
+/// use renaissance::scenario::{Endpoints, FaultEvent, LinkSelector, Scenario};
+/// use sdn_netsim::SimDuration;
+/// use sdn_traffic::iperf::IperfWorkload;
+///
+/// let report = Scenario::builder("throughput-under-failure")
+///     .network("B4")
+///     .task_delay(SimDuration::from_millis(200))
+///     .workload(|| Box::new(IperfWorkload::farthest(12)))
+///     .fault_at(
+///         SimDuration::from_secs(5),
+///         FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
+///     )
+///     .run();
+/// let run = &report.runs[0];
+/// let iperf = run.workload("iperf").expect("workload report");
+/// assert_eq!(iperf.series("throughput_mbps").unwrap().len(), 12);
+/// ```
+#[derive(Debug)]
+pub struct IperfWorkload {
+    endpoints: Endpoints,
+    duration_secs: u32,
+    reno: RenoConfig,
+    flow: Option<IperfFlow>,
+}
+
+impl IperfWorkload {
+    /// A flow between the two farthest-apart switches, running for `duration_secs`.
+    pub fn farthest(duration_secs: u32) -> Self {
+        IperfWorkload {
+            endpoints: Endpoints::FarthestSwitches,
+            duration_secs,
+            reno: RenoConfig::default(),
+            flow: None,
         }
     }
-    None
+
+    /// A flow between two explicit switches, running for `duration_secs`.
+    pub fn between(src: NodeId, dst: NodeId, duration_secs: u32) -> Self {
+        IperfWorkload {
+            endpoints: Endpoints::Nodes(src, dst),
+            duration_secs,
+            reno: RenoConfig::default(),
+            flow: None,
+        }
+    }
+
+    /// Overrides the TCP model parameters.
+    pub fn with_reno(mut self, reno: RenoConfig) -> Self {
+        self.reno = reno;
+        self
+    }
+
+    /// Reconstructs a typed [`IperfRun`] from a workload report produced by this
+    /// workload (the scenario report stores series generically).
+    pub fn run_from_report(report: &WorkloadReport) -> Option<IperfRun> {
+        let parse = |key: &str| -> Option<NodeId> {
+            report.note(key)?.parse::<u32>().ok().map(NodeId::new)
+        };
+        Some(IperfRun {
+            endpoints: (parse("src")?, parse("dst")?),
+            failed_link: None,
+            throughput_mbps: report.series("throughput_mbps")?.to_vec(),
+            retransmission_pct: report.series("retransmission_pct")?.to_vec(),
+            bad_tcp_pct: report.series("bad_tcp_pct")?.to_vec(),
+            out_of_order_pct: report.series("out_of_order_pct")?.to_vec(),
+            path_hops: report
+                .series("path_hops")?
+                .iter()
+                .map(|&h| h as usize)
+                .collect(),
+        })
+    }
+}
+
+impl Workload for IperfWorkload {
+    fn label(&self) -> String {
+        "iperf".to_string()
+    }
+
+    fn duration(&self) -> SimDuration {
+        SimDuration::from_secs(self.duration_secs as u64)
+    }
+
+    fn start(&mut self, net: &mut SdnNetwork) {
+        let (src, dst) = self
+            .endpoints
+            .resolve(net)
+            .expect("iperf workload endpoints must resolve");
+        self.flow = Some(IperfFlow::new(net, src, dst, self.reno));
+    }
+
+    fn tick(&mut self, net: &mut SdnNetwork, _tick: WorkloadTick) {
+        self.flow
+            .as_mut()
+            .expect("tick before start")
+            .observe_second(net);
+    }
+
+    fn finish(&mut self, _net: &mut SdnNetwork) -> WorkloadReport {
+        let flow = self.flow.take().expect("finish before start");
+        let run = flow.run;
+        let mut report = WorkloadReport::new(self.label());
+        report.push_note("src", run.endpoints.0.index().to_string());
+        report.push_note("dst", run.endpoints.1.index().to_string());
+        report.push_series("throughput_mbps", run.throughput_mbps);
+        report.push_series("retransmission_pct", run.retransmission_pct);
+        report.push_series("bad_tcp_pct", run.bad_tcp_pct);
+        report.push_series("out_of_order_pct", run.out_of_order_pct);
+        report.push_series(
+            "path_hops",
+            run.path_hops.iter().map(|&h| h as f64).collect(),
+        );
+        report
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use renaissance::scenario::{ControlPlane, FaultEvent, LinkSelector, Scenario};
     use renaissance::{ControllerConfig, HarnessConfig};
     use sdn_topology::builders;
 
@@ -231,5 +377,57 @@ mod tests {
         let (a, b) = farthest_switch_pair(&sdn).unwrap();
         let d = paths::distance(&sdn.topology().switch_graph, a, b).unwrap();
         assert_eq!(d, sdn.topology().expected_diameter);
+    }
+
+    fn throughput_scenario(mode: ControlPlane) -> Scenario {
+        Scenario::builder("throughput")
+            .network("B4")
+            .task_delay(SimDuration::from_millis(200))
+            .seeds_from(5)
+            .workload(|| Box::new(IperfWorkload::farthest(16)))
+            .fault_at(
+                SimDuration::from_secs(6),
+                FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
+            )
+            .control_plane(mode)
+            .build()
+    }
+
+    #[test]
+    fn workload_reproduces_the_figure15_shape_through_the_scenario_api() {
+        let report = throughput_scenario(ControlPlane::Live).run();
+        let run = &report.runs[0];
+        assert!(run
+            .injected
+            .iter()
+            .any(|f| f.description.contains("remove link")));
+        let iperf = run.workload("iperf").expect("iperf report");
+        let typed = IperfWorkload::run_from_report(iperf).expect("typed run");
+        assert_eq!(typed.throughput_mbps.len(), 16);
+        let before = typed.throughput_mbps[5];
+        let after = *typed.throughput_mbps.last().unwrap();
+        assert!(before > 200.0, "pre-failure throughput {before}");
+        assert!(after > before * 0.8, "after {after} vs before {before}");
+        let burst = typed.retransmission_pct[6..=8]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        assert!(burst > 0.0, "failure must cause retransmissions");
+    }
+
+    #[test]
+    fn frozen_control_plane_reproduces_the_figure16_mode() {
+        let report = throughput_scenario(ControlPlane::Frozen).run();
+        let run = &report.runs[0];
+        let iperf = run.workload("iperf").expect("iperf report");
+        let typed = IperfWorkload::run_from_report(iperf).expect("typed run");
+        // The flow survives on pre-installed backup paths alone.
+        let after = *typed.throughput_mbps.last().unwrap();
+        assert!(
+            after > 100.0,
+            "backup paths must carry the flow, got {after}"
+        );
+        // And the control plane really did nothing: no recovery records.
+        assert!(run.recoveries.is_empty());
     }
 }

@@ -41,6 +41,8 @@ pub mod iperf;
 pub mod reno;
 pub mod stats;
 
-pub use iperf::{farthest_switch_pair, run_throughput_experiment, IperfConfig, IperfRun};
+pub use iperf::{
+    farthest_switch_pair, run_throughput_experiment, IperfConfig, IperfRun, IperfWorkload,
+};
 pub use reno::{PathEvent, RenoConfig, RenoConnection};
 pub use stats::{throughput_correlation, Series};

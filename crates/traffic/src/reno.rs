@@ -9,10 +9,8 @@
 //! window advanced in discrete time steps, driven by "path available / path changed"
 //! signals from the routing layer instead of per-packet simulation.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of a model TCP Reno connection.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RenoConfig {
     /// Maximum segment size in bytes.
     pub mss_bytes: f64,
@@ -42,7 +40,7 @@ impl Default for RenoConfig {
 }
 
 /// What happened to the flow's path during one step.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PathEvent {
     /// Same path as before, everything flowing.
     Stable,
@@ -54,7 +52,7 @@ pub enum PathEvent {
 }
 
 /// Per-step observation of the connection.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct StepOutcome {
     /// Goodput achieved during this step, in megabits per second.
     pub throughput_mbps: f64,
@@ -95,7 +93,7 @@ fn percentage(part: u64, whole: u64) -> f64 {
 }
 
 /// A model TCP Reno connection.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RenoConnection {
     config: RenoConfig,
     /// Congestion window in segments.
@@ -145,11 +143,11 @@ impl RenoConnection {
         let rtt_s = (rtt_ms / 1000.0).max(1e-4);
         let rtts_in_step = (step_secs / rtt_s).max(1.0);
         // The window that fully utilises the achievable share of the bottleneck.
-        let capacity_window = (self.config.link_capacity_mbps * self.config.achievable_utilization
-            * 1_000_000.0
-            / 8.0
-            * rtt_s)
-            / self.config.mss_bytes;
+        let capacity_window =
+            (self.config.link_capacity_mbps * self.config.achievable_utilization * 1_000_000.0
+                / 8.0
+                * rtt_s)
+                / self.config.mss_bytes;
 
         let mut outcome = StepOutcome::default();
         let in_flight = self.cwnd.min(capacity_window);
@@ -225,7 +223,10 @@ mod tests {
         let rate = steady_state(&mut conn, 8);
         let target = cfg.link_capacity_mbps * cfg.achievable_utilization;
         assert!(rate > target * 0.85, "rate {rate} too low");
-        assert!(rate < cfg.link_capacity_mbps, "rate {rate} exceeds the link");
+        assert!(
+            rate < cfg.link_capacity_mbps,
+            "rate {rate} exceeds the link"
+        );
     }
 
     #[test]

@@ -4,10 +4,9 @@
 
 use crate::iperf::IperfRun;
 use sdn_netsim::metrics::pearson_correlation;
-use serde::{Deserialize, Serialize};
 
 /// A named per-second series, ready to be printed as one curve of a figure.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Series {
     /// Curve label (usually the network name).
     pub label: String,
@@ -41,7 +40,10 @@ impl Series {
 
 /// Pearson correlation between the throughput curves of two runs, the statistic the
 /// paper reports in Table 17 (values of 0.92–0.96 across networks).
-pub fn throughput_correlation(with_recovery: &IperfRun, without_recovery: &IperfRun) -> Option<f64> {
+pub fn throughput_correlation(
+    with_recovery: &IperfRun,
+    without_recovery: &IperfRun,
+) -> Option<f64> {
     pearson_correlation(
         &with_recovery.throughput_mbps,
         &without_recovery.throughput_mbps,

@@ -1,59 +1,56 @@
 //! Fault recovery: kill a controller, a switch, and a link on the Telstra ISP topology
 //! and measure how long Renaissance takes to return to a legitimate state each time —
-//! the scenario family behind the paper's Figures 10–14.
+//! the scenario family behind the paper's Figures 10–14, declared as one scenario with
+//! three fault batches.
 //!
 //! Run with: `cargo run --release --example fault_recovery`
 
-use renaissance::{ControllerConfig, FaultInjector, HarnessConfig, SdnNetwork};
+use renaissance::scenario::{
+    ControllerSelector, FaultEvent, LinkSelector, Scenario, SwitchSelector,
+};
 use sdn_netsim::SimDuration;
-use sdn_topology::builders;
 
 fn main() {
-    let topology = builders::telstra(3);
-    let mut sdn = SdnNetwork::new(
-        topology,
-        ControllerConfig::for_network(3, 57),
-        HarnessConfig::default().with_task_delay(SimDuration::from_millis(500)),
+    let report = Scenario::builder("fault-recovery")
+        .network("Telstra")
+        .controllers(3)
+        .task_delay(SimDuration::from_millis(500))
+        .timeout(SimDuration::from_secs(600))
+        // 1. Controller fail-stop: the remaining controllers must clean up its rules
+        //    and manager entries everywhere (the paper's Figure 10).
+        .fault_at(
+            SimDuration::ZERO,
+            FaultEvent::FailController(ControllerSelector::Index(2)),
+        )
+        // 2. Switch fail-stop (the paper's Figure 12), after the first recovery.
+        .fault_at(
+            SimDuration::from_secs(120),
+            FaultEvent::FailSwitch(SwitchSelector::Random),
+        )
+        // 3. Permanent link failure (the paper's Figure 13): the data plane fails over
+        //    immediately thanks to the kappa-fault-resilient flows; the control plane
+        //    then re-optimizes the primary paths.
+        .fault_at(
+            SimDuration::from_secs(240),
+            FaultEvent::RemoveLink(LinkSelector::RandomSafe { count: 1 }),
+        )
+        .seeds_from(17)
+        .run();
+
+    let run = &report.runs[0];
+    println!(
+        "Telstra bootstrapped in {:.2}s",
+        run.bootstrap_s.expect("bootstrap")
     );
-    let bootstrap = sdn
-        .run_until_legitimate(SimDuration::from_millis(250), SimDuration::from_secs(600))
-        .expect("bootstrap");
-    println!("Telstra bootstrapped in {bootstrap}");
-
-    // 1. Controller fail-stop: the remaining controllers must clean up its rules and
-    //    manager entries everywhere (the paper's Figure 10).
-    let victim_controller = sdn.controller_ids()[2];
-    sdn.fail_controller(victim_controller);
-    let recovery = sdn
-        .run_until_legitimate(SimDuration::from_millis(250), SimDuration::from_secs(600))
-        .expect("recovery after controller failure");
-    println!("controller {victim_controller} failed -> recovered in {recovery}");
-    let stale_rules: usize = sdn
-        .switch_ids()
-        .iter()
-        .filter_map(|&s| sdn.switch(s))
-        .map(|sw| sw.rules().rules_of(victim_controller).len())
-        .sum();
-    println!("  stale rules of the dead controller left anywhere: {stale_rules}");
-
-    // 2. Switch fail-stop (the paper's Figure 12).
-    let mut injector = FaultInjector::new(17);
-    let victim_switch = injector.random_switch(&sdn);
-    sdn.fail_switch(victim_switch);
-    let recovery = sdn
-        .run_until_legitimate(SimDuration::from_millis(250), SimDuration::from_secs(600))
-        .expect("recovery after switch failure");
-    println!("switch {victim_switch} failed -> recovered in {recovery}");
-
-    // 3. Permanent link failure (the paper's Figure 13): the data plane fails over
-    //    immediately thanks to the kappa-fault-resilient flows; the control plane then
-    //    re-optimizes the primary paths.
-    let links = injector.random_safe_links(&sdn, 1);
-    let (a, b) = links[0];
-    sdn.remove_link(a, b);
-    let recovery = sdn
-        .run_until_legitimate(SimDuration::from_millis(250), SimDuration::from_secs(600))
-        .expect("recovery after link failure");
-    println!("link {a}-{b} removed -> recovered in {recovery}");
-    println!("still legitimate: {}", sdn.is_legitimate());
+    for (fault, recovery) in run.injected.iter().zip(&run.recoveries) {
+        match recovery.recovered_in_s {
+            Some(seconds) => println!("{} -> recovered in {seconds:.2}s", fault.description),
+            None => println!("{} -> did NOT recover", fault.description),
+        }
+    }
+    println!("still legitimate: {}", run.final_legitimate);
+    println!(
+        "end of run: {} rules across switches, {} control messages total",
+        run.total_rules, run.messages_sent
+    );
 }

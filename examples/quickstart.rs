@@ -1,9 +1,10 @@
 //! Quickstart: bootstrap an in-band SDN control plane on Google's B4 WAN and watch it
-//! reach a legitimate state.
+//! reach a legitimate state — declared as a [`Scenario`] and executed by the scenario
+//! runner.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use renaissance::{ControllerConfig, HarnessConfig, SdnNetwork};
+use renaissance::scenario::{Probe, Scenario};
 use sdn_netsim::SimDuration;
 use sdn_topology::builders;
 
@@ -19,37 +20,39 @@ fn main() {
         topology.expected_diameter
     );
 
-    let mut sdn = SdnNetwork::new(
-        topology,
-        ControllerConfig::for_network(3, 12),
-        HarnessConfig::default().with_task_delay(SimDuration::from_millis(500)),
-    );
-
     // All switches start with empty configurations: no rules, no managers. Renaissance
     // discovers the network hop by hop and installs kappa-fault-resilient flows.
-    let bootstrap = sdn
-        .run_until_legitimate(SimDuration::from_millis(250), SimDuration::from_secs(600))
+    let report = Scenario::builder("quickstart")
+        .topology(topology)
+        .task_delay(SimDuration::from_millis(500))
+        .timeout(SimDuration::from_secs(600))
+        .probe(Probe::legitimacy())
+        .probe(Probe::total_rules())
+        .summary("controller_iterations", |net| {
+            let c0 = net.controller_ids()[0];
+            net.controller(c0)
+                .map(|c| c.stats().iterations)
+                .unwrap_or(0) as f64
+        })
+        .run();
+
+    let run = &report.runs[0];
+    let bootstrap = run
+        .bootstrap_s
         .expect("Renaissance bootstraps every connected topology");
-    println!("bootstrapped to a legitimate state in {bootstrap} (simulated)");
+    println!("bootstrapped to a legitimate state in {bootstrap:.2}s (simulated)");
 
-    for switch_id in sdn.switch_ids() {
-        let switch = sdn.switch(switch_id).expect("switch exists");
-        println!(
-            "  switch {switch_id}: {} rules, managed by {:?}",
-            switch.rules().len(),
-            switch.managers().to_sorted_vec()
-        );
+    let rules = run.probe("total_rules").expect("probe series");
+    println!("rule installation over time:");
+    for (t, v) in rules.times_s.iter().zip(&rules.values) {
+        println!("  t={t:>5.1}s  {v:>6.0} rules installed");
     }
-
-    let c0 = sdn.controller_ids()[0];
-    let stats = sdn.controller(c0).expect("controller exists").stats();
     println!(
-        "controller {c0}: {} do-forever iterations, {} rounds, {} queries sent",
-        stats.iterations, stats.rounds_completed, stats.queries_sent
+        "controller 0: {} do-forever iterations",
+        run.summary("controller_iterations").unwrap_or(0.0)
     );
     println!(
-        "network totals: {} control messages, {} rules installed",
-        sdn.metrics().total_sent(),
-        sdn.total_rules()
+        "network totals: {} control messages, {} rules installed ({} max per switch)",
+        run.messages_sent, run.total_rules, run.max_rules_per_switch
     );
 }

@@ -6,46 +6,59 @@
 //!
 //! Run with: `cargo run --release --example self_stabilization`
 
-use renaissance::{ControllerConfig, CorruptionPlan, FaultInjector, HarnessConfig, SdnNetwork};
+use renaissance::scenario::{FaultEvent, Probe, Scenario};
+use renaissance::CorruptionPlan;
 use sdn_netsim::SimDuration;
-use sdn_topology::builders;
 
 fn main() {
-    let topology = builders::clos(3);
-    let mut sdn = SdnNetwork::new(
-        topology,
-        ControllerConfig::for_network(3, 20),
-        HarnessConfig::default().with_task_delay(SimDuration::from_millis(500)),
-    );
-    sdn.run_until_legitimate(SimDuration::from_millis(250), SimDuration::from_secs(600))
-        .expect("bootstrap");
-    println!("Clos fabric bootstrapped; injecting arbitrary state corruption...");
-
     // Corrupt everything the fault model allows: garbage rules, bogus managers, wiped
-    // switches, fabricated replyDB entries, corrupted round tags.
-    let mut injector = FaultInjector::new(2024);
-    let mutations = injector.corrupt(&mut sdn, CorruptionPlan::heavy());
-    let report = sdn.legitimacy_report();
-    println!("applied {mutations} state mutations; legitimacy violations now:");
-    for issue in report.issues.iter().take(8) {
-        println!("  - {issue}");
-    }
-    if report.issues.len() > 8 {
-        println!("  ... and {} more", report.issues.len() - 8);
-    }
+    // switches, fabricated replyDB entries, corrupted round tags — then watch the
+    // legitimacy probe fall to 0 and climb back to 1.
+    let report = Scenario::builder("self-stabilization")
+        .network("Clos")
+        .controllers(3)
+        .task_delay(SimDuration::from_millis(500))
+        .timeout(SimDuration::from_secs(900))
+        .fault_at(
+            SimDuration::ZERO,
+            FaultEvent::CorruptState(CorruptionPlan::heavy()),
+        )
+        .probe(Probe::legitimacy())
+        .probe(Probe::total_rules())
+        .sample_probes_every(SimDuration::from_secs(2))
+        .seeds_from(2024)
+        .run();
 
-    let recovery = sdn
-        .run_until_legitimate(SimDuration::from_millis(250), SimDuration::from_secs(900))
+    let run = &report.runs[0];
+    println!(
+        "Clos fabric bootstrapped in {:.2}s; injecting arbitrary state corruption...",
+        run.bootstrap_s.expect("bootstrap")
+    );
+    println!("injected: {}", run.injected[0].description);
+
+    let recovery = run.recoveries[0]
+        .recovered_in_s
         .expect("Theorem 2: the system recovers from any starting state");
-    println!("self-stabilized in {recovery} (simulated)");
+    println!("self-stabilized in {recovery:.2}s (simulated)");
 
-    // The memory-adaptive algorithm also cleaned up: only live controllers own rules.
-    for switch_id in sdn.switch_ids().into_iter().take(5) {
-        let switch = sdn.switch(switch_id).expect("switch");
-        println!(
-            "  switch {switch_id}: managers {:?}, rule owners {:?}",
-            switch.managers().to_sorted_vec(),
-            switch.rules().controllers_with_rules()
-        );
+    println!("legitimacy / total rules over time:");
+    let legitimacy = run.probe("legitimacy").expect("legitimacy probe");
+    let rules = run.probe("total_rules").expect("rules probe");
+    for ((t, legit), rules) in legitimacy
+        .times_s
+        .iter()
+        .zip(&legitimacy.values)
+        .zip(&rules.values)
+    {
+        let marker = if *legit > 0.0 {
+            "legitimate"
+        } else {
+            "ILLEGITIMATE"
+        };
+        println!("  t={t:>6.1}s  {marker:<12} {rules:>6.0} rules");
     }
+    println!(
+        "final state: legitimate={}, {} rules total ({} max per switch)",
+        run.final_legitimate, run.total_rules, run.max_rules_per_switch
+    );
 }

@@ -1,43 +1,66 @@
 //! Data-plane throughput across a link failure — the paper's Figures 15/16 experiment:
 //! an iperf-like TCP Reno flow between the two farthest switches of the EBONE topology,
-//! with a mid-path link failing at second 10.
+//! with a mid-path link failing at second 10 — declared as a scenario workload plus a
+//! scheduled mid-path fault.
 //!
 //! Run with: `cargo run --release --example throughput_under_failure`
 
-use renaissance::{ControllerConfig, HarnessConfig, SdnNetwork};
+use renaissance::scenario::{Endpoints, FaultEvent, LinkSelector, Scenario};
 use sdn_netsim::SimDuration;
-use sdn_topology::builders;
-use sdn_traffic::iperf::{self, IperfConfig};
+use sdn_traffic::iperf::IperfWorkload;
 
 fn main() {
-    let topology = builders::ebone(3);
-    let mut sdn = SdnNetwork::new(
-        topology,
-        ControllerConfig::for_network(3, 208),
-        HarnessConfig::default().with_task_delay(SimDuration::from_millis(500)),
-    );
-    let bootstrap = sdn
-        .run_until_legitimate(SimDuration::from_millis(500), SimDuration::from_secs(1200))
-        .expect("bootstrap EBONE");
-    println!("EBONE bootstrapped in {bootstrap}");
+    let report = Scenario::builder("throughput-under-failure")
+        .network("EBONE")
+        .controllers(3)
+        .task_delay(SimDuration::from_millis(500))
+        .timeout(SimDuration::from_secs(1_200))
+        .workload(|| Box::new(IperfWorkload::farthest(30)))
+        .fault_at(
+            SimDuration::from_secs(10),
+            FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
+        )
+        .run();
 
-    let (src, dst) = iperf::farthest_switch_pair(&sdn).expect("farthest pair");
-    println!("iperf hosts attached to {src} and {dst} (maximal distance)");
-
-    let run = iperf::run_throughput_experiment(&mut sdn, src, dst, IperfConfig::default());
+    let run = &report.runs[0];
     println!(
-        "failed link at second 10: {:?}",
-        run.failed_link.expect("a mid-path link was failed")
+        "EBONE bootstrapped in {:.2}s",
+        run.bootstrap_s.expect("bootstrap EBONE")
     );
+
+    let iperf = run.workload("iperf").expect("iperf workload report");
+    println!(
+        "iperf hosts attached to switches {} and {} (maximal distance)",
+        iperf.note("src").unwrap_or("?"),
+        iperf.note("dst").unwrap_or("?"),
+    );
+    println!(
+        "failed at second 10: {}",
+        run.injected
+            .first()
+            .map(|f| f.description.as_str())
+            .expect("a mid-path link was failed")
+    );
+
+    let throughput = iperf.series("throughput_mbps").expect("throughput series");
     println!("per-second throughput (Mbit/s):");
-    for (second, mbps) in run.throughput_mbps.iter().enumerate() {
-        let marker = if second == 10 { "  <- link failure" } else { "" };
+    for (second, mbps) in throughput.iter().enumerate() {
+        let marker = if second == 10 {
+            "  <- link failure"
+        } else {
+            ""
+        };
         println!("  t={second:>2}s  {mbps:>7.1}{marker}");
     }
+    let retransmissions = iperf
+        .series("retransmission_pct")
+        .expect("retransmission series");
+    let mean = throughput.iter().sum::<f64>() / throughput.len().max(1) as f64;
+    let dip = throughput.iter().copied().fold(f64::MAX, f64::min);
     println!(
         "mean {:.1} Mbit/s, dip {:.1} Mbit/s, peak retransmission burst {:.1}%",
-        run.mean_throughput(),
-        run.min_throughput(),
-        run.retransmission_pct.iter().copied().fold(0.0, f64::max),
+        mean,
+        dip,
+        retransmissions.iter().copied().fold(0.0, f64::max),
     );
 }

@@ -2,6 +2,10 @@
 //! that the repository-level examples and integration tests can use a single import
 //! root. Library users should depend on the individual crates (`renaissance`,
 //! `sdn-topology`, ...) directly.
+//!
+//! Start with [`renaissance::scenario`]: the declarative `ScenarioBuilder` is the
+//! front door for composing experiments (topology + fault schedule + workloads +
+//! probes) over the simulated control plane.
 
 pub use renaissance;
 pub use sdn_channel;

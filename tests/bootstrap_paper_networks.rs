@@ -32,7 +32,10 @@ fn b4_bootstraps_and_every_switch_is_fully_managed() {
             sdn.controller_ids(),
             "switch {switch_id} must be managed by every controller"
         );
-        assert!(switch.rules().len() > 0, "switch {switch_id} must hold rules");
+        assert!(
+            !switch.rules().is_empty(),
+            "switch {switch_id} must hold rules"
+        );
     }
 }
 
@@ -45,7 +48,8 @@ fn clos_bootstrap_installs_bidirectional_inband_paths() {
             if node == controller {
                 continue;
             }
-            let forward = renaissance::legitimacy::route_in_band(&sdn, &operational, controller, node);
+            let forward =
+                renaissance::legitimacy::route_in_band(&sdn, &operational, controller, node);
             let back = renaissance::legitimacy::route_in_band(&sdn, &operational, node, controller);
             assert!(forward.is_some(), "no path {controller} -> {node}");
             assert!(back.is_some(), "no path {node} -> {controller}");
@@ -89,7 +93,11 @@ fn switch_memory_stays_within_lemma1_bound() {
             "switch {switch_id} exceeded maxRules"
         );
         assert!(switch.managers().len() <= switch.config().max_managers);
-        assert_eq!(switch.rules().evictions(), 0, "no evictions during a legal execution");
+        assert_eq!(
+            switch.rules().evictions(),
+            0,
+            "no evictions during a legal execution"
+        );
     }
 }
 

@@ -31,7 +31,10 @@ fn controller_fail_stop_is_cleaned_up_everywhere() {
     assert!(recovery > SimDuration::ZERO);
     for switch_id in sdn.switch_ids() {
         let switch = sdn.switch(switch_id).expect("switch");
-        assert!(!switch.managers().contains(victim), "stale manager at {switch_id}");
+        assert!(
+            !switch.managers().contains(victim),
+            "stale manager at {switch_id}"
+        );
         assert!(
             switch.rules().rules_of(victim).is_empty(),
             "stale rules at {switch_id}"
@@ -76,7 +79,10 @@ fn single_and_multiple_link_failures_recover() {
             sdn.remove_link(a, b);
         }
         let recovery = sdn.run_until_legitimate(CHECK, TIMEOUT);
-        assert!(recovery.is_some(), "{count} link failures must be recoverable");
+        assert!(
+            recovery.is_some(),
+            "{count} link failures must be recoverable"
+        );
     }
 }
 
@@ -110,13 +116,21 @@ fn link_addition_is_incorporated() {
         }
     }
     sdn.add_link(a, b);
-    let recovery = sdn.run_until_legitimate(CHECK, TIMEOUT).expect("recovery after link addition");
+    let recovery = sdn
+        .run_until_legitimate(CHECK, TIMEOUT)
+        .expect("recovery after link addition");
     assert!(recovery > SimDuration::ZERO);
     // Every controller's view now includes the new link.
     for controller in sdn.controller_ids() {
         let observed = sdn.sim().observed_neighbors(controller);
-        let discovered = sdn.controller(controller).expect("controller").discovered_graph(&observed);
-        assert!(discovered.has_link(a, b), "controller {controller} missed the new link");
+        let discovered = sdn
+            .controller(controller)
+            .expect("controller")
+            .discovered_graph(&observed);
+        assert!(
+            discovered.has_link(a, b),
+            "controller {controller} missed the new link"
+        );
     }
 }
 
@@ -125,14 +139,20 @@ fn failed_controller_can_rejoin_with_fresh_state() {
     let mut sdn = bootstrapped_b4(31);
     let victim = sdn.controller_ids()[2];
     sdn.fail_controller(victim);
-    sdn.run_until_legitimate(CHECK, TIMEOUT).expect("recovery after failure");
+    sdn.run_until_legitimate(CHECK, TIMEOUT)
+        .expect("recovery after failure");
     // The controller comes back empty (Lemma 8: new nodes start with empty memory).
     sdn.revive_controller(victim);
-    let recovery = sdn.run_until_legitimate(CHECK, TIMEOUT).expect("recovery after rejoin");
+    let recovery = sdn
+        .run_until_legitimate(CHECK, TIMEOUT)
+        .expect("recovery after rejoin");
     assert!(recovery > SimDuration::ZERO);
     for switch_id in sdn.switch_ids() {
         assert!(
-            sdn.switch(switch_id).expect("switch").managers().contains(victim),
+            sdn.switch(switch_id)
+                .expect("switch")
+                .managers()
+                .contains(victim),
             "rejoined controller must manage switch {switch_id} again"
         );
     }

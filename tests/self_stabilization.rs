@@ -34,13 +34,18 @@ fn recovers_from_heavy_corruption_with_the_memory_adaptive_algorithm() {
     let mutations = injector.corrupt(&mut sdn, CorruptionPlan::heavy());
     assert!(mutations > 0);
     assert!(!sdn.is_legitimate());
-    let recovery = sdn.run_until_legitimate(CHECK, TIMEOUT).expect("Theorem 2 recovery");
+    let recovery = sdn
+        .run_until_legitimate(CHECK, TIMEOUT)
+        .expect("Theorem 2 recovery");
     assert!(recovery > SimDuration::ZERO);
     // Memory adaptiveness: after recovery no switch stores state of bogus controllers.
     for switch_id in sdn.switch_ids() {
         let switch = sdn.switch(switch_id).expect("switch");
         for owner in switch.rules().controllers_with_rules() {
-            assert!(sdn.controller_ids().contains(&owner), "bogus rule owner {owner}");
+            assert!(
+                sdn.controller_ids().contains(&owner),
+                "bogus rule owner {owner}"
+            );
         }
     }
 }
@@ -81,13 +86,17 @@ fn non_adaptive_variant_also_bootstraps_and_survives_controller_failure() {
         .filter_map(|&s| sdn.switch(s))
         .map(|sw| sw.rules().rules_of(victim).len())
         .sum();
-    assert!(lingering > 0, "non-adaptive variant must not clean up stale rules");
+    assert!(
+        lingering > 0,
+        "non-adaptive variant must not clean up stale rules"
+    );
     // Live controllers still reach every switch in-band.
     let operational = sdn.sim().operational_graph();
     for controller in sdn.live_controller_ids() {
         for switch in sdn.live_switch_ids() {
             assert!(
-                renaissance::legitimacy::route_in_band(&sdn, &operational, controller, switch).is_some(),
+                renaissance::legitimacy::route_in_band(&sdn, &operational, controller, switch)
+                    .is_some(),
                 "no path {controller} -> {switch} under the non-adaptive variant"
             );
         }
@@ -100,13 +109,19 @@ fn memory_adaptive_variant_uses_less_memory_after_controller_failures() {
     // its rules while the non-adaptive variant keeps paying for them.
     let mut adaptive = build(true, 53);
     let mut non_adaptive = build(false, 53);
-    adaptive.run_until_legitimate(CHECK, TIMEOUT).expect("bootstrap adaptive");
-    non_adaptive.run_until_legitimate(CHECK, TIMEOUT).expect("bootstrap non-adaptive");
+    adaptive
+        .run_until_legitimate(CHECK, TIMEOUT)
+        .expect("bootstrap adaptive");
+    non_adaptive
+        .run_until_legitimate(CHECK, TIMEOUT)
+        .expect("bootstrap non-adaptive");
     let victim_a = adaptive.controller_ids()[2];
     let victim_n = non_adaptive.controller_ids()[2];
     adaptive.fail_controller(victim_a);
     non_adaptive.fail_controller(victim_n);
-    adaptive.run_until_legitimate(CHECK, TIMEOUT).expect("adaptive recovery");
+    adaptive
+        .run_until_legitimate(CHECK, TIMEOUT)
+        .expect("adaptive recovery");
     non_adaptive.run_for(SimDuration::from_secs(30));
     assert!(
         adaptive.total_rules() < non_adaptive.total_rules(),
