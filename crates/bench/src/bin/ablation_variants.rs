@@ -5,7 +5,9 @@ use renaissance_bench::experiments::{variant_ablation, ExperimentScale};
 use renaissance_bench::report::{fmt2, print_table, Row};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_cli(
+        "Ablation: memory-adaptive main algorithm vs the Section 8.1 non-adaptive variant",
+    );
     let results = variant_ablation(&scale);
     let rows: Vec<Row> = results
         .iter()

@@ -4,7 +4,9 @@ use renaissance_bench::experiments::{bootstrap_times, ExperimentScale};
 use renaissance_bench::report::{fmt2, print_table, Row};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_cli(
+        "Figure 5: bootstrap time for the paper's networks using 3 controllers.",
+    );
     let results = bootstrap_times(&scale, 3);
     let rows: Vec<Row> = results
         .iter()

@@ -4,10 +4,16 @@ use renaissance_bench::experiments::{bootstrap_vs_controllers, ExperimentScale};
 use renaissance_bench::report::{fmt2, print_table, Row};
 
 fn main() {
+    let args = renaissance_bench::cli::parse(
+        "Figure 6: bootstrap time for Telstra, AT&T and EBONE with 1 to 7 controllers.",
+        &[],
+    );
     let mut scale = ExperimentScale::from_env();
+    // The figure's default network subset; an explicit env/CLI list still wins.
     if std::env::var("RENAISSANCE_NETWORKS").is_err() {
         scale.networks = vec!["Telstra".into(), "AT&T".into(), "EBONE".into()];
     }
+    let scale = scale.with_args(&args);
     let counts = [1, 3, 5, 7];
     let results = bootstrap_vs_controllers(&scale, &counts);
     let rows: Vec<Row> = results

@@ -5,7 +5,9 @@ use renaissance_bench::report::{fmt2, print_table, Row};
 use sdn_netsim::SimDuration;
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_cli(
+        "Figure 7: bootstrap time as a function of the task delay (query interval), 7 controllers.",
+    );
     let delays: Vec<SimDuration> = [1000u64, 700, 500, 300, 100, 60, 20, 5]
         .into_iter()
         .map(SimDuration::from_millis)

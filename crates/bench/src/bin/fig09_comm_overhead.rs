@@ -4,7 +4,9 @@ use renaissance_bench::experiments::{communication_overhead, ExperimentScale};
 use renaissance_bench::report::{fmt2, print_table, Row};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_cli(
+        "Figure 9: communication cost per node for the maximum-loaded controller.",
+    );
     let results = communication_overhead(&scale, 3);
     let rows: Vec<Row> = results
         .iter()

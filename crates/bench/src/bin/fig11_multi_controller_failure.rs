@@ -4,10 +4,16 @@ use renaissance_bench::experiments::{recovery_after_failure, ExperimentScale, Fa
 use renaissance_bench::report::{fmt2, print_table, Row};
 
 fn main() {
+    let args = renaissance_bench::cli::parse(
+        "Figure 11: recovery time after the fail-stop of 1 to 6 controllers (7 deployed).",
+        &[],
+    );
     let mut scale = ExperimentScale::from_env();
+    // The figure's default network subset; an explicit env/CLI list still wins.
     if std::env::var("RENAISSANCE_NETWORKS").is_err() {
         scale.networks = vec!["Telstra".into(), "AT&T".into(), "EBONE".into()];
     }
+    let scale = scale.with_args(&args);
     let mut all = Vec::new();
     let mut rows = Vec::new();
     for count in [1usize, 2, 4, 6] {

@@ -4,7 +4,8 @@ use renaissance_bench::experiments::{recovery_after_failure, ExperimentScale, Fa
 use renaissance_bench::report::{fmt2, print_table, Row};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale =
+        ExperimentScale::from_cli("Figure 12: recovery time after a permanent switch failure.");
     let results = recovery_after_failure(&scale, 3, FailureKind::Switch);
     let rows: Vec<Row> = results
         .iter()

@@ -4,7 +4,9 @@ use renaissance_bench::experiments::{recovery_after_failure, ExperimentScale, Fa
 use renaissance_bench::report::{fmt2, print_table, Row};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_cli(
+        "Figure 13: recovery time after a single permanent link failure.",
+    );
     let results = recovery_after_failure(&scale, 3, FailureKind::Links { count: 1 });
     let rows: Vec<Row> = results
         .iter()

@@ -4,7 +4,9 @@ use renaissance_bench::experiments::{recovery_after_failure, ExperimentScale, Fa
 use renaissance_bench::report::{fmt2, print_table, Row};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_cli(
+        "Figure 14: recovery time after 2, 4 or 6 simultaneous permanent link failures.",
+    );
     let mut all = Vec::new();
     let mut rows = Vec::new();
     for count in [2usize, 4, 6] {

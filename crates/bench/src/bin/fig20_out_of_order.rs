@@ -4,7 +4,9 @@ use renaissance_bench::experiments::{throughput_under_failure, ExperimentScale};
 use renaissance_bench::report::{fmt2, print_table, Row};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_cli(
+        "Figure 20: out-of-order packet percentage per second around the link failure. Plots one seeded trace (pick it with --seed); --runs is not used.",
+    );
     let results = throughput_under_failure(&scale, true);
     let rows: Vec<Row> = results
         .iter()

@@ -1,0 +1,230 @@
+//! The scale campaign: sweeps topology family x size x fault scenario, records
+//! wall-clock and simulated-time metrics, and writes the machine-readable
+//! `BENCH_scale.json` that CI tracks as the repository's performance trajectory.
+//!
+//! Three fault scenarios per topology, mirroring the paper's core measurements at
+//! datacenter scale:
+//!
+//! * `bootstrap` — from the empty configuration to the first legitimate state,
+//! * `controller_failure` — fail-stop of one random controller in a stable network,
+//! * `midpath_link_failure` — removal of the link in the middle of the data-plane
+//!   path between the two farthest switches.
+//!
+//! `--smoke` shrinks the sweep to three tiny topologies with one seed each so the CI
+//! job finishes in seconds; the full campaign reaches several hundred switches.
+
+use renaissance::scenario::{
+    ControllerSelector, Endpoints, FaultEvent, LinkSelector, ScenarioReport,
+};
+use renaissance_bench::cli::{self, Flag};
+use renaissance_bench::report::{fmt2, print_table, write_json_file, Json, Row};
+use renaissance_bench::ExperimentScale;
+use sdn_netsim::SimDuration;
+use sdn_topology::{builders, connectivity};
+use std::time::Instant;
+
+const ABOUT: &str = "Scale campaign: topology family x size x fault scenario sweep, \
+emitting BENCH_scale.json";
+
+const EXTRA_FLAGS: &[Flag] = &[
+    Flag {
+        name: "--smoke",
+        value_name: None,
+        help: "tiny sizes, 1 seed: the CI smoke configuration",
+    },
+    Flag {
+        name: "--out",
+        value_name: Some("PATH"),
+        help: "output path for the JSON artifact (default BENCH_scale.json, or \
+               BENCH_scale_smoke.json with --smoke so a smoke run never overwrites \
+               the committed full baseline)",
+    },
+];
+
+/// The three fault scenarios of the campaign.
+const SCENARIOS: [&str; 3] = ["bootstrap", "controller_failure", "midpath_link_failure"];
+
+/// The full sweep: every family from a paper-scale anchor up to several hundred
+/// switches. Jellyfish names pin the wiring seed so the topology (not just the run)
+/// is reproducible.
+const FULL_NETWORKS: [&str; 9] = [
+    "fat_tree(4)",
+    "fat_tree(8)",
+    "fat_tree(12)",
+    "jellyfish(50, 4, 1)",
+    "jellyfish(150, 5, 1)",
+    "jellyfish(300, 5, 1)",
+    "grid(5, 5)",
+    "grid(10, 10)",
+    "grid(14, 20)",
+];
+
+/// The smoke sweep: one small instance per family.
+const SMOKE_NETWORKS: [&str; 3] = ["fat_tree(4)", "jellyfish(20, 3, 1)", "grid(4, 5)"];
+
+fn main() {
+    let args = cli::parse(ABOUT, EXTRA_FLAGS);
+    let smoke = args.switch("--smoke");
+    let out = args
+        .value("--out")
+        .unwrap_or(if smoke {
+            // Keep casual smoke runs from overwriting the committed full baseline.
+            "BENCH_scale_smoke.json"
+        } else {
+            "BENCH_scale.json"
+        })
+        .to_string();
+
+    let mut scale = ExperimentScale::from_env();
+    // The campaign's own sweep is only the default: an explicit RENAISSANCE_NETWORKS
+    // or --networks selection wins, like on every other binary.
+    if std::env::var("RENAISSANCE_NETWORKS").is_err() {
+        scale.networks = if smoke {
+            &SMOKE_NETWORKS[..]
+        } else {
+            &FULL_NETWORKS[..]
+        }
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    if smoke {
+        scale.runs = 1;
+        scale.task_delay = SimDuration::from_millis(200);
+    }
+    let scale = scale.with_args(&args);
+    let seed = scale.seed_or(1_000);
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for network in &scale.networks {
+        // Topology metadata once per network: size and the largest kappa it supports.
+        let topology = builders::by_name(network, 3);
+        let switches = topology.switch_count();
+        let kappa_max = connectivity::max_supported_kappa(&topology.switch_graph);
+        let diameter = topology.expected_diameter;
+        for scenario in SCENARIOS {
+            let started = Instant::now();
+            let report = run_scenario(&scale, network, scenario, seed);
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let bootstrap = report.bootstrap_samples();
+            let recovery = report.recovery_samples();
+            let converged = report.all_converged();
+            let mut sim_end = renaissance_bench::Measurement::default();
+            let mut messages = renaissance_bench::Measurement::default();
+            for run in &report.runs {
+                sim_end.push(run.sim_end_s);
+                messages.push(run.messages_sent as f64);
+            }
+            rows.push(Row::new(
+                format!("{} / {scenario}", topology.name),
+                vec![
+                    switches.to_string(),
+                    fmt2(bootstrap.median()),
+                    fmt2(recovery.median()),
+                    fmt2(wall_ms),
+                    if converged { "yes" } else { "NO" }.to_string(),
+                ],
+            ));
+            results.push(Json::obj([
+                ("family", Json::str(family_of(network))),
+                ("network", Json::str(topology.name.clone())),
+                ("spec", Json::str(network.clone())),
+                ("switches", Json::num(switches as f64)),
+                ("diameter", Json::num(diameter as f64)),
+                ("kappa_max", Json::num(kappa_max as f64)),
+                ("scenario", Json::str(scenario)),
+                ("runs", Json::num(report.runs.len() as f64)),
+                ("seed", Json::str(seed.to_string())),
+                ("converged", Json::Bool(converged)),
+                ("wall_clock_ms", Json::num(wall_ms)),
+                ("bootstrap_s", Json::samples(&bootstrap)),
+                ("recovery_s", Json::samples(&recovery)),
+                ("sim_end_s", Json::samples(&sim_end)),
+                ("messages_sent", Json::samples(&messages)),
+            ]));
+        }
+    }
+
+    let doc = Json::obj([
+        ("benchmark", Json::str("scale_campaign")),
+        ("version", Json::num(1.0)),
+        ("smoke", Json::Bool(smoke)),
+        (
+            "config",
+            Json::obj([
+                ("runs", Json::num(scale.runs as f64)),
+                ("seed", Json::str(seed.to_string())),
+                (
+                    "task_delay_ms",
+                    Json::num(scale.task_delay.as_secs_f64() * 1e3),
+                ),
+                (
+                    "threads",
+                    scale
+                        .threads
+                        .map(|t| Json::num(t as f64))
+                        .unwrap_or(Json::Null),
+                ),
+            ]),
+        ),
+        ("results", Json::Arr(results)),
+    ]);
+    write_json_file(std::path::Path::new(&out), &doc)
+        .unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
+
+    print_table(
+        &format!(
+            "Scale campaign ({} mode) — medians over {} run(s), artifact: {out}",
+            if smoke { "smoke" } else { "full" },
+            scale.runs
+        ),
+        &["switches", "boot med s", "recov med s", "wall ms", "conv"],
+        &rows,
+        &doc.to_string(),
+    );
+}
+
+/// Builds and runs one campaign cell on the same scenario skeleton (timeout,
+/// measurement resolution, thread plumbing) as the fig/table binaries.
+fn run_scenario(
+    scale: &ExperimentScale,
+    network: &str,
+    scenario: &str,
+    seed: u64,
+) -> ScenarioReport {
+    let mut builder = renaissance_bench::experiments::experiment(
+        scale,
+        &format!("scale-{scenario}"),
+        network,
+        3,
+        scale.task_delay,
+    )
+    .runs(scale.runs)
+    .seeds_from(seed);
+    builder = match scenario {
+        "bootstrap" => builder,
+        "controller_failure" => builder.fault_at(
+            SimDuration::ZERO,
+            FaultEvent::FailController(ControllerSelector::Random { count: 1 }),
+        ),
+        "midpath_link_failure" => builder.fault_at(
+            SimDuration::ZERO,
+            FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
+        ),
+        other => unreachable!("unknown campaign scenario {other}"),
+    };
+    builder.run()
+}
+
+/// The topology family a network name belongs to (`fat_tree`, `jellyfish`, `grid`, or
+/// the name itself for paper networks).
+fn family_of(network: &str) -> String {
+    let lower = network.to_ascii_lowercase();
+    for family in ["fat_tree", "fat-tree", "fattree", "jellyfish", "grid"] {
+        if lower.starts_with(family) {
+            return family.replace('-', "_").replace("fattree", "fat_tree");
+        }
+    }
+    lower
+}

@@ -6,7 +6,9 @@ use renaissance_bench::experiments::{
 use renaissance_bench::report::{print_table, Row};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_cli(
+        "Table 17: correlation of the average throughput with vs without recovery. Plots one seeded trace (pick it with --seed); --runs is not used.",
+    );
     let with = throughput_under_failure(&scale, true);
     let without = throughput_under_failure(&scale, false);
     let correlations = throughput_correlations(&with, &without);

@@ -4,6 +4,12 @@ use renaissance_bench::experiments::table8;
 use renaissance_bench::report::{print_table, Row};
 
 fn main() {
+    // Table 8 is deterministic (no seeds or repetitions), but it still speaks the
+    // shared CLI convention so `--help` works uniformly across the binaries.
+    let _ = renaissance_bench::cli::parse(
+        "Table 8: the number of nodes and diameter of the studied networks.",
+        &[],
+    );
     let rows_data = table8();
     let rows: Vec<Row> = rows_data
         .iter()

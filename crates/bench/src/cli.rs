@@ -1,0 +1,197 @@
+//! The shared command-line convention of every experiment binary.
+//!
+//! All `fig*`/`table*` binaries and the `scale_campaign` accept the same core flags,
+//! so sweeping seeds or scaling repetitions never requires editing a binary:
+//!
+//! | flag | environment fallback | meaning |
+//! |------|----------------------|---------|
+//! | `--runs N` | `RENAISSANCE_RUNS` | repetitions per configuration |
+//! | `--seed N` | `RENAISSANCE_SEED` | base seed (run `i` uses `seed + i`) |
+//! | `--networks A,B` | `RENAISSANCE_NETWORKS` | topology list (paper names or generator names like `fat_tree(8)`) |
+//! | `--task-delay-ms N` | — | controller do-forever-loop delay |
+//! | `--threads N` | `RENAISSANCE_THREADS` | scenario-runner worker threads |
+//! | `--help` | — | print usage and exit |
+//!
+//! Flags take their value as the next argument (`--runs 5`) or inline (`--runs=5`).
+//! A binary can register extra flags (the scale campaign adds `--smoke` and `--out`).
+
+use std::collections::BTreeMap;
+
+/// Description of one accepted flag, used for parsing and for `--help` output.
+#[derive(Clone, Copy, Debug)]
+pub struct Flag {
+    /// The flag including the leading dashes, e.g. `"--runs"`.
+    pub name: &'static str,
+    /// Placeholder for the value in `--help`; `None` for boolean switches.
+    pub value_name: Option<&'static str>,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+/// The flags every experiment binary accepts.
+pub const COMMON_FLAGS: &[Flag] = &[
+    Flag {
+        name: "--runs",
+        value_name: Some("N"),
+        help: "repetitions per configuration (env RENAISSANCE_RUNS, default 3)",
+    },
+    Flag {
+        name: "--seed",
+        value_name: Some("N"),
+        help: "base seed; run i uses seed+i (env RENAISSANCE_SEED, default per experiment)",
+    },
+    Flag {
+        name: "--networks",
+        value_name: Some("A,B"),
+        help: "comma-separated topologies: B4,Clos,Telstra,AT&T,EBONE or fat_tree(8), jellyfish(100,4,7), grid(10,12) (env RENAISSANCE_NETWORKS)",
+    },
+    Flag {
+        name: "--task-delay-ms",
+        value_name: Some("N"),
+        help: "controller do-forever-loop delay in milliseconds (default 500)",
+    },
+    Flag {
+        name: "--threads",
+        value_name: Some("N"),
+        help: "scenario-runner worker threads (env RENAISSANCE_THREADS, default: all cores)",
+    },
+];
+
+/// Parsed command-line arguments: `--flag value` pairs plus boolean switches.
+#[derive(Clone, Debug, Default)]
+pub struct CliArgs {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl CliArgs {
+    /// The raw value of a flag, if it was passed.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// A flag value parsed to any `FromStr` type.
+    ///
+    /// # Panics
+    ///
+    /// Exits the process with an error message when the value does not parse — a CLI
+    /// typo should fail loudly, not fall back silently.
+    pub fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Option<T> {
+        self.value(flag).map(|raw| match raw.parse() {
+            Ok(v) => v,
+            Err(_) => die(&format!("invalid value '{raw}' for {flag}")),
+        })
+    }
+
+    /// Whether a boolean switch was passed.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+}
+
+/// Parses `std::env::args` against the common flags plus `extra` binary-specific ones.
+///
+/// Handles `--help` (prints `about`, the flag table, and exits 0) and rejects unknown
+/// flags or missing values (exits 2), so every binary's `--help` documents the same
+/// convention.
+pub fn parse(about: &str, extra: &[Flag]) -> CliArgs {
+    parse_from(about, extra, std::env::args().skip(1))
+}
+
+fn parse_from(about: &str, extra: &[Flag], args: impl Iterator<Item = String>) -> CliArgs {
+    let flags: Vec<Flag> = COMMON_FLAGS.iter().chain(extra).copied().collect();
+    let mut parsed = CliArgs::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--help" || arg == "-h" {
+            print_help(about, &flags);
+            std::process::exit(0);
+        }
+        let (name, inline) = match arg.split_once('=') {
+            Some((name, value)) => (name.to_string(), Some(value.to_string())),
+            None => (arg, None),
+        };
+        let Some(flag) = flags.iter().find(|f| f.name == name) else {
+            die(&format!("unknown argument '{name}' (try --help)"));
+        };
+        if flag.value_name.is_some() {
+            let value = match inline {
+                Some(v) => v,
+                None => args
+                    .next()
+                    .unwrap_or_else(|| die(&format!("{name} requires a value"))),
+            };
+            parsed.values.insert(name, value);
+        } else {
+            if inline.is_some() {
+                die(&format!("{name} does not take a value"));
+            }
+            parsed.switches.push(name);
+        }
+    }
+    parsed
+}
+
+fn print_help(about: &str, flags: &[Flag]) {
+    println!("{about}\n\nOptions:");
+    for flag in flags {
+        let left = match flag.value_name {
+            Some(value) => format!("{} <{value}>", flag.name),
+            None => flag.name.to_string(),
+        };
+        println!("  {left:<24} {}", flag.help);
+    }
+    println!("  {:<24} print this help", "--help");
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    const SMOKE: Flag = Flag {
+        name: "--smoke",
+        value_name: None,
+        help: "tiny sizes",
+    };
+
+    #[test]
+    fn parses_values_switches_and_inline_form() {
+        let parsed = parse_from(
+            "t",
+            &[SMOKE],
+            args(&[
+                "--runs",
+                "5",
+                "--seed=9",
+                "--networks",
+                "B4,grid(3,4)",
+                "--smoke",
+            ]),
+        );
+        assert_eq!(parsed.parsed::<usize>("--runs"), Some(5));
+        assert_eq!(parsed.parsed::<u64>("--seed"), Some(9));
+        assert_eq!(parsed.value("--networks"), Some("B4,grid(3,4)"));
+        assert!(parsed.switch("--smoke"));
+        assert!(!parsed.switch("--other"));
+        assert_eq!(parsed.value("--threads"), None);
+    }
+
+    #[test]
+    fn empty_args_parse_to_defaults() {
+        let parsed = parse_from("t", &[], args(&[]));
+        assert_eq!(parsed.parsed::<usize>("--runs"), None);
+        assert!(!parsed.switch("--smoke"));
+    }
+}

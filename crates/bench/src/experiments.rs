@@ -30,10 +30,16 @@ const CHECK_EVERY: SimDuration = SimDuration::from_millis(250);
 pub struct ExperimentScale {
     /// Repetitions per configuration (different seeds). The paper used 20.
     pub runs: usize,
-    /// Which of the paper's networks to include.
+    /// Which networks to include: paper names or generator names such as
+    /// `fat_tree(8)`, `jellyfish(100, 4, 7)`, `grid(10, 12)`.
     pub networks: Vec<String>,
     /// Controller do-forever-loop delay (the paper's default is 500 ms).
     pub task_delay: SimDuration,
+    /// Base-seed override; `None` keeps each experiment's documented default seed.
+    pub seed: Option<u64>,
+    /// Scenario-runner worker threads; `None` lets the runner pick
+    /// (`RENAISSANCE_THREADS`, then all cores).
+    pub threads: Option<usize>,
 }
 
 impl Default for ExperimentScale {
@@ -45,13 +51,15 @@ impl Default for ExperimentScale {
                 .map(|s| s.to_string())
                 .collect(),
             task_delay: SimDuration::from_millis(500),
+            seed: None,
+            threads: None,
         }
     }
 }
 
 impl ExperimentScale {
-    /// Reads the scale from the `RENAISSANCE_RUNS` / `RENAISSANCE_NETWORKS` environment
-    /// variables, falling back to the defaults.
+    /// Reads the scale from the `RENAISSANCE_RUNS` / `RENAISSANCE_NETWORKS` /
+    /// `RENAISSANCE_SEED` environment variables, falling back to the defaults.
     pub fn from_env() -> Self {
         let mut scale = ExperimentScale::default();
         if let Ok(runs) = std::env::var("RENAISSANCE_RUNS") {
@@ -60,16 +68,52 @@ impl ExperimentScale {
             }
         }
         if let Ok(networks) = std::env::var("RENAISSANCE_NETWORKS") {
-            let list: Vec<String> = networks
-                .split(',')
-                .map(|s| s.trim().to_string())
-                .filter(|s| !s.is_empty())
-                .collect();
+            let list = split_network_list(&networks);
             if !list.is_empty() {
                 scale.networks = list;
             }
         }
+        if let Ok(seed) = std::env::var("RENAISSANCE_SEED") {
+            if let Ok(seed) = seed.parse::<u64>() {
+                scale.seed = Some(seed);
+            }
+        }
         scale
+    }
+
+    /// The scale every experiment binary uses: environment variables overridden by the
+    /// shared command-line convention (see [`crate::cli`]). Handles `--help` itself.
+    pub fn from_cli(about: &str) -> Self {
+        Self::from_env().with_args(&crate::cli::parse(about, &[]))
+    }
+
+    /// Applies parsed command-line arguments on top of this scale.
+    pub fn with_args(mut self, args: &crate::cli::CliArgs) -> Self {
+        if let Some(runs) = args.parsed::<usize>("--runs") {
+            self.runs = runs.max(1);
+        }
+        if let Some(seed) = args.parsed::<u64>("--seed") {
+            self.seed = Some(seed);
+        }
+        if let Some(networks) = args.value("--networks") {
+            let list = split_network_list(networks);
+            if !list.is_empty() {
+                self.networks = list;
+            }
+        }
+        if let Some(ms) = args.parsed::<u64>("--task-delay-ms") {
+            self.task_delay = SimDuration::from_millis(ms.max(1));
+        }
+        if let Some(threads) = args.parsed::<usize>("--threads") {
+            self.threads = Some(threads.max(1));
+        }
+        self
+    }
+
+    /// The base seed to use: the CLI/env override if one was given, otherwise the
+    /// experiment's documented default.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
     }
 
     /// A small scale for tests: one run on the two smallest networks.
@@ -78,24 +122,62 @@ impl ExperimentScale {
             runs: 1,
             networks: vec!["B4".to_string(), "Clos".to_string()],
             task_delay: SimDuration::from_millis(200),
+            ..ExperimentScale::default()
         }
     }
 }
 
-/// The shared scenario skeleton of every experiment: a paper network, the scale's task
-/// delay, and the evaluation's timeout and measurement resolution.
-fn experiment(
+/// Splits a comma-separated network list, keeping commas inside parentheses: the
+/// generator names (`jellyfish(100, 4, 7)`, `grid(10, 12)`) use commas for their own
+/// arguments, so `"grid(4,4),B4"` is two entries, not three.
+pub fn split_network_list(raw: &str) -> Vec<String> {
+    let mut list = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in raw.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                list.push(std::mem::take(&mut current));
+            }
+            c => current.push(c),
+        }
+    }
+    list.push(current);
+    list.into_iter()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// The shared scenario skeleton of every experiment: a network, the scale's task
+/// delay and thread count, and the evaluation's timeout and measurement resolution.
+/// Public so the scale campaign measures with exactly the same skeleton as the
+/// fig/table binaries.
+pub fn experiment(
+    scale: &ExperimentScale,
     name: &str,
     network: &str,
     controllers: usize,
     task_delay: SimDuration,
 ) -> ScenarioBuilder {
-    Scenario::builder(name)
+    let mut builder = Scenario::builder(name)
         .network(network)
         .controllers(controllers)
         .task_delay(task_delay)
         .timeout(TIMEOUT)
-        .check_every(CHECK_EVERY)
+        .check_every(CHECK_EVERY);
+    if let Some(threads) = scale.threads {
+        builder = builder.threads(threads);
+    }
+    builder
 }
 
 // ---------------------------------------------------------------------------
@@ -186,9 +268,9 @@ fn bootstrap_one(
     controllers: usize,
     task_delay: SimDuration,
 ) -> BootstrapResult {
-    let report = experiment("bootstrap", name, controllers, task_delay)
+    let report = experiment(scale, "bootstrap", name, controllers, task_delay)
         .runs(scale.runs)
-        .seeds_from(100)
+        .seeds_from(scale.seed_or(100))
         .run();
     BootstrapResult {
         network: name.to_string(),
@@ -235,9 +317,9 @@ pub fn communication_overhead(scale: &ExperimentScale, controllers: usize) -> Ve
         .networks
         .iter()
         .map(|name| {
-            let report = experiment("comm-overhead", name, controllers, scale.task_delay)
+            let report = experiment(scale, "comm-overhead", name, controllers, scale.task_delay)
                 .runs(scale.runs)
-                .seeds_from(300)
+                .seeds_from(scale.seed_or(300))
                 .summary("overhead", overhead_per_node_per_iteration)
                 .run();
             let mut measurement = Measurement::default();
@@ -316,9 +398,9 @@ pub fn recovery_after_failure(
         .networks
         .iter()
         .map(|name| {
-            let report = experiment("recovery", name, controllers, scale.task_delay)
+            let report = experiment(scale, "recovery", name, controllers, scale.task_delay)
                 .runs(scale.runs)
-                .seeds_from(700)
+                .seeds_from(scale.seed_or(700))
                 .fault_at(SimDuration::ZERO, failure.event())
                 .run();
             RecoveryResult {
@@ -351,8 +433,8 @@ pub struct ThroughputResult {
 pub fn throughput_under_failure(scale: &ExperimentScale, recovery: bool) -> Vec<ThroughputResult> {
     let mut out = Vec::new();
     for name in &scale.networks {
-        let report = experiment("throughput", name, 3, scale.task_delay)
-            .seeds_from(42)
+        let report = experiment(scale, "throughput", name, 3, scale.task_delay)
+            .seeds_from(scale.seed_or(42))
             .workload(|| Box::new(IperfWorkload::farthest(30)))
             .fault_at(
                 SimDuration::from_secs(10),
@@ -435,9 +517,9 @@ pub fn variant_ablation(scale: &ExperimentScale) -> Vec<AblationResult> {
     let mut out = Vec::new();
     for name in &scale.networks {
         for adaptive in [true, false] {
-            let mut builder = experiment("variant-ablation", name, 3, scale.task_delay)
+            let mut builder = experiment(scale, "variant-ablation", name, 3, scale.task_delay)
                 .runs(scale.runs)
-                .seeds_from(900)
+                .seeds_from(scale.seed_or(900))
                 .fault_at(
                     SimDuration::ZERO,
                     FaultEvent::CorruptState(CorruptionPlan::heavy()),
@@ -499,6 +581,16 @@ mod tests {
     }
 
     #[test]
+    fn network_list_splitting_respects_parentheses() {
+        assert_eq!(
+            split_network_list("grid(4,4),fat_tree(8), B4 ,jellyfish(20, 3, 1)"),
+            vec!["grid(4,4)", "fat_tree(8)", "B4", "jellyfish(20, 3, 1)"]
+        );
+        assert_eq!(split_network_list("B4,Clos"), vec!["B4", "Clos"]);
+        assert_eq!(split_network_list(" , "), Vec::<String>::new());
+    }
+
+    #[test]
     fn scale_from_env_defaults() {
         let scale = ExperimentScale::default();
         assert_eq!(scale.runs, 3);
@@ -514,6 +606,7 @@ mod tests {
             runs: 1,
             networks: vec!["B4".to_string()],
             task_delay: SimDuration::from_millis(200),
+            ..ExperimentScale::default()
         };
         let bootstrap = bootstrap_times(&scale, 3);
         assert_eq!(bootstrap.len(), 1);
@@ -533,6 +626,7 @@ mod tests {
             runs: 1,
             networks: vec!["B4".to_string()],
             task_delay: SimDuration::from_millis(200),
+            ..ExperimentScale::default()
         };
         let overhead = communication_overhead(&scale, 3);
         assert_eq!(overhead.len(), 1);

@@ -7,18 +7,26 @@
 //! structured dump
 //! so EXPERIMENTS.md can be regenerated mechanically.
 //!
-//! Scale knobs (environment variables, so `cargo run -p renaissance-bench --bin ...`
-//! works without a CLI parser):
+//! Scale knobs follow one shared convention (see [`cli`]): every binary accepts
+//! `--runs N`, `--seed N`, `--networks A,B`, `--task-delay-ms N`, and `--threads N`
+//! (documented in `--help`), with environment fallbacks:
 //!
 //! * `RENAISSANCE_RUNS` — repetitions per configuration (default 3; the paper used 20),
-//! * `RENAISSANCE_NETWORKS` — comma-separated subset of `B4,Clos,Telstra,AT&T,EBONE`
-//!   (default: all five).
+//! * `RENAISSANCE_SEED` — base seed override (each experiment documents its default),
+//! * `RENAISSANCE_NETWORKS` — comma-separated list: the paper networks
+//!   `B4,Clos,Telstra,AT&T,EBONE` and/or generator names such as `fat_tree(8)`,
+//!   `jellyfish(100, 4, 7)`, `grid(10, 12)`,
+//! * `RENAISSANCE_THREADS` — scenario-runner worker threads (default: all cores).
+//!
+//! The `scale_campaign` binary sweeps topology family x size x fault scenario and
+//! emits the machine-readable `BENCH_scale.json` artifact CI tracks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 pub mod report;
 
 pub use experiments::{ExperimentScale, Measurement};
-pub use report::{print_table, Row};
+pub use report::{print_table, Json, Row};

@@ -1,6 +1,8 @@
-//! Tiny plain-text reporting helpers shared by the experiment binaries.
+//! Reporting helpers shared by the experiment binaries: fixed-width stdout tables and
+//! a dependency-free JSON emitter for machine-readable benchmark artifacts
+//! (`BENCH_scale.json`).
 
-use std::fmt::Debug;
+use std::fmt::{Debug, Write as _};
 
 /// One row of an experiment output table.
 #[derive(Clone, Debug)]
@@ -55,6 +57,147 @@ pub fn fmt2(value: f64) -> String {
     format!("{value:.2}")
 }
 
+/// A JSON value, built by hand so benchmark artifacts need no external dependency.
+///
+/// Serialization follows RFC 8259: strings are escaped, object member order is
+/// preserved (insertion order — the emitter never reorders keys), and non-finite
+/// numbers (which JSON cannot represent) become `null`.
+///
+/// # Example
+///
+/// ```
+/// use renaissance_bench::report::Json;
+/// let doc = Json::obj([
+///     ("name", Json::str("scale")),
+///     ("runs", Json::num(3.0)),
+///     ("ok", Json::Bool(true)),
+///     ("samples", Json::arr([Json::num(1.5), Json::num(2.0)])),
+/// ]);
+/// assert_eq!(
+///     doc.to_string(),
+///     r#"{"name":"scale","runs":3,"ok":true,"samples":[1.5,2]}"#
+/// );
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered members.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number value.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// An array from any iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, preserving their order.
+    pub fn obj<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Serializes summary statistics of a sample set the way every benchmark artifact
+    /// records measurements: count plus mean/median/min/max.
+    pub fn samples(samples: &crate::Measurement) -> Json {
+        Json::obj([
+            ("n", Json::num(samples.len() as f64)),
+            ("mean", Json::num(samples.mean())),
+            ("median", Json::num(samples.median())),
+            ("min", Json::num(samples.min())),
+            ("max", Json::num(samples.max())),
+        ])
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Writes a JSON document to `path` with a trailing newline.
+pub fn write_json_file(path: &std::path::Path, doc: &Json) -> std::io::Result<()> {
+    std::fs::write(path, format!("{doc}\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +210,45 @@ mod tests {
         // Printing must not panic even with empty rows.
         print_table("test", &["a", "b"], &[row], &"payload");
         print_table::<()>("empty", &[], &[], &());
+    }
+
+    #[test]
+    fn json_escaping_and_shapes() {
+        let doc = Json::obj([
+            ("plain", Json::str("a")),
+            ("quoted", Json::str("say \"hi\"\n\tdone\\")),
+            ("control", Json::str("\u{1}")),
+            ("null", Json::Null),
+            ("flag", Json::Bool(false)),
+            ("int", Json::num(42.0)),
+            ("float", Json::num(1.25)),
+            ("nan", Json::Num(f64::NAN)),
+            ("inf", Json::Num(f64::INFINITY)),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<String>([])),
+        ]);
+        assert_eq!(
+            doc.to_string(),
+            r#"{"plain":"a","quoted":"say \"hi\"\n\tdone\\","control":"\u0001","null":null,"flag":false,"int":42,"float":1.25,"nan":null,"inf":null,"empty_arr":[],"empty_obj":{}}"#
+        );
+    }
+
+    #[test]
+    fn json_samples_summary() {
+        let mut m = crate::Measurement::default();
+        m.push(1.0);
+        m.push(3.0);
+        let json = Json::samples(&m).to_string();
+        assert_eq!(json, r#"{"n":2,"mean":2,"median":3,"min":1,"max":3}"#);
+    }
+
+    #[test]
+    fn json_file_round_trip() {
+        let path = std::env::temp_dir().join("renaissance_json_test.json");
+        let doc = Json::obj([("k", Json::arr([Json::num(1.0), Json::str("two")]))]);
+        write_json_file(&path, &doc).expect("write");
+        let content = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(content, "{\"k\":[1,\"two\"]}\n");
+        let _ = std::fs::remove_file(&path);
     }
 }

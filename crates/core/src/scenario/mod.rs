@@ -103,7 +103,11 @@ impl TopologySpec {
 }
 
 /// Factory producing a fresh workload instance for each seeded run.
-pub type WorkloadFactory = Box<dyn Fn() -> Box<dyn Workload>>;
+///
+/// `Send + Sync` so a scenario can be shared across the parallel runner's worker
+/// threads; the produced [`Workload`] itself is created, driven, and dropped entirely
+/// inside one worker, so it needs no bounds of its own.
+pub type WorkloadFactory = Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>;
 
 /// An end-of-run summary statistic: a pure function of the final network state.
 pub type SummaryFn = fn(&SdnNetwork) -> f64;
@@ -125,6 +129,7 @@ pub struct Scenario {
     pub(crate) summaries: Vec<(String, SummaryFn)>,
     pub(crate) runs: usize,
     pub(crate) seed_base: Option<u64>,
+    pub(crate) threads: Option<usize>,
     pub(crate) timeout: SimDuration,
     pub(crate) check_every: SimDuration,
     pub(crate) control_plane: ControlPlane,
@@ -147,6 +152,7 @@ impl Scenario {
             summaries: Vec::new(),
             runs: 1,
             seed_base: None,
+            threads: None,
             timeout: SimDuration::from_secs(1_200),
             check_every: SimDuration::from_millis(250),
             control_plane: ControlPlane::Live,
@@ -189,6 +195,7 @@ pub struct ScenarioBuilder {
     summaries: Vec<(String, SummaryFn)>,
     runs: usize,
     seed_base: Option<u64>,
+    threads: Option<usize>,
     timeout: SimDuration,
     check_every: SimDuration,
     control_plane: ControlPlane,
@@ -272,8 +279,13 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Attaches a workload; the factory builds a fresh instance per run.
-    pub fn workload(mut self, factory: impl Fn() -> Box<dyn Workload> + 'static) -> Self {
+    /// Attaches a workload; the factory builds a fresh instance per run. The factory
+    /// must be `Send + Sync` so the parallel runner can invoke it from any worker
+    /// thread; the workload instance itself stays on the worker that created it.
+    pub fn workload(
+        mut self,
+        factory: impl Fn() -> Box<dyn Workload> + Send + Sync + 'static,
+    ) -> Self {
         self.workloads.push(Box::new(factory));
         self
     }
@@ -294,6 +306,17 @@ impl ScenarioBuilder {
     /// Base seed for the repetitions (default: the harness configuration's seed).
     pub fn seeds_from(mut self, base: u64) -> Self {
         self.seed_base = Some(base);
+        self
+    }
+
+    /// Number of worker threads the runner fans the seeded repetitions out over
+    /// (clamped to at least 1). Without an explicit value the runner honours the
+    /// `RENAISSANCE_THREADS` environment variable and otherwise uses
+    /// [`std::thread::available_parallelism`]. The aggregated [`ScenarioReport`] is
+    /// bit-identical regardless of the thread count: every seeded run is fully
+    /// self-contained and reports are merged back in seed order.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -345,6 +368,7 @@ impl ScenarioBuilder {
             summaries: self.summaries,
             runs: self.runs,
             seed_base: self.seed_base,
+            threads: self.threads,
             timeout: self.timeout,
             check_every: self.check_every,
             control_plane: self.control_plane,

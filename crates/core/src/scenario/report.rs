@@ -84,7 +84,10 @@ pub struct RecoveryRecord {
 }
 
 /// Everything observed during one seeded execution of a scenario.
-#[derive(Debug, Default)]
+///
+/// `PartialEq` is part of the public contract: the parallel runner's determinism test
+/// compares whole reports for bit-identity across worker-thread counts.
+#[derive(Debug, Default, PartialEq)]
 pub struct RunReport {
     /// The harness seed this run used.
     pub seed: u64,
@@ -139,7 +142,7 @@ impl RunReport {
 }
 
 /// The aggregated result of running a scenario over all its seeds.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct ScenarioReport {
     /// The scenario name.
     pub scenario: String,

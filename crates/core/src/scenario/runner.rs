@@ -15,6 +15,23 @@ use super::{ControlPlane, ProbeSeries, Scenario};
 use crate::config::ControllerConfig;
 use crate::harness::SdnNetwork;
 use sdn_netsim::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// The parallel path shares one `&Scenario` across scoped worker threads and sends each
+// worker's `RunReport` back to the caller; these compile-time assertions are the audit
+// that every type crossing a thread boundary actually carries the required bound. They
+// transitively cover the whole netsim/core data model (`SdnNetwork` embeds the
+// simulator, topology, controllers, and switches).
+const fn assert_send<T: Send>() {}
+const fn assert_sync<T: Sync>() {}
+const _: () = {
+    assert_sync::<Scenario>();
+    assert_send::<Scenario>();
+    assert_send::<RunReport>();
+    assert_send::<ScenarioReport>();
+    assert_send::<SdnNetwork>();
+};
 
 /// Executes a [`Scenario`] over its configured seeds.
 pub struct ScenarioRunner<'a> {
@@ -28,17 +45,76 @@ impl<'a> ScenarioRunner<'a> {
     }
 
     /// Runs every seed and aggregates the per-run reports.
+    ///
+    /// Seeds fan out over [`worker_count`](Self::worker_count) scoped threads; each
+    /// seeded run is fully self-contained (its own network, RNG, and workloads), and
+    /// the per-run reports are merged back in seed order, so the result is bit-identical
+    /// to a sequential execution no matter how many workers run.
     pub fn run(&self) -> ScenarioReport {
         let base = self.scenario.base_seed();
+        let runs = self.scenario.runs;
+        let workers = self.worker_count().min(runs).max(1);
         let mut report = ScenarioReport {
             scenario: self.scenario.name.clone(),
             network: self.scenario.topology.label(),
-            runs: Vec::with_capacity(self.scenario.runs),
+            runs: Vec::with_capacity(runs),
         };
-        for i in 0..self.scenario.runs {
-            report.runs.push(self.run_seed(base + i as u64));
+        if workers <= 1 {
+            for i in 0..runs {
+                report.runs.push(self.run_seed(base + i as u64));
+            }
+        } else {
+            report.runs = self.run_parallel(base, runs, workers);
         }
         report
+    }
+
+    /// The number of worker threads [`run`](Self::run) uses, before clamping to the
+    /// number of runs: an explicit [`ScenarioBuilder::threads`](super::ScenarioBuilder::threads)
+    /// wins, then a positive integer in the `RENAISSANCE_THREADS` environment variable,
+    /// then [`std::thread::available_parallelism`].
+    pub fn worker_count(&self) -> usize {
+        if let Some(threads) = self.scenario.threads {
+            return threads.max(1);
+        }
+        if let Some(threads) = std::env::var("RENAISSANCE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            return threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The scoped-thread fan-out: workers pull the next seed index off a shared atomic
+    /// counter and deposit the finished report into that index's slot, which preserves
+    /// seed order without any cross-run coordination.
+    fn run_parallel(&self, base: u64, runs: usize, workers: usize) -> Vec<RunReport> {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunReport>>> = (0..runs).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= runs {
+                        break;
+                    }
+                    let run = self.run_seed(base + i as u64);
+                    *slots[i].lock().expect("run slot poisoned") = Some(run);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("run slot poisoned")
+                    .expect("worker completed every claimed seed")
+            })
+            .collect()
     }
 
     /// Runs the scenario once with an explicit seed.
@@ -467,6 +543,88 @@ mod tests {
         assert!(run.recoveries.is_empty());
         // The simulated clock did not advance past the bootstrap instant.
         assert_eq!(run.sim_end_s, run.bootstrap_s.unwrap());
+    }
+
+    /// A scenario exercising every report channel: faults, probes, workloads, and
+    /// summaries, over several seeds. Used to prove parallel/sequential bit-identity.
+    fn determinism_scenario() -> crate::scenario::ScenarioBuilder {
+        struct CountingWorkload {
+            ticks: Vec<f64>,
+        }
+        impl crate::scenario::Workload for CountingWorkload {
+            fn label(&self) -> String {
+                "counting".to_string()
+            }
+            fn duration(&self) -> SimDuration {
+                SimDuration::from_secs(3)
+            }
+            fn start(&mut self, _net: &mut SdnNetwork) {}
+            fn tick(&mut self, net: &mut SdnNetwork, tick: crate::scenario::WorkloadTick) {
+                self.ticks
+                    .push(tick.index as f64 + net.total_rules() as f64);
+            }
+            fn finish(&mut self, _net: &mut SdnNetwork) -> crate::scenario::WorkloadReport {
+                let mut report = crate::scenario::WorkloadReport::new("counting");
+                report.push_series("ticks", std::mem::take(&mut self.ticks));
+                report
+            }
+        }
+        small("determinism")
+            .runs(4)
+            .seeds_from(17)
+            .fault_at(
+                SimDuration::from_secs(1),
+                FaultEvent::FailController(ControllerSelector::Random { count: 1 }),
+            )
+            .fault_at(
+                SimDuration::from_secs(2),
+                FaultEvent::FailLink(LinkSelector::RandomSafe { count: 1 }),
+            )
+            .probe(Probe::legitimacy())
+            .probe(Probe::total_rules())
+            .sample_probes_every(SimDuration::from_millis(500))
+            .workload(|| Box::new(CountingWorkload { ticks: Vec::new() }))
+            .summary("live_switches", |net| net.live_switch_ids().len() as f64)
+    }
+
+    #[test]
+    fn parallel_report_is_bit_identical_to_sequential() {
+        // The tentpole guarantee: fanning seeds over worker threads must not change a
+        // single bit of the aggregated report — same victims, recovery times, probe
+        // series, workload series, and end state, merged in seed order.
+        let sequential = determinism_scenario().threads(1).run();
+        let parallel = determinism_scenario().threads(4).run();
+        assert_eq!(sequential, parallel);
+        assert_eq!(parallel.runs.len(), 4);
+        let seeds: Vec<u64> = parallel.runs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![17, 18, 19, 20], "reports merged in seed order");
+        assert!(parallel.runs.iter().any(|r| !r.recoveries.is_empty()));
+        assert!(parallel
+            .runs
+            .iter()
+            .all(|r| r.workload("counting").is_some()));
+    }
+
+    #[test]
+    fn worker_count_prefers_explicit_threads() {
+        let two = determinism_scenario().threads(2).build();
+        assert_eq!(ScenarioRunner::new(&two).worker_count(), 2);
+        // threads(0) clamps to one worker instead of deadlocking on zero.
+        let zero = determinism_scenario().threads(0).build();
+        assert_eq!(ScenarioRunner::new(&zero).worker_count(), 1);
+        // Without an override the count comes from the environment/hardware: >= 1.
+        let auto = determinism_scenario().build();
+        assert!(ScenarioRunner::new(&auto).worker_count() >= 1);
+    }
+
+    #[test]
+    fn more_workers_than_runs_is_fine() {
+        let wide = small("wide").runs(2).seeds_from(5).threads(16).run();
+        let narrow = small("narrow").runs(2).seeds_from(5).threads(1).run();
+        assert_eq!(wide.runs.len(), 2);
+        for (w, n) in wide.runs.iter().zip(&narrow.runs) {
+            assert_eq!(w, n);
+        }
     }
 
     #[test]

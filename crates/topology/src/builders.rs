@@ -78,11 +78,31 @@ impl NamedTopology {
 /// The five networks of the paper's Table 8, in the paper's order.
 pub const PAPER_NETWORK_NAMES: [&str; 5] = ["B4", "Clos", "Telstra", "AT&T", "EBONE"];
 
-/// Builds one of the paper's networks by name with the given number of controllers.
+/// The parameterized datacenter-scale generator families [`by_name`] understands, as
+/// `family(arg, ...)` templates (dashes are accepted in place of parentheses/commas).
+pub const GENERATOR_FAMILY_NAMES: [&str; 3] = [
+    "fat_tree(k)",
+    "jellyfish(switches, degree, seed)",
+    "grid(rows, cols)",
+];
+
+/// Builds a topology by name with the given number of controllers.
+///
+/// Accepts the paper's five networks (case-insensitive, see [`PAPER_NETWORK_NAMES`])
+/// plus parameterized generator names so every fig binary and the scenario API can
+/// target the datacenter-scale families:
+///
+/// * `fat_tree(8)` — a k=8 [`fat_tree`] (80 switches),
+/// * `jellyfish(100, 4, 7)` — a [`jellyfish`] with 100 switches of degree 4, wired
+///   from seed 7 (the seed may be omitted and defaults to 1),
+/// * `grid(10, 12)` — a 10x12 [`grid`].
+///
+/// Dashes may replace the parentheses/commas (`fat-tree-8`, `jellyfish-100-4-7`,
+/// `grid-10-12`), which keeps the names safe for file paths and CLI lists.
 ///
 /// # Panics
 ///
-/// Panics if `name` is not one of [`PAPER_NETWORK_NAMES`] (case-insensitive).
+/// Panics if `name` is neither a paper network nor a well-formed generator name.
 pub fn by_name(name: &str, n_controllers: usize) -> NamedTopology {
     match name.to_ascii_lowercase().as_str() {
         "b4" => b4(n_controllers),
@@ -90,7 +110,39 @@ pub fn by_name(name: &str, n_controllers: usize) -> NamedTopology {
         "telstra" => telstra(n_controllers),
         "at&t" | "att" => att(n_controllers),
         "ebone" => ebone(n_controllers),
-        other => panic!("unknown paper network: {other}"),
+        other => match parse_generator(other) {
+            Some(net) => net(n_controllers),
+            None => panic!(
+                "unknown network '{name}': expected one of {PAPER_NETWORK_NAMES:?} \
+                 or a generator name like {GENERATOR_FAMILY_NAMES:?}"
+            ),
+        },
+    }
+}
+
+/// Parses a lowercase parameterized generator name (`family(a, b)` or `family-a-b`)
+/// into a builder closure, or `None` when the name is not a known generator.
+fn parse_generator(lower: &str) -> Option<Box<dyn Fn(usize) -> NamedTopology>> {
+    // Split "family(1, 2)" / "family-1-2" into the family word and its integer args:
+    // everything before the first digit names the family, the rest is the arg list.
+    let split = lower
+        .find(|c: char| c.is_ascii_digit())
+        .unwrap_or(lower.len());
+    let (family, rest) = lower.split_at(split);
+    let family: String = family.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    let args: Vec<u64> = rest
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().ok())
+        .collect::<Option<_>>()?;
+    match (family.as_str(), args.as_slice()) {
+        ("fattree", &[k]) => Some(Box::new(move |c| fat_tree(k as usize, c))),
+        ("jellyfish", &[n, d]) => Some(Box::new(move |c| jellyfish(n as usize, d as usize, 1, c))),
+        ("jellyfish", &[n, d, seed]) => Some(Box::new(move |c| {
+            jellyfish(n as usize, d as usize, seed, c)
+        })),
+        ("grid", &[rows, cols]) => Some(Box::new(move |c| grid(rows as usize, cols as usize, c))),
+        _ => None,
     }
 }
 
@@ -238,6 +290,238 @@ pub fn isp_like(n_switches: usize, diameter: u32, n_controllers: usize) -> Named
         switches,
         expected_diameter: diameter,
     }
+}
+
+/// Finishes a datacenter-scale topology: snapshots the switch graph, attaches each
+/// controller to an adjacent switch pair, and measures the exact switch-graph diameter.
+fn finish_datacenter(
+    name: String,
+    mut graph: Graph,
+    n_switches: usize,
+    n_controllers: usize,
+    mut attach: impl FnMut(usize) -> (NodeId, NodeId),
+) -> NamedTopology {
+    let switch_graph = graph.clone();
+    let controllers: Vec<NodeId> = (0..n_controllers).map(|i| NodeId::new(i as u32)).collect();
+    for (i, &c) in controllers.iter().enumerate() {
+        let (a, b) = attach(i);
+        graph.add_link(c, a);
+        graph.add_link(c, b);
+    }
+    let switches: Vec<NodeId> = (0..n_switches)
+        .map(|i| NodeId::new((n_controllers + i) as u32))
+        .collect();
+    let expected_diameter = crate::paths::diameter(&switch_graph);
+    NamedTopology {
+        name,
+        graph,
+        switch_graph,
+        controllers,
+        switches,
+        expected_diameter,
+    }
+}
+
+/// A k-ary fat-tree datacenter fabric (Al-Fares et al., SIGCOMM 2008): `(k/2)^2` core
+/// switches and `k` pods of `k/2` aggregation plus `k/2` edge switches each —
+/// `5k^2/4` switches in total (k=4: 20, k=8: 80, k=12: 180, k=16: 320), switch-graph
+/// diameter 4, and edge connectivity `k/2` (so `max_supported_kappa = k/2 - 1`).
+///
+/// Inside a pod, aggregation and edge switches form a complete bipartite graph;
+/// aggregation switch `j` of every pod uplinks to core switches
+/// `j*k/2 .. (j+1)*k/2`. Controllers attach in-band to an adjacent (edge,
+/// aggregation) pair, pods chosen round-robin, which adds no diameter.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or smaller than 4 (a k=2 fat-tree has degree-1 edge switches
+/// and could not survive a single link failure).
+// `u64::is_multiple_of` is newer than the workspace MSRV (1.82).
+#[allow(clippy::manual_is_multiple_of)]
+pub fn fat_tree(k: usize, n_controllers: usize) -> NamedTopology {
+    assert!(
+        k >= 4 && k % 2 == 0,
+        "fat_tree needs an even k >= 4, got {k}"
+    );
+    let half = k / 2;
+    let n_core = half * half;
+    let n_switches = n_core + k * k;
+    let sw = |i: usize| NodeId::new((n_controllers + i) as u32);
+    // Switch index layout: [0..n_core) core, then per pod: k/2 agg, k/2 edge.
+    let pod_base = |p: usize| n_core + p * k;
+    let agg = |p: usize, j: usize| sw(pod_base(p) + j);
+    let edge = |p: usize, j: usize| sw(pod_base(p) + half + j);
+    let mut g = Graph::new();
+    for p in 0..k {
+        for a in 0..half {
+            for e in 0..half {
+                g.add_link(agg(p, a), edge(p, e));
+            }
+            for c in 0..half {
+                g.add_link(agg(p, a), sw(a * half + c));
+            }
+        }
+    }
+    finish_datacenter(format!("FatTree-{k}"), g, n_switches, n_controllers, |i| {
+        (edge(i % k, 0), agg(i % k, 0))
+    })
+}
+
+/// A Jellyfish datacenter topology (Singla et al., NSDI 2012): a random
+/// `degree`-regular graph over `n_switches` switches, reproducible from `seed`.
+///
+/// Built with the Jellyfish paper's incremental construction: repeatedly join two
+/// random switches with free ports that are not yet neighbors; when no such pair is
+/// left but a switch still has two free ports, break a random existing link and splice
+/// the switch into it. The construction is retried (deterministically — the RNG stream
+/// continues) until the result is 2-edge-connected, so `kappa = 1` flows always exist;
+/// with `degree >= 3` virtually every draw already is.
+///
+/// Controllers attach in-band to a random adjacent switch pair each.
+///
+/// # Panics
+///
+/// Panics if `degree < 3`, `n_switches <= degree`, `n_switches * degree` is odd, or
+/// no 2-edge-connected draw is found after 64 attempts (not observed in practice).
+// `u64::is_multiple_of` is newer than the workspace MSRV (1.82).
+#[allow(clippy::manual_is_multiple_of)]
+pub fn jellyfish(
+    n_switches: usize,
+    degree: usize,
+    seed: u64,
+    n_controllers: usize,
+) -> NamedTopology {
+    assert!(degree >= 3, "jellyfish needs degree >= 3, got {degree}");
+    assert!(
+        n_switches > degree,
+        "jellyfish needs more than {degree} switches, got {n_switches}"
+    );
+    assert!(
+        n_switches * degree % 2 == 0,
+        "jellyfish needs an even number of ports (n_switches * degree), got {n_switches} * {degree}"
+    );
+    let sw = |i: usize| NodeId::new((n_controllers + i) as u32);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut g = jellyfish_attempt(n_switches, degree, n_controllers, &mut rng);
+    let mut attempts = 1;
+    while !crate::connectivity::supports_kappa(&g, 1) {
+        attempts += 1;
+        assert!(
+            attempts <= 64,
+            "jellyfish({n_switches}, {degree}, seed {seed}): no 2-edge-connected draw in 64 attempts"
+        );
+        g = jellyfish_attempt(n_switches, degree, n_controllers, &mut rng);
+    }
+    let switch_graph = g.clone();
+    let attach = |_i: usize| {
+        // A random switch and a random neighbor of it: an adjacent pair.
+        let a = rng.gen_range(0..n_switches);
+        let neighbors = switch_graph.neighbor_vec(sw(a));
+        let b = neighbors[rng.gen_range(0..neighbors.len())];
+        (sw(a), b)
+    };
+    let name = format!("Jellyfish-{n_switches}-{degree}-s{seed}");
+    finish_datacenter(name, g, n_switches, n_controllers, attach)
+}
+
+/// One draw of the Jellyfish incremental construction.
+fn jellyfish_attempt(
+    n_switches: usize,
+    degree: usize,
+    n_controllers: usize,
+    rng: &mut Rng,
+) -> Graph {
+    let sw = |i: usize| NodeId::new((n_controllers + i) as u32);
+    let mut g = Graph::new();
+    for i in 0..n_switches {
+        g.add_node(sw(i));
+    }
+    let mut free: Vec<usize> = vec![degree; n_switches];
+    loop {
+        let open: Vec<usize> = (0..n_switches).filter(|&i| free[i] > 0).collect();
+        if open.is_empty() {
+            break;
+        }
+        // Try random joins first; the quadratic budget makes exhaustion overwhelmingly
+        // unlikely before the open set genuinely has no joinable pair left.
+        let mut joined = false;
+        if open.len() >= 2 {
+            for _ in 0..open.len() * open.len() + 16 {
+                let a = open[rng.gen_range(0..open.len())];
+                let b = open[rng.gen_range(0..open.len())];
+                if a != b && !g.has_link(sw(a), sw(b)) {
+                    g.add_link(sw(a), sw(b));
+                    free[a] -= 1;
+                    free[b] -= 1;
+                    joined = true;
+                    break;
+                }
+            }
+        }
+        if joined {
+            continue;
+        }
+        // Stuck: splice a switch with >= 2 free ports into a random existing link.
+        let Some(&x) = open.iter().find(|&&i| free[i] >= 2) else {
+            // A single leftover port (or a clique among the open set): accept the
+            // near-regular graph, exactly as the Jellyfish paper does.
+            break;
+        };
+        let links: Vec<_> = g
+            .links()
+            .filter(|l| {
+                l.a != sw(x) && l.b != sw(x) && !g.has_link(sw(x), l.a) && !g.has_link(sw(x), l.b)
+            })
+            .collect();
+        if links.is_empty() {
+            break;
+        }
+        let link = links[rng.gen_range(0..links.len())];
+        g.remove_link(link.a, link.b);
+        g.add_link(sw(x), link.a);
+        g.add_link(sw(x), link.b);
+        free[x] -= 2;
+    }
+    g
+}
+
+/// A `rows x cols` grid (mesh) of switches — the worst-case high-diameter fabric for
+/// the scale campaign. Switch-graph diameter is exactly `rows + cols - 2`; the grid is
+/// 2-edge-connected (every face lies on a cycle) so `kappa = 1` flows exist, and
+/// `max_supported_kappa = 1` (corner switches have degree 2).
+///
+/// Controllers attach in-band to horizontally adjacent switch pairs spread evenly over
+/// the rows.
+///
+/// # Panics
+///
+/// Panics if either dimension is smaller than 2 (a 1xN grid is a line, which a single
+/// link failure disconnects).
+pub fn grid(rows: usize, cols: usize, n_controllers: usize) -> NamedTopology {
+    assert!(
+        rows >= 2 && cols >= 2,
+        "grid needs both dimensions >= 2, got {rows}x{cols}"
+    );
+    let n_switches = rows * cols;
+    let sw = |r: usize, c: usize| NodeId::new((n_controllers + r * cols + c) as u32);
+    let mut g = Graph::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_link(sw(r, c), sw(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_link(sw(r, c), sw(r + 1, c));
+            }
+        }
+    }
+    finish_datacenter(
+        format!("Grid-{rows}x{cols}"),
+        g,
+        n_switches,
+        n_controllers,
+        |i| (sw(i % rows, 0), sw(i % rows, 1)),
+    )
 }
 
 /// A ring of `n_switches` switches with controllers attached — the smallest useful
@@ -444,7 +728,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown paper network")]
+    #[should_panic(expected = "unknown network")]
     fn by_name_rejects_unknown() {
         let _ = by_name("arpanet", 1);
     }
@@ -494,6 +778,101 @@ mod tests {
         assert!(connectivity::supports_kappa(&a.graph, 1));
         let c = random_2connected(30, 10, 3, 43);
         assert_ne!(a.graph, c.graph, "different seeds should differ");
+    }
+
+    #[test]
+    fn fat_tree_shape_and_kappa() {
+        for k in [4usize, 6, 8] {
+            let net = fat_tree(k, 3);
+            let half = k / 2;
+            assert_eq!(net.switch_count(), half * half + k * k, "k={k} size");
+            assert_eq!(net.expected_diameter, 4, "k={k} diameter");
+            assert_eq!(paths::diameter(&net.switch_graph), 4);
+            // Edge connectivity is exactly k/2 (limited by the edge switches), so the
+            // fabric supports kappa up to k/2 - 1.
+            assert_eq!(
+                connectivity::max_supported_kappa(&net.switch_graph),
+                half - 1,
+                "k={k} kappa"
+            );
+            assert!(connectivity::supports_kappa(&net.graph, 1));
+            // Core switches have degree k, pod switches degree k (k/2 down + k/2 up).
+            assert_eq!(net.switch_graph.max_degree(), k);
+        }
+        // fat_tree(4) is the paper's Clos network at the same scale.
+        assert_eq!(fat_tree(4, 1).switch_count(), clos(1).switch_count());
+    }
+
+    #[test]
+    fn jellyfish_is_regular_reproducible_and_robust() {
+        let a = jellyfish(40, 4, 7, 3);
+        let b = jellyfish(40, 4, 7, 3);
+        assert_eq!(a.graph, b.graph, "same seed, same wiring");
+        let c = jellyfish(40, 4, 8, 3);
+        assert_ne!(a.graph, c.graph, "different seeds should differ");
+        for (n, d, seed) in [(20, 3, 1), (40, 4, 2), (90, 5, 3)] {
+            let net = jellyfish(n, d, seed, 2);
+            assert_eq!(net.switch_count(), n);
+            // Near-regular: every switch within one port of the target degree, and
+            // never above it.
+            for s in &net.switches {
+                let deg = net.switch_graph.degree(*s);
+                assert!(
+                    deg == d || deg == d - 1,
+                    "{}: switch {s:?} has degree {deg}, want ~{d}",
+                    net.name
+                );
+            }
+            assert!(
+                connectivity::max_supported_kappa(&net.switch_graph) >= 1,
+                "{} must be 2-edge-connected",
+                net.name
+            );
+            assert!(paths::is_connected(&net.graph));
+        }
+    }
+
+    #[test]
+    fn grid_shape_and_kappa() {
+        for (rows, cols) in [(2, 2), (4, 7), (10, 10)] {
+            let net = grid(rows, cols, 3);
+            assert_eq!(net.switch_count(), rows * cols);
+            assert_eq!(
+                net.expected_diameter,
+                (rows + cols - 2) as u32,
+                "{rows}x{cols} diameter"
+            );
+            // Corners have degree 2, so the grid supports exactly kappa = 1.
+            assert_eq!(connectivity::max_supported_kappa(&net.switch_graph), 1);
+            assert!(connectivity::supports_kappa(&net.graph, 1));
+        }
+    }
+
+    #[test]
+    fn by_name_builds_generator_families() {
+        // Parenthesized and dashed spellings are equivalent.
+        let paren = by_name("fat_tree(4)", 2);
+        let dashed = by_name("fat-tree-4", 2);
+        assert_eq!(paren.graph, dashed.graph);
+        assert_eq!(paren.switch_count(), 20);
+
+        let jf = by_name("jellyfish(20, 3, 5)", 1);
+        assert_eq!(jf.graph, jellyfish(20, 3, 5, 1).graph);
+        // The seed argument defaults to 1.
+        assert_eq!(
+            by_name("jellyfish(20, 3)", 1).graph,
+            jellyfish(20, 3, 1, 1).graph
+        );
+
+        let g = by_name("Grid(3, 4)", 2);
+        assert_eq!(g.switch_count(), 12);
+        assert_eq!(g.graph, by_name("grid-3-4", 2).graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown network")]
+    fn by_name_rejects_malformed_generator_args() {
+        let _ = by_name("fat_tree(4, 9)", 1);
     }
 
     #[test]
