@@ -3,12 +3,14 @@
 
 use renaissance_bench::experiments::{variant_ablation, ExperimentScale};
 use renaissance_bench::report::{fmt2, print_table, Row};
+use renaissance_bench::MetricPipeline;
 
 fn main() {
-    let scale = ExperimentScale::from_cli(
+    let (scale, args) = ExperimentScale::from_cli(
         "Ablation: memory-adaptive main algorithm vs the Section 8.1 non-adaptive variant",
     );
-    let results = variant_ablation(&scale);
+    let mut pipeline = MetricPipeline::from_args(&args);
+    let results = variant_ablation(&scale, &mut pipeline);
     let rows: Vec<Row> = results
         .iter()
         .map(|r| {
@@ -36,4 +38,5 @@ fn main() {
         &rows,
         &results,
     );
+    pipeline.finish();
 }

@@ -2,12 +2,14 @@
 
 use renaissance_bench::experiments::{bootstrap_times, ExperimentScale};
 use renaissance_bench::report::{fmt2, print_table, Row};
+use renaissance_bench::MetricPipeline;
 
 fn main() {
-    let scale = ExperimentScale::from_cli(
+    let (scale, args) = ExperimentScale::from_cli(
         "Figure 5: bootstrap time for the paper's networks using 3 controllers.",
     );
-    let results = bootstrap_times(&scale, 3);
+    let mut pipeline = MetricPipeline::from_args(&args);
+    let results = bootstrap_times(&scale, 3, &mut pipeline);
     let rows: Vec<Row> = results
         .iter()
         .map(|r| {
@@ -16,17 +18,20 @@ fn main() {
                 vec![
                     fmt2(r.measurement.median()),
                     fmt2(r.measurement.mean()),
+                    fmt2(r.measurement.stddev()),
+                    fmt2(r.measurement.p90()),
                     fmt2(r.measurement.min()),
                     fmt2(r.measurement.max()),
-                    r.measurement.samples.len().to_string(),
+                    r.measurement.len().to_string(),
                 ],
             )
         })
         .collect();
     print_table(
         "Figure 5 — bootstrap time, 3 controllers (simulated seconds)",
-        &["median", "mean", "min", "max", "runs"],
+        &["median", "mean", "stddev", "p90", "min", "max", "runs"],
         &rows,
         &results,
     );
+    pipeline.finish();
 }

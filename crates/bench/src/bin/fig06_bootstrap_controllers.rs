@@ -2,6 +2,7 @@
 
 use renaissance_bench::experiments::{bootstrap_vs_controllers, ExperimentScale};
 use renaissance_bench::report::{fmt2, print_table, Row};
+use renaissance_bench::MetricPipeline;
 
 fn main() {
     let args = renaissance_bench::cli::parse(
@@ -14,8 +15,9 @@ fn main() {
         scale.networks = vec!["Telstra".into(), "AT&T".into(), "EBONE".into()];
     }
     let scale = scale.with_args(&args);
+    let mut pipeline = MetricPipeline::from_args(&args);
     let counts = [1, 3, 5, 7];
-    let results = bootstrap_vs_controllers(&scale, &counts);
+    let results = bootstrap_vs_controllers(&scale, &counts, &mut pipeline);
     let rows: Vec<Row> = results
         .iter()
         .map(|r| {
@@ -35,4 +37,5 @@ fn main() {
         &rows,
         &results,
     );
+    pipeline.finish();
 }

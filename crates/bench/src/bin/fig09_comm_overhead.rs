@@ -2,12 +2,14 @@
 
 use renaissance_bench::experiments::{communication_overhead, ExperimentScale};
 use renaissance_bench::report::{fmt2, print_table, Row};
+use renaissance_bench::MetricPipeline;
 
 fn main() {
-    let scale = ExperimentScale::from_cli(
+    let (scale, args) = ExperimentScale::from_cli(
         "Figure 9: communication cost per node for the maximum-loaded controller.",
     );
-    let results = communication_overhead(&scale, 3);
+    let mut pipeline = MetricPipeline::from_args(&args);
+    let results = communication_overhead(&scale, 3, &mut pipeline);
     let rows: Vec<Row> = results
         .iter()
         .map(|r| {
@@ -26,4 +28,5 @@ fn main() {
         &rows,
         &results,
     );
+    pipeline.finish();
 }

@@ -2,6 +2,7 @@
 
 use renaissance_bench::experiments::{recovery_after_failure, ExperimentScale, FailureKind};
 use renaissance_bench::report::{fmt2, print_table, Row};
+use renaissance_bench::MetricPipeline;
 
 fn main() {
     let args = renaissance_bench::cli::parse(
@@ -14,10 +15,12 @@ fn main() {
         scale.networks = vec!["Telstra".into(), "AT&T".into(), "EBONE".into()];
     }
     let scale = scale.with_args(&args);
+    let mut pipeline = MetricPipeline::from_args(&args);
     let mut all = Vec::new();
     let mut rows = Vec::new();
     for count in [1usize, 2, 4, 6] {
-        let results = recovery_after_failure(&scale, 7, FailureKind::Controllers { count });
+        let results =
+            recovery_after_failure(&scale, 7, FailureKind::Controllers { count }, &mut pipeline);
         for r in &results {
             rows.push(Row::new(
                 format!("{} ({} failed)", r.network, count),
@@ -32,4 +35,5 @@ fn main() {
         &rows,
         &all,
     );
+    pipeline.finish();
 }

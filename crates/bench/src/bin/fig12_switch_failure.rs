@@ -2,11 +2,13 @@
 
 use renaissance_bench::experiments::{recovery_after_failure, ExperimentScale, FailureKind};
 use renaissance_bench::report::{fmt2, print_table, Row};
+use renaissance_bench::MetricPipeline;
 
 fn main() {
-    let scale =
+    let (scale, args) =
         ExperimentScale::from_cli("Figure 12: recovery time after a permanent switch failure.");
-    let results = recovery_after_failure(&scale, 3, FailureKind::Switch);
+    let mut pipeline = MetricPipeline::from_args(&args);
+    let results = recovery_after_failure(&scale, 3, FailureKind::Switch, &mut pipeline);
     let rows: Vec<Row> = results
         .iter()
         .map(|r| {
@@ -26,4 +28,5 @@ fn main() {
         &rows,
         &results,
     );
+    pipeline.finish();
 }

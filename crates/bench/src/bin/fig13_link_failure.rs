@@ -2,12 +2,14 @@
 
 use renaissance_bench::experiments::{recovery_after_failure, ExperimentScale, FailureKind};
 use renaissance_bench::report::{fmt2, print_table, Row};
+use renaissance_bench::MetricPipeline;
 
 fn main() {
-    let scale = ExperimentScale::from_cli(
+    let (scale, args) = ExperimentScale::from_cli(
         "Figure 13: recovery time after a single permanent link failure.",
     );
-    let results = recovery_after_failure(&scale, 3, FailureKind::Links { count: 1 });
+    let mut pipeline = MetricPipeline::from_args(&args);
+    let results = recovery_after_failure(&scale, 3, FailureKind::Links { count: 1 }, &mut pipeline);
     let rows: Vec<Row> = results
         .iter()
         .map(|r| {
@@ -27,4 +29,5 @@ fn main() {
         &rows,
         &results,
     );
+    pipeline.finish();
 }

@@ -2,12 +2,14 @@
 
 use renaissance_bench::experiments::{throughput_under_failure, ExperimentScale};
 use renaissance_bench::report::{fmt2, print_table, Row};
+use renaissance_bench::MetricPipeline;
 
 fn main() {
-    let scale = ExperimentScale::from_cli(
+    let (scale, args) = ExperimentScale::from_cli(
         "Figure 15: TCP throughput across a mid-path link failure, with tagged-update recovery. Plots one seeded trace (pick it with --seed); --runs is not used.",
     );
-    let results = throughput_under_failure(&scale, true);
+    let mut pipeline = MetricPipeline::from_args(&args);
+    let results = throughput_under_failure(&scale, true, &mut pipeline);
     let rows: Vec<Row> = results
         .iter()
         .map(|r| {
@@ -38,4 +40,5 @@ fn main() {
                 .collect::<Vec<_>>()
         );
     }
+    pipeline.finish();
 }

@@ -1,6 +1,7 @@
 //! The scale campaign: sweeps topology family x size x fault scenario, records
-//! wall-clock and simulated-time metrics, and writes the machine-readable
-//! `BENCH_scale.json` that CI tracks as the repository's performance trajectory.
+//! wall-clock and simulated-time metrics through the typed metric pipeline, and
+//! writes the machine-readable `BENCH_scale.json` that CI tracks as the repository's
+//! performance trajectory — optionally gating it against a committed baseline.
 //!
 //! Three fault scenarios per topology, mirroring the paper's core measurements at
 //! datacenter scale:
@@ -12,19 +13,29 @@
 //!
 //! `--smoke` shrinks the sweep to three tiny topologies with one seed each so the CI
 //! job finishes in seconds; the full campaign reaches several hundred switches.
+//!
+//! `--baseline BENCH.json --gate PCT` compares the fresh artifact against a committed
+//! one: if any gated metric (`bootstrap_s`, `recovery_s`, `messages_sent` — all
+//! simulated quantities, deterministic for equal seeds) regressed by more than PCT
+//! percent in any matched cell, the campaign writes a `*.delta.json` report and exits
+//! nonzero.
 
 use renaissance::scenario::{
     ControllerSelector, Endpoints, FaultEvent, LinkSelector, ScenarioReport,
 };
+use renaissance_bench::baseline::gate_campaign;
 use renaissance_bench::cli::{self, Flag};
+use renaissance_bench::output::OutputFormat;
 use renaissance_bench::report::{fmt2, print_table, write_json_file, Json, Row};
-use renaissance_bench::ExperimentScale;
+use renaissance_bench::{ExperimentScale, MetricKey, MetricPipeline, Recorder};
+use sdn_metrics::{csv_field, Digest};
 use sdn_netsim::SimDuration;
 use sdn_topology::{builders, connectivity};
 use std::time::Instant;
 
 const ABOUT: &str = "Scale campaign: topology family x size x fault scenario sweep, \
-emitting BENCH_scale.json";
+emitting BENCH_scale.json (--out PATH, --format json|csv) and optionally gating it \
+against a baseline (--baseline BENCH.json --gate PCT)";
 
 const EXTRA_FLAGS: &[Flag] = &[
     Flag {
@@ -33,11 +44,14 @@ const EXTRA_FLAGS: &[Flag] = &[
         help: "tiny sizes, 1 seed: the CI smoke configuration",
     },
     Flag {
-        name: "--out",
+        name: "--baseline",
         value_name: Some("PATH"),
-        help: "output path for the JSON artifact (default BENCH_scale.json, or \
-               BENCH_scale_smoke.json with --smoke so a smoke run never overwrites \
-               the committed full baseline)",
+        help: "committed BENCH_scale.json to gate against; exits nonzero on regression",
+    },
+    Flag {
+        name: "--gate",
+        value_name: Some("PCT"),
+        help: "regression threshold in percent for --baseline (default 25)",
     },
 ];
 
@@ -74,6 +88,8 @@ fn main() {
             "BENCH_scale.json"
         })
         .to_string();
+    // The shared validator keeps --format semantics identical across every binary.
+    let csv = OutputFormat::from_args(&args) == OutputFormat::Csv;
 
     let mut scale = ExperimentScale::from_env();
     // The campaign's own sweep is only the default: an explicit RENAISSANCE_NETWORKS
@@ -95,6 +111,9 @@ fn main() {
     let scale = scale.with_args(&args);
     let seed = scale.seed_or(1_000);
 
+    // The campaign's artifact is rendered from the typed pipeline: every per-run
+    // sample is recorded under "spec/scenario" scopes and digested in memory.
+    let mut pipeline = MetricPipeline::in_memory();
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for network in &scale.networks {
@@ -104,18 +123,31 @@ fn main() {
         let kappa_max = connectivity::max_supported_kappa(&topology.switch_graph);
         let diameter = topology.expected_diameter;
         for scenario in SCENARIOS {
+            let scope = format!("{network}/{scenario}");
             let started = Instant::now();
             let report = run_scenario(&scale, network, scenario, seed);
             let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-            let bootstrap = report.bootstrap_samples();
-            let recovery = report.recovery_samples();
-            let converged = report.all_converged();
-            let mut sim_end = renaissance_bench::Measurement::default();
-            let mut messages = renaissance_bench::Measurement::default();
+            pipeline.record(&scope, &MetricKey::WALL_CLOCK, wall_ms);
             for run in &report.runs {
-                sim_end.push(run.sim_end_s);
-                messages.push(run.messages_sent as f64);
+                if let Some(s) = run.bootstrap_s {
+                    pipeline.record(&scope, &MetricKey::BOOTSTRAP_TIME, s);
+                }
+                for recovery in run.recoveries.iter().filter_map(|r| r.recovered_in_s) {
+                    pipeline.record(&scope, &MetricKey::RECOVERY_TIME, recovery);
+                }
+                pipeline.record(&scope, &MetricKey::SIM_END, run.sim_end_s);
+                pipeline.record(&scope, &MetricKey::MESSAGES_SENT, run.messages_sent as f64);
             }
+            let converged = report.all_converged();
+            let digest = |key: &MetricKey| -> Digest {
+                pipeline
+                    .memory()
+                    .digest(&scope, key)
+                    .cloned()
+                    .unwrap_or_default()
+            };
+            let bootstrap = digest(&MetricKey::BOOTSTRAP_TIME);
+            let recovery = digest(&MetricKey::RECOVERY_TIME);
             rows.push(Row::new(
                 format!("{} / {scenario}", topology.name),
                 vec![
@@ -140,15 +172,18 @@ fn main() {
                 ("wall_clock_ms", Json::num(wall_ms)),
                 ("bootstrap_s", Json::samples(&bootstrap)),
                 ("recovery_s", Json::samples(&recovery)),
-                ("sim_end_s", Json::samples(&sim_end)),
-                ("messages_sent", Json::samples(&messages)),
+                ("sim_end_s", Json::samples(&digest(&MetricKey::SIM_END))),
+                (
+                    "messages_sent",
+                    Json::samples(&digest(&MetricKey::MESSAGES_SENT)),
+                ),
             ]));
         }
     }
 
     let doc = Json::obj([
         ("benchmark", Json::str("scale_campaign")),
-        ("version", Json::num(1.0)),
+        ("version", Json::num(2.0)),
         ("smoke", Json::Bool(smoke)),
         (
             "config",
@@ -170,8 +205,12 @@ fn main() {
         ),
         ("results", Json::Arr(results)),
     ]);
-    write_json_file(std::path::Path::new(&out), &doc)
-        .unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
+    if csv {
+        write_campaign_csv(&out, &pipeline);
+    } else {
+        write_json_file(std::path::Path::new(&out), &doc)
+            .unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
+    }
 
     print_table(
         &format!(
@@ -183,6 +222,81 @@ fn main() {
         &rows,
         &doc.to_string(),
     );
+
+    if let Some(baseline_path) = args.value("--baseline") {
+        let gate_pct = args.parsed::<f64>("--gate").unwrap_or(25.0);
+        std::process::exit(gate_against(&doc, baseline_path, gate_pct, &out));
+    }
+}
+
+/// Writes the campaign summary as CSV: one row per (cell, metric) with the digest
+/// statistics.
+fn write_campaign_csv(out: &str, pipeline: &MetricPipeline) {
+    let mut text = String::from("scope,metric,unit,n,mean,stddev,min,p50,p90,p99,max\n");
+    for (scope, key, digest) in pipeline.memory().iter() {
+        let quantiles = digest.quantiles(&[0.5, 0.9, 0.99]);
+        text.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            csv_field(scope),
+            csv_field(&key.path()),
+            csv_field(key.unit().symbol()),
+            digest.len(),
+            digest.mean(),
+            digest.stddev(),
+            digest.min(),
+            quantiles[0],
+            quantiles[1],
+            quantiles[2],
+            digest.max(),
+        ));
+    }
+    std::fs::write(out, text).unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
+}
+
+/// Gates the fresh artifact against a committed baseline; returns the process exit
+/// code (0 = no regression) and writes the delta report next to the artifact.
+fn gate_against(current: &Json, baseline_path: &str, gate_pct: f64, out: &str) -> i32 {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("failed to read baseline {baseline_path}: {e}"));
+    let baseline = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("failed to parse baseline {baseline_path}: {e}"));
+    let report = gate_campaign(current, &baseline, gate_pct)
+        .unwrap_or_else(|e| panic!("cannot gate against {baseline_path}: {e}"));
+
+    let delta_path = match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.delta.json"),
+        None => format!("{out}.delta.json"),
+    };
+    write_json_file(std::path::Path::new(&delta_path), &report.to_json())
+        .unwrap_or_else(|e| panic!("failed to write {delta_path}: {e}"));
+
+    let regressions = report.regressions();
+    println!(
+        "\n== Baseline gate: {} vs {baseline_path} (threshold {gate_pct}%) ==",
+        out
+    );
+    for cell in &report.unmatched {
+        println!("  (unmatched: {cell})");
+    }
+    if regressions.is_empty() {
+        println!(
+            "  OK — no gated metric regressed by more than {gate_pct}% \
+             (delta report: {delta_path})"
+        );
+        0
+    } else {
+        for r in &regressions {
+            println!(
+                "  REGRESSION {}/{} {}: {} -> {} ({:+.1}%)",
+                r.spec, r.scenario, r.metric, r.baseline, r.current, r.change_pct
+            );
+        }
+        println!(
+            "  {} regression(s) past the {gate_pct}% gate (delta report: {delta_path})",
+            regressions.len()
+        );
+        1
+    }
 }
 
 /// Builds and runs one campaign cell on the same scenario skeleton (timeout,

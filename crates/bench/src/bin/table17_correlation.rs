@@ -4,14 +4,16 @@ use renaissance_bench::experiments::{
     throughput_correlations, throughput_under_failure, ExperimentScale,
 };
 use renaissance_bench::report::{print_table, Row};
+use renaissance_bench::MetricPipeline;
 
 fn main() {
-    let scale = ExperimentScale::from_cli(
+    let (scale, args) = ExperimentScale::from_cli(
         "Table 17: correlation of the average throughput with vs without recovery. Plots one seeded trace (pick it with --seed); --runs is not used.",
     );
-    let with = throughput_under_failure(&scale, true);
-    let without = throughput_under_failure(&scale, false);
-    let correlations = throughput_correlations(&with, &without);
+    let mut pipeline = MetricPipeline::from_args(&args);
+    let with = throughput_under_failure(&scale, true, &mut pipeline);
+    let without = throughput_under_failure(&scale, false, &mut pipeline);
+    let correlations = throughput_correlations(&with, &without, &mut pipeline);
     let rows: Vec<Row> = correlations
         .iter()
         .map(|c| Row::new(c.network.clone(), vec![format!("{:.2}", c.correlation)]))
@@ -22,4 +24,5 @@ fn main() {
         &rows,
         &correlations,
     );
+    pipeline.finish();
 }

@@ -2,15 +2,18 @@
 
 use renaissance_bench::experiments::table8;
 use renaissance_bench::report::{print_table, Row};
+use renaissance_bench::MetricPipeline;
 
 fn main() {
     // Table 8 is deterministic (no seeds or repetitions), but it still speaks the
-    // shared CLI convention so `--help` works uniformly across the binaries.
-    let _ = renaissance_bench::cli::parse(
+    // shared CLI convention so `--help` and `--out`/`--format` work uniformly
+    // across the binaries.
+    let args = renaissance_bench::cli::parse(
         "Table 8: the number of nodes and diameter of the studied networks.",
         &[],
     );
-    let rows_data = table8();
+    let mut pipeline = MetricPipeline::from_args(&args);
+    let rows_data = table8(&mut pipeline);
     let rows: Vec<Row> = rows_data
         .iter()
         .map(|r| {
@@ -26,4 +29,5 @@ fn main() {
         &rows,
         &rows_data,
     );
+    pipeline.finish();
 }

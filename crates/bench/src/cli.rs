@@ -10,10 +10,13 @@
 //! | `--networks A,B` | `RENAISSANCE_NETWORKS` | topology list (paper names or generator names like `fat_tree(8)`) |
 //! | `--task-delay-ms N` | — | controller do-forever-loop delay |
 //! | `--threads N` | `RENAISSANCE_THREADS` | scenario-runner worker threads |
+//! | `--out PATH` | — | machine-readable results file |
+//! | `--format json\|csv` | — | format of the `--out` file |
 //! | `--help` | — | print usage and exit |
 //!
 //! Flags take their value as the next argument (`--runs 5`) or inline (`--runs=5`).
-//! A binary can register extra flags (the scale campaign adds `--smoke` and `--out`).
+//! A binary can register extra flags (the scale campaign adds `--smoke`,
+//! `--baseline`, and `--gate`).
 
 use std::collections::BTreeMap;
 
@@ -54,6 +57,17 @@ pub const COMMON_FLAGS: &[Flag] = &[
         name: "--threads",
         value_name: Some("N"),
         help: "scenario-runner worker threads (env RENAISSANCE_THREADS, default: all cores)",
+    },
+    Flag {
+        name: "--out",
+        value_name: Some("PATH"),
+        help: "write machine-readable results to PATH (per-sample metric records; \
+               the scale campaign writes its BENCH artifact here instead)",
+    },
+    Flag {
+        name: "--format",
+        value_name: Some("F"),
+        help: "output format for --out: json (default) or csv",
     },
 ];
 

@@ -1,23 +1,58 @@
 //! The experiment implementations behind every figure and table of the evaluation.
 //!
 //! Every function takes an [`ExperimentScale`] (how many repetitions, which networks)
-//! and returns plain results; the `src/bin/*` wrappers print them. Each experiment is a
-//! declarative [`Scenario`]: topology + fault schedule + workloads + probes, executed
-//! by the event-driven scenario runner — no experiment hand-rolls fault injection or
-//! polling loops anymore.
+//! and a [`Recorder`] the per-run samples stream through under typed [`MetricKey`]s,
+//! and returns digest-backed results the `src/bin/*` wrappers print. Each experiment
+//! is a declarative [`Scenario`]: topology + fault schedule + workloads + probes,
+//! executed by the event-driven scenario runner — no experiment hand-rolls fault
+//! injection, polling loops, or stringly-typed summaries anymore.
 
 use renaissance::scenario::{
     ControlPlane, ControllerSelector, Endpoints, FaultEvent, LinkSelector, Scenario,
     ScenarioBuilder, SwitchSelector,
 };
 use renaissance::{ControllerConfig, CorruptionPlan, SdnNetwork};
+use sdn_metrics::{MetricKey, Namespace, Polarity, Recorder, Unit};
 use sdn_netsim::SimDuration;
 use sdn_topology::builders;
 use sdn_traffic::iperf::{IperfRun, IperfWorkload};
 
-/// Summary statistics of repeated measurements (the numbers behind a violin in the
-/// paper's plots). Re-exported from the scenario API's aggregation type.
-pub use renaissance::scenario::Samples as Measurement;
+/// Streaming summary statistics of repeated measurements (the numbers behind a violin
+/// in the paper's plots): count, mean, stddev, min/max, p50/p90/p99.
+pub use sdn_metrics::Digest as Measurement;
+
+/// The Figure 9 communication-overhead metric: messages per node per do-forever
+/// iteration of the maximum-loaded controller.
+pub const OVERHEAD: MetricKey = MetricKey::named(
+    Namespace::Scenario,
+    "overhead_msgs_per_node_per_iter",
+    Unit::Count,
+    Polarity::LowerIsBetter,
+);
+
+/// The per-second BAD-TCP flag percentage of the iperf workload (Figure 19).
+pub const BAD_TCP: MetricKey = MetricKey::named(
+    Namespace::Workload,
+    "bad_tcp_pct",
+    Unit::Percent,
+    Polarity::LowerIsBetter,
+);
+
+/// The per-second out-of-order packet percentage of the iperf workload (Figure 20).
+pub const OUT_OF_ORDER: MetricKey = MetricKey::named(
+    Namespace::Workload,
+    "out_of_order_pct",
+    Unit::Percent,
+    Polarity::LowerIsBetter,
+);
+
+/// The with/without-recovery throughput correlation of Table 17.
+pub const CORRELATION: MetricKey = MetricKey::named(
+    Namespace::Bench,
+    "throughput_correlation",
+    Unit::Ratio,
+    Polarity::Neutral,
+);
 
 /// How long (simulated) an experiment is allowed to take before it is reported as a
 /// timeout. Generous: the paper's slowest bootstrap is ~2 minutes.
@@ -83,8 +118,11 @@ impl ExperimentScale {
 
     /// The scale every experiment binary uses: environment variables overridden by the
     /// shared command-line convention (see [`crate::cli`]). Handles `--help` itself.
-    pub fn from_cli(about: &str) -> Self {
-        Self::from_env().with_args(&crate::cli::parse(about, &[]))
+    /// Also returns the parsed arguments so the binary can build its
+    /// [`MetricPipeline`](crate::output::MetricPipeline) from `--out`/`--format`.
+    pub fn from_cli(about: &str) -> (Self, crate::cli::CliArgs) {
+        let args = crate::cli::parse(about, &[]);
+        (Self::from_env().with_args(&args), args)
     }
 
     /// Applies parsed command-line arguments on top of this scale.
@@ -196,13 +234,20 @@ pub struct Table8Row {
 }
 
 /// Regenerates Table 8 from the topology builders.
-pub fn table8() -> Vec<Table8Row> {
+pub fn table8(rec: &mut dyn Recorder) -> Vec<Table8Row> {
+    let switches = MetricKey::custom(Namespace::Bench, "switches");
+    let diameter = MetricKey::custom(Namespace::Bench, "diameter");
     builders::paper_networks(3)
         .into_iter()
-        .map(|net| Table8Row {
-            network: net.name.clone(),
-            nodes: net.switch_count(),
-            diameter: sdn_topology::paths::diameter(&net.switch_graph),
+        .map(|net| {
+            let row = Table8Row {
+                network: net.name.clone(),
+                nodes: net.switch_count(),
+                diameter: sdn_topology::paths::diameter(&net.switch_graph),
+            };
+            rec.record(&row.network, &switches, row.nodes as f64);
+            rec.record(&row.network, &diameter, row.diameter as f64);
+            row
         })
         .collect()
 }
@@ -225,11 +270,15 @@ pub struct BootstrapResult {
 }
 
 /// Figure 5: bootstrap time for every network with `controllers` controllers.
-pub fn bootstrap_times(scale: &ExperimentScale, controllers: usize) -> Vec<BootstrapResult> {
+pub fn bootstrap_times(
+    scale: &ExperimentScale,
+    controllers: usize,
+    rec: &mut dyn Recorder,
+) -> Vec<BootstrapResult> {
     scale
         .networks
         .iter()
-        .map(|name| bootstrap_one(scale, name, controllers, scale.task_delay))
+        .map(|name| bootstrap_one(scale, name, controllers, scale.task_delay, rec))
         .collect()
 }
 
@@ -237,11 +286,18 @@ pub fn bootstrap_times(scale: &ExperimentScale, controllers: usize) -> Vec<Boots
 pub fn bootstrap_vs_controllers(
     scale: &ExperimentScale,
     controller_counts: &[usize],
+    rec: &mut dyn Recorder,
 ) -> Vec<BootstrapResult> {
     let mut out = Vec::new();
     for name in &scale.networks {
         for &controllers in controller_counts {
-            out.push(bootstrap_one(scale, name, controllers, scale.task_delay));
+            out.push(bootstrap_one(
+                scale,
+                name,
+                controllers,
+                scale.task_delay,
+                rec,
+            ));
         }
     }
     out
@@ -252,11 +308,12 @@ pub fn bootstrap_vs_task_delay(
     scale: &ExperimentScale,
     controllers: usize,
     task_delays: &[SimDuration],
+    rec: &mut dyn Recorder,
 ) -> Vec<BootstrapResult> {
     let mut out = Vec::new();
     for name in &scale.networks {
         for &delay in task_delays {
-            out.push(bootstrap_one(scale, name, controllers, delay));
+            out.push(bootstrap_one(scale, name, controllers, delay, rec));
         }
     }
     out
@@ -267,16 +324,28 @@ fn bootstrap_one(
     name: &str,
     controllers: usize,
     task_delay: SimDuration,
+    rec: &mut dyn Recorder,
 ) -> BootstrapResult {
     let report = experiment(scale, "bootstrap", name, controllers, task_delay)
         .runs(scale.runs)
         .seeds_from(scale.seed_or(100))
         .run();
+    let scope = format!(
+        "{name}/c={controllers}/task={:.0}ms",
+        task_delay.as_secs_f64() * 1e3
+    );
+    let mut measurement = Measurement::default();
+    for run in &report.runs {
+        if let Some(s) = run.bootstrap_s {
+            rec.record(&scope, &MetricKey::BOOTSTRAP_TIME, s);
+            measurement.record(s);
+        }
+    }
     BootstrapResult {
         network: name.to_string(),
         controllers,
         task_delay_s: task_delay.as_secs_f64(),
-        measurement: report.bootstrap_samples(),
+        measurement,
     }
 }
 
@@ -312,7 +381,11 @@ fn overhead_per_node_per_iteration(net: &SdnNetwork) -> f64 {
 }
 
 /// Figure 9: messages per node (max-loaded controller, normalized by iterations).
-pub fn communication_overhead(scale: &ExperimentScale, controllers: usize) -> Vec<OverheadResult> {
+pub fn communication_overhead(
+    scale: &ExperimentScale,
+    controllers: usize,
+    rec: &mut dyn Recorder,
+) -> Vec<OverheadResult> {
     scale
         .networks
         .iter()
@@ -320,12 +393,14 @@ pub fn communication_overhead(scale: &ExperimentScale, controllers: usize) -> Ve
             let report = experiment(scale, "comm-overhead", name, controllers, scale.task_delay)
                 .runs(scale.runs)
                 .seeds_from(scale.seed_or(300))
-                .summary("overhead", overhead_per_node_per_iteration)
+                .summary(OVERHEAD, overhead_per_node_per_iteration)
                 .run();
+            let scope = format!("{name}/c={controllers}");
             let mut measurement = Measurement::default();
             for run in report.runs.iter().filter(|r| r.bootstrap_s.is_some()) {
-                if let Some(value) = run.summary("overhead") {
-                    measurement.push(value);
+                if let Some(value) = run.metric(&OVERHEAD) {
+                    rec.record(&scope, &OVERHEAD, value);
+                    measurement.record(value);
                 }
             }
             OverheadResult {
@@ -374,6 +449,16 @@ impl FailureKind {
     }
 }
 
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Controllers { count } => write!(f, "controllers({count})"),
+            FailureKind::Switch => write!(f, "switch"),
+            FailureKind::Links { count } => write!(f, "links({count})"),
+        }
+    }
+}
+
 /// Result of one recovery experiment.
 #[derive(Clone, Debug)]
 pub struct RecoveryResult {
@@ -393,6 +478,7 @@ pub fn recovery_after_failure(
     scale: &ExperimentScale,
     controllers: usize,
     failure: FailureKind,
+    rec: &mut dyn Recorder,
 ) -> Vec<RecoveryResult> {
     scale
         .networks
@@ -403,11 +489,19 @@ pub fn recovery_after_failure(
                 .seeds_from(scale.seed_or(700))
                 .fault_at(SimDuration::ZERO, failure.event())
                 .run();
+            let scope = format!("{name}/c={controllers}/{failure}");
+            let mut measurement = Measurement::default();
+            for run in &report.runs {
+                for recovery in run.recoveries.iter().filter_map(|r| r.recovered_in_s) {
+                    rec.record(&scope, &MetricKey::RECOVERY_TIME, recovery);
+                    measurement.record(recovery);
+                }
+            }
             RecoveryResult {
                 network: name.clone(),
                 controllers,
                 failure,
-                measurement: report.recovery_samples(),
+                measurement,
             }
         })
         .collect()
@@ -430,7 +524,12 @@ pub struct ThroughputResult {
 
 /// Figures 15/16: per-second TCP throughput with a mid-path link failure at second 10,
 /// with (`recovery = true`) or without (`recovery = false`) controller-driven repair.
-pub fn throughput_under_failure(scale: &ExperimentScale, recovery: bool) -> Vec<ThroughputResult> {
+/// Every per-second sample of the run streams through the recorder.
+pub fn throughput_under_failure(
+    scale: &ExperimentScale,
+    recovery: bool,
+    rec: &mut dyn Recorder,
+) -> Vec<ThroughputResult> {
     let mut out = Vec::new();
     for name in &scale.networks {
         let report = experiment(scale, "throughput", name, 3, scale.task_delay)
@@ -456,6 +555,24 @@ pub fn throughput_under_failure(scale: &ExperimentScale, recovery: bool) -> Vec<
         let Some(typed) = IperfWorkload::run_from_report(iperf) else {
             continue;
         };
+        let scope = format!(
+            "{name}/{}",
+            if recovery {
+                "with-recovery"
+            } else {
+                "no-recovery"
+            }
+        );
+        for (key, series) in [
+            (&MetricKey::THROUGHPUT, &typed.throughput_mbps),
+            (&MetricKey::RETRANSMISSIONS, &typed.retransmission_pct),
+            (&BAD_TCP, &typed.bad_tcp_pct),
+            (&OUT_OF_ORDER, &typed.out_of_order_pct),
+        ] {
+            for &value in series {
+                rec.record(&scope, key, value);
+            }
+        }
         out.push(ThroughputResult {
             network: name.clone(),
             run: typed,
@@ -478,6 +595,7 @@ pub struct CorrelationRow {
 pub fn throughput_correlations(
     with_recovery: &[ThroughputResult],
     without_recovery: &[ThroughputResult],
+    rec: &mut dyn Recorder,
 ) -> Vec<CorrelationRow> {
     with_recovery
         .iter()
@@ -486,9 +604,12 @@ pub fn throughput_correlations(
                 .iter()
                 .find(|n| n.network == w.network)
                 .and_then(|n| sdn_traffic::throughput_correlation(&w.run, &n.run))
-                .map(|correlation| CorrelationRow {
-                    network: w.network.clone(),
-                    correlation,
+                .map(|correlation| {
+                    rec.record(&w.network, &CORRELATION, correlation);
+                    CorrelationRow {
+                        network: w.network.clone(),
+                        correlation,
+                    }
                 })
         })
         .collect()
@@ -513,7 +634,7 @@ pub struct AblationResult {
 
 /// Compares the main memory-adaptive algorithm with the Section 8.1 non-adaptive
 /// variant: recovery time from heavy transient corruption and post-recovery memory use.
-pub fn variant_ablation(scale: &ExperimentScale) -> Vec<AblationResult> {
+pub fn variant_ablation(scale: &ExperimentScale, rec: &mut dyn Recorder) -> Vec<AblationResult> {
     let mut out = Vec::new();
     for name in &scale.networks {
         for adaptive in [true, false] {
@@ -524,18 +645,24 @@ pub fn variant_ablation(scale: &ExperimentScale) -> Vec<AblationResult> {
                     SimDuration::ZERO,
                     FaultEvent::CorruptState(CorruptionPlan::heavy()),
                 )
-                .summary("total_rules", |net| net.total_rules() as f64);
+                .summary(MetricKey::TOTAL_RULES, |net| net.total_rules() as f64);
             if !adaptive {
                 builder = builder.tune_controllers(ControllerConfig::non_adaptive);
             }
             let report = builder.run();
+            let scope = format!(
+                "{name}/{}",
+                if adaptive { "adaptive" } else { "non-adaptive" }
+            );
             let mut recovery = Measurement::default();
             let mut rules_after = Measurement::default();
             for run in &report.runs {
                 if let Some(seconds) = run.first_recovery_s() {
-                    recovery.push(seconds);
-                    if let Some(rules) = run.summary("total_rules") {
-                        rules_after.push(rules);
+                    rec.record(&scope, &MetricKey::RECOVERY_TIME, seconds);
+                    recovery.record(seconds);
+                    if let Some(rules) = run.metric(&MetricKey::TOTAL_RULES) {
+                        rec.record(&scope, &MetricKey::TOTAL_RULES, rules);
+                        rules_after.record(rules);
                     }
                 }
             }
@@ -553,10 +680,19 @@ pub fn variant_ablation(scale: &ExperimentScale) -> Vec<AblationResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sdn_metrics::MemorySink;
 
     #[test]
     fn table8_matches_paper() {
-        let rows = table8();
+        let mut sink = MemorySink::default();
+        let rows = table8(&mut sink);
+        // The typed pipeline saw every row.
+        assert_eq!(
+            sink.digest("B4", &MetricKey::custom(Namespace::Bench, "switches"))
+                .unwrap()
+                .mean(),
+            12.0
+        );
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].network, "B4");
         assert_eq!(rows[0].nodes, 12);
@@ -571,13 +707,17 @@ mod tests {
         let mut m = Measurement::default();
         assert_eq!(m.mean(), 0.0);
         assert_eq!(m.median(), 0.0);
-        m.push(2.0);
-        m.push(4.0);
-        m.push(9.0);
+        m.record(2.0);
+        m.record(4.0);
+        m.record(9.0);
         assert_eq!(m.mean(), 5.0);
         assert_eq!(m.median(), 4.0);
         assert_eq!(m.min(), 2.0);
         assert_eq!(m.max(), 9.0);
+        // The digest-backed Measurement adds the spread statistics the old Samples
+        // type could not provide.
+        assert!(m.stddev() > 0.0);
+        assert_eq!(m.p90(), 9.0);
     }
 
     #[test]
@@ -608,16 +748,25 @@ mod tests {
             task_delay: SimDuration::from_millis(200),
             ..ExperimentScale::default()
         };
-        let bootstrap = bootstrap_times(&scale, 3);
+        let mut sink = MemorySink::default();
+        let bootstrap = bootstrap_times(&scale, 3, &mut sink);
         assert_eq!(bootstrap.len(), 1);
+        assert_eq!(bootstrap[0].measurement.len(), 1, "B4 must bootstrap");
+        // The same sample flowed through the typed pipeline, under a scope naming
+        // the full configuration.
         assert_eq!(
-            bootstrap[0].measurement.samples.len(),
-            1,
-            "B4 must bootstrap"
+            sink.digest("B4/c=3/task=200ms", &MetricKey::BOOTSTRAP_TIME)
+                .unwrap()
+                .mean(),
+            bootstrap[0].measurement.mean()
         );
-        let recovery = recovery_after_failure(&scale, 3, FailureKind::Links { count: 1 });
-        assert_eq!(recovery[0].measurement.samples.len(), 1, "B4 must recover");
+        let recovery =
+            recovery_after_failure(&scale, 3, FailureKind::Links { count: 1 }, &mut sink);
+        assert_eq!(recovery[0].measurement.len(), 1, "B4 must recover");
         assert!(recovery[0].measurement.mean() > 0.0);
+        assert!(sink
+            .digest("B4/c=3/links(1)", &MetricKey::RECOVERY_TIME)
+            .is_some());
     }
 
     #[test]
@@ -628,10 +777,11 @@ mod tests {
             task_delay: SimDuration::from_millis(200),
             ..ExperimentScale::default()
         };
-        let overhead = communication_overhead(&scale, 3);
+        let mut sink = MemorySink::default();
+        let overhead = communication_overhead(&scale, 3, &mut sink);
         assert_eq!(overhead.len(), 1);
         assert!(overhead[0].messages_per_node_per_iteration.mean() > 0.0);
-        let ablation = variant_ablation(&scale);
+        let ablation = variant_ablation(&scale, &mut sink);
         assert_eq!(ablation.len(), 2);
         // The memory-adaptive main algorithm recovers from arbitrary corruption
         // (Theorem 2). The non-adaptive variant never deletes other controllers'

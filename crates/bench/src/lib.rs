@@ -24,9 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod cli;
 pub mod experiments;
+pub mod output;
 pub mod report;
 
 pub use experiments::{ExperimentScale, Measurement};
+pub use output::MetricPipeline;
 pub use report::{print_table, Json, Row};
+pub use sdn_metrics::{MetricKey, Recorder};

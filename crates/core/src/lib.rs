@@ -42,8 +42,8 @@
 //!     .runs(2)
 //!     .run();
 //! assert!(report.all_converged());
-//! assert!(report.bootstrap_samples().mean() > 0.0);
-//! assert!(report.recovery_samples().mean() > 0.0);
+//! assert!(report.bootstrap_digest().mean() > 0.0);
+//! assert!(report.recovery_digest().mean() > 0.0);
 //! ```
 //!
 //! The [`harness::SdnNetwork`] escape hatch underneath remains available for ad-hoc

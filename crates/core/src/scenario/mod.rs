@@ -41,7 +41,7 @@
 //!     .run();
 //! assert_eq!(report.runs.len(), 2);
 //! assert!(report.all_converged());
-//! assert!(report.recovery_samples().mean() > 0.0);
+//! assert!(report.recovery_digest().mean() > 0.0);
 //! ```
 
 mod probe;
@@ -50,12 +50,18 @@ mod runner;
 mod schedule;
 mod workload;
 
-pub use probe::{Probe, ProbeSeries};
-pub use report::{InjectedFault, RecoveryRecord, RunReport, Samples, ScenarioReport};
+pub use probe::{Probe, ProbeKeyArg, ProbeSeries};
+pub use report::{
+    InjectedFault, MetricDelta, RecoveryRecord, ReportDelta, RunReport, ScenarioReport,
+};
 pub use runner::ScenarioRunner;
 pub use schedule::{
     mid_path_link, ControllerSelector, Endpoints, FaultContext, FaultEvent, FaultSchedule,
     LinkSelector, SwitchSelector,
+};
+pub use sdn_metrics::{
+    CsvSink, Digest, Fanout, JsonLinesSink, MemorySink, MetricKey, Namespace, Polarity, Recorder,
+    Unit,
 };
 pub use workload::{NamedSeries, Workload, WorkloadReport, WorkloadTick};
 
@@ -112,6 +118,27 @@ pub type WorkloadFactory = Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>;
 /// An end-of-run summary statistic: a pure function of the final network state.
 pub type SummaryFn = fn(&SdnNetwork) -> f64;
 
+/// Conversion shim for [`ScenarioBuilder::summary`]: accepts a typed [`MetricKey`] or
+/// a bare `&str`/`String` name (registered as a count-valued key in the scenario
+/// namespace with neutral polarity).
+pub struct SummaryKeyArg(MetricKey);
+
+impl From<MetricKey> for SummaryKeyArg {
+    fn from(key: MetricKey) -> Self {
+        SummaryKeyArg(key)
+    }
+}
+impl From<&str> for SummaryKeyArg {
+    fn from(name: &str) -> Self {
+        SummaryKeyArg(MetricKey::custom(Namespace::Scenario, name))
+    }
+}
+impl From<String> for SummaryKeyArg {
+    fn from(name: String) -> Self {
+        SummaryKeyArg(MetricKey::custom(Namespace::Scenario, name))
+    }
+}
+
 /// A fully described experiment, ready to [`run`](Scenario::run).
 ///
 /// Built with [`Scenario::builder`]; executed by a [`ScenarioRunner`].
@@ -126,7 +153,7 @@ pub struct Scenario {
     pub(crate) probes: Vec<Probe>,
     pub(crate) sample_every: SimDuration,
     pub(crate) workloads: Vec<WorkloadFactory>,
-    pub(crate) summaries: Vec<(String, SummaryFn)>,
+    pub(crate) summaries: Vec<(MetricKey, SummaryFn)>,
     pub(crate) runs: usize,
     pub(crate) seed_base: Option<u64>,
     pub(crate) threads: Option<usize>,
@@ -192,7 +219,7 @@ pub struct ScenarioBuilder {
     probes: Vec<Probe>,
     sample_every: SimDuration,
     workloads: Vec<WorkloadFactory>,
-    summaries: Vec<(String, SummaryFn)>,
+    summaries: Vec<(MetricKey, SummaryFn)>,
     runs: usize,
     seed_base: Option<u64>,
     threads: Option<usize>,
@@ -290,10 +317,11 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Registers a named end-of-run summary statistic, evaluated once per run when the
-    /// run finishes.
-    pub fn summary(mut self, name: impl Into<String>, f: fn(&SdnNetwork) -> f64) -> Self {
-        self.summaries.push((name.into(), f));
+    /// Registers an end-of-run summary statistic under a typed [`MetricKey`],
+    /// evaluated once per run when the run finishes. A bare name is accepted as a
+    /// shorthand for a count-valued key in the scenario namespace.
+    pub fn summary(mut self, key: impl Into<SummaryKeyArg>, f: fn(&SdnNetwork) -> f64) -> Self {
+        self.summaries.push((key.into().0, f));
         self
     }
 

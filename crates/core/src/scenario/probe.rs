@@ -1,16 +1,19 @@
 //! Pluggable observables sampled on a schedule while a scenario runs.
 //!
 //! A [`Probe`] turns the network state into one `f64` per sample; the runner collects
-//! the values into a [`ProbeSeries`] per run. The built-in probes cover the quantities
-//! the paper's evaluation plots (legitimacy, rule counts, message totals); anything
-//! else can be expressed with [`Probe::custom`].
+//! the values into a [`ProbeSeries`] per run. Each probe is identified by a typed
+//! [`MetricKey`] — the built-in probes use the well-known keys
+//! ([`MetricKey::LEGITIMACY`], ...); anything else can be expressed with
+//! [`Probe::custom`] under its own key.
 
 use crate::harness::SdnNetwork;
+use sdn_metrics::{MetricKey, Namespace};
 
-/// A named observable sampled periodically over a running [`SdnNetwork`].
+/// An observable sampled periodically over a running [`SdnNetwork`], keyed by a typed
+/// [`MetricKey`].
 #[derive(Clone)]
 pub struct Probe {
-    name: String,
+    key: MetricKey,
     kind: ProbeKind,
 }
 
@@ -30,7 +33,7 @@ enum ProbeKind {
 
 impl std::fmt::Debug for Probe {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Probe").field("name", &self.name).finish()
+        f.debug_struct("Probe").field("key", &self.key).finish()
     }
 }
 
@@ -38,7 +41,7 @@ impl Probe {
     /// Samples 1.0 while the network satisfies the legitimacy predicate, 0.0 otherwise.
     pub fn legitimacy() -> Self {
         Probe {
-            name: "legitimacy".to_string(),
+            key: MetricKey::LEGITIMACY,
             kind: ProbeKind::Legitimacy,
         }
     }
@@ -47,7 +50,7 @@ impl Probe {
     /// memory-footprint observable of Lemma 1).
     pub fn total_rules() -> Self {
         Probe {
-            name: "total_rules".to_string(),
+            key: MetricKey::TOTAL_RULES,
             kind: ProbeKind::TotalRules,
         }
     }
@@ -55,7 +58,7 @@ impl Probe {
     /// Samples the largest rule count of any single live switch.
     pub fn max_rules_per_switch() -> Self {
         Probe {
-            name: "max_rules_per_switch".to_string(),
+            key: MetricKey::MAX_RULES_PER_SWITCH,
             kind: ProbeKind::MaxRulesPerSwitch,
         }
     }
@@ -63,25 +66,27 @@ impl Probe {
     /// Samples the cumulative number of control-plane messages sent.
     pub fn messages_sent() -> Self {
         Probe {
-            name: "messages_sent".to_string(),
+            key: MetricKey::MESSAGES_SENT,
             kind: ProbeKind::MessagesSent,
         }
     }
 
-    /// A probe evaluating an arbitrary pure function of the network state.
+    /// A probe evaluating an arbitrary pure function of the network state, registered
+    /// under a typed key. A bare name is accepted for convenience and placed in the
+    /// probe namespace.
     ///
     /// The function pointer (rather than a closure) keeps scenarios freely reusable
     /// across repeated runs.
-    pub fn custom(name: impl Into<String>, f: fn(&SdnNetwork) -> f64) -> Self {
+    pub fn custom(key: impl Into<ProbeKeyArg>, f: fn(&SdnNetwork) -> f64) -> Self {
         Probe {
-            name: name.into(),
+            key: key.into().0,
             kind: ProbeKind::Custom(f),
         }
     }
 
-    /// This probe's name (the key of its series in the run report).
-    pub fn name(&self) -> &str {
-        &self.name
+    /// This probe's typed key (the key of its series in the run report).
+    pub fn key(&self) -> &MetricKey {
+        &self.key
     }
 
     /// Evaluates the probe against the current network state.
@@ -102,11 +107,31 @@ impl Probe {
     }
 }
 
+/// Conversion shim for [`Probe::custom`]: accepts a typed [`MetricKey`] or a bare
+/// `&str`/`String` name (placed in the probe namespace).
+pub struct ProbeKeyArg(MetricKey);
+
+impl From<MetricKey> for ProbeKeyArg {
+    fn from(key: MetricKey) -> Self {
+        ProbeKeyArg(key)
+    }
+}
+impl From<&str> for ProbeKeyArg {
+    fn from(name: &str) -> Self {
+        ProbeKeyArg(MetricKey::custom(Namespace::Probe, name))
+    }
+}
+impl From<String> for ProbeKeyArg {
+    fn from(name: String) -> Self {
+        ProbeKeyArg(MetricKey::custom(Namespace::Probe, name))
+    }
+}
+
 /// The sampled time series of one probe over one run.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProbeSeries {
-    /// The probe name.
-    pub name: String,
+    /// The probe's typed key.
+    pub key: MetricKey,
     /// Sample timestamps, in simulated seconds since the start of the run.
     pub times_s: Vec<f64>,
     /// Sampled values, parallel to `times_s`.
@@ -114,10 +139,10 @@ pub struct ProbeSeries {
 }
 
 impl ProbeSeries {
-    /// Creates an empty series for the given probe name.
-    pub fn new(name: impl Into<String>) -> Self {
+    /// Creates an empty series for the given probe key.
+    pub fn new(key: MetricKey) -> Self {
         ProbeSeries {
-            name: name.into(),
+            key,
             times_s: Vec::new(),
             values: Vec::new(),
         }
@@ -156,13 +181,16 @@ mod tests {
         assert_eq!(Probe::max_rules_per_switch().sample(&net), 0.0);
         assert_eq!(Probe::messages_sent().sample(&net), 0.0);
         let custom = Probe::custom("live_switches", |n| n.live_switch_ids().len() as f64);
-        assert_eq!(custom.name(), "live_switches");
+        assert_eq!(custom.key().path(), "probe/live_switches");
         assert_eq!(custom.sample(&net), 4.0);
+        // A fully typed key is accepted too.
+        let typed = Probe::custom(MetricKey::custom(Namespace::Scenario, "x"), |_| 0.0);
+        assert_eq!(typed.key().path(), "scenario/x");
     }
 
     #[test]
     fn series_accumulates() {
-        let mut s = ProbeSeries::new("x");
+        let mut s = ProbeSeries::new(MetricKey::custom(Namespace::Probe, "x"));
         assert_eq!(s.last(), None);
         s.push(0.0, 1.0);
         s.push(0.5, 2.0);

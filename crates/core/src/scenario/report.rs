@@ -1,66 +1,11 @@
 //! Result types produced by the [`ScenarioRunner`](super::ScenarioRunner): per-run
-//! records plus multi-seed aggregation helpers.
+//! records, typed multi-seed aggregation into [`Digest`]s, and baseline comparison
+//! ([`ScenarioReport::compare`]).
 
 use super::probe::ProbeSeries;
 use super::workload::WorkloadReport;
-
-/// A collection of repeated measurements (the numbers behind one violin of the paper's
-/// plots), with the summary statistics the experiment binaries print.
-#[derive(Clone, Debug, Default, PartialEq)]
-pub struct Samples {
-    /// Individual samples, in seconds of simulated time (or whatever unit the caller
-    /// pushed).
-    pub samples: Vec<f64>,
-}
-
-impl Samples {
-    /// Adds one sample.
-    pub fn push(&mut self, value: f64) {
-        self.samples.push(value);
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Returns `true` when no samples were collected.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// Mean of the samples (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            0.0
-        } else {
-            self.samples.iter().sum::<f64>() / self.samples.len() as f64
-        }
-    }
-
-    /// Median of the samples (0 when empty).
-    pub fn median(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        sorted[sorted.len() / 2]
-    }
-
-    /// Minimum sample (0 when empty).
-    pub fn min(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
-    }
-
-    /// Maximum sample (0 when empty).
-    pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(0.0, f64::max)
-    }
-}
+use sdn_metrics::{Digest, MetricKey, Polarity};
+use std::collections::BTreeSet;
 
 /// One fault event as actually injected during a run (selectors resolved to concrete
 /// victims).
@@ -102,8 +47,8 @@ pub struct RunReport {
     pub probes: Vec<ProbeSeries>,
     /// Reports of the attached workloads, in attachment order.
     pub workloads: Vec<WorkloadReport>,
-    /// End-of-run summary statistics (`name`, value), in attachment order.
-    pub summaries: Vec<(String, f64)>,
+    /// End-of-run summary statistics, typed by [`MetricKey`], in attachment order.
+    pub summaries: Vec<(MetricKey, f64)>,
     /// Whether the network was legitimate when the run ended.
     pub final_legitimate: bool,
     /// Total rules installed across all live switches at the end of the run.
@@ -117,11 +62,11 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// The value of the named end-of-run summary, if it was registered.
-    pub fn summary(&self, name: &str) -> Option<f64> {
+    /// The value of the end-of-run summary registered under `key`, if any.
+    pub fn metric(&self, key: &MetricKey) -> Option<f64> {
         self.summaries
             .iter()
-            .find(|(n, _)| n == name)
+            .find(|(k, _)| k == key)
             .map(|&(_, v)| v)
     }
 
@@ -135,9 +80,9 @@ impl RunReport {
         self.workloads.iter().find(|w| w.label == label)
     }
 
-    /// The sampled series of the probe with the given name.
-    pub fn probe(&self, name: &str) -> Option<&ProbeSeries> {
-        self.probes.iter().find(|p| p.name == name)
+    /// The sampled series of the probe registered under `key`.
+    pub fn probe(&self, key: &MetricKey) -> Option<&ProbeSeries> {
+        self.probes.iter().find(|p| &p.key == key)
     }
 }
 
@@ -153,38 +98,111 @@ pub struct ScenarioReport {
 }
 
 impl ScenarioReport {
-    /// Bootstrap times across runs (runs that timed out contribute no sample).
-    pub fn bootstrap_samples(&self) -> Samples {
-        let mut samples = Samples::default();
+    /// Bootstrap times across runs as a [`Digest`] (runs that timed out contribute no
+    /// sample).
+    pub fn bootstrap_digest(&self) -> Digest {
+        let mut digest = Digest::default();
         for run in &self.runs {
             if let Some(s) = run.bootstrap_s {
-                samples.push(s);
+                digest.record(s);
             }
         }
-        samples
+        digest
     }
 
-    /// First-recovery times across runs (runs that never recovered contribute no
-    /// sample).
-    pub fn recovery_samples(&self) -> Samples {
-        let mut samples = Samples::default();
+    /// Recovery times of *every* fault batch across runs as a [`Digest`] (batches that
+    /// never recovered contribute no sample).
+    pub fn recovery_digest(&self) -> Digest {
+        let mut digest = Digest::default();
+        for run in &self.runs {
+            for recovery in &run.recoveries {
+                if let Some(s) = recovery.recovered_in_s {
+                    digest.record(s);
+                }
+            }
+        }
+        digest
+    }
+
+    /// First-batch recovery times across runs as a [`Digest`] — the quantity the
+    /// paper's single-fault recovery figures plot.
+    pub fn first_recovery_digest(&self) -> Digest {
+        let mut digest = Digest::default();
         for run in &self.runs {
             if let Some(s) = run.first_recovery_s() {
-                samples.push(s);
+                digest.record(s);
             }
         }
-        samples
+        digest
     }
 
-    /// Values of the named end-of-run summary across runs.
-    pub fn summary_samples(&self, name: &str) -> Samples {
-        let mut samples = Samples::default();
+    /// Values of the end-of-run summary registered under `key` across runs, as a
+    /// [`Digest`].
+    pub fn metric_digest(&self, key: &MetricKey) -> Digest {
+        let mut digest = Digest::default();
         for run in &self.runs {
-            if let Some(v) = run.summary(name) {
-                samples.push(v);
+            if let Some(v) = run.metric(key) {
+                digest.record(v);
             }
         }
-        samples
+        digest
+    }
+
+    /// Every metric this report can aggregate: bootstrap, recovery (when any run has
+    /// fault batches), and all registered summary keys, with their digests.
+    pub fn metric_digests(&self) -> Vec<(MetricKey, Digest)> {
+        let mut out = vec![(MetricKey::BOOTSTRAP_TIME, self.bootstrap_digest())];
+        if self.runs.iter().any(|r| !r.recoveries.is_empty()) {
+            out.push((MetricKey::RECOVERY_TIME, self.recovery_digest()));
+        }
+        let keys: BTreeSet<&MetricKey> = self
+            .runs
+            .iter()
+            .flat_map(|r| r.summaries.iter().map(|(k, _)| k))
+            .collect();
+        for key in keys {
+            out.push((key.clone(), self.metric_digest(key)));
+        }
+        out
+    }
+
+    /// Compares this report against a baseline report of the same scenario, metric by
+    /// metric, producing the per-key mean deltas a regression gate consumes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use renaissance::scenario::Scenario;
+    /// use sdn_netsim::SimDuration;
+    ///
+    /// let scenario = Scenario::builder("compare-demo")
+    ///     .network("B4")
+    ///     .task_delay(SimDuration::from_millis(200))
+    ///     .build();
+    /// let baseline = scenario.run();
+    /// let current = scenario.run();
+    /// // Identical seeds -> identical runs -> no change against the baseline.
+    /// let delta = current.compare(&baseline);
+    /// assert!(delta.regressions(5.0).is_empty());
+    /// let bootstrap = &delta.deltas[0];
+    /// assert_eq!(bootstrap.key.path(), "scenario/bootstrap_s");
+    /// assert_eq!(bootstrap.change_pct, 0.0);
+    /// ```
+    pub fn compare(&self, baseline: &ScenarioReport) -> ReportDelta {
+        let current = self.metric_digests();
+        let base: Vec<(MetricKey, Digest)> = baseline.metric_digests();
+        let mut deltas = Vec::new();
+        for (key, digest) in current {
+            let Some((_, base_digest)) = base.iter().find(|(k, _)| k == &key) else {
+                continue;
+            };
+            deltas.push(MetricDelta::new(key, base_digest.mean(), digest.mean()));
+        }
+        ReportDelta {
+            scenario: self.scenario.clone(),
+            network: self.network.clone(),
+            deltas,
+        }
     }
 
     /// Returns `true` when every run bootstrapped and every fault batch recovered.
@@ -201,27 +219,75 @@ impl ScenarioReport {
     }
 }
 
+/// The change of one metric between a baseline report and a current report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDelta {
+    /// The metric.
+    pub key: MetricKey,
+    /// Mean over the baseline report's runs.
+    pub baseline_mean: f64,
+    /// Mean over the current report's runs.
+    pub current_mean: f64,
+    /// Relative change in percent, signed (`+` means the value grew). Infinite when
+    /// the baseline mean is zero and the current one is not.
+    pub change_pct: f64,
+}
+
+impl MetricDelta {
+    fn new(key: MetricKey, baseline_mean: f64, current_mean: f64) -> Self {
+        let change_pct = if baseline_mean != 0.0 {
+            (current_mean - baseline_mean) / baseline_mean * 100.0
+        } else if current_mean == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * current_mean.signum()
+        };
+        MetricDelta {
+            key,
+            baseline_mean,
+            current_mean,
+            change_pct,
+        }
+    }
+
+    /// Whether this delta is a regression at the given gate: the metric moved in its
+    /// worse direction (per [`MetricKey::polarity`]) by more than `gate_pct` percent.
+    pub fn is_regression(&self, gate_pct: f64) -> bool {
+        match self.key.polarity() {
+            Polarity::LowerIsBetter => self.change_pct > gate_pct,
+            Polarity::HigherIsBetter => self.change_pct < -gate_pct,
+            Polarity::Neutral => false,
+        }
+    }
+}
+
+/// The metric-by-metric comparison of a scenario report against a baseline, produced
+/// by [`ScenarioReport::compare`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReportDelta {
+    /// The (current) scenario name.
+    pub scenario: String,
+    /// The topology name.
+    pub network: String,
+    /// One delta per metric present in both reports.
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl ReportDelta {
+    /// The deltas that regressed past the gate (each metric's
+    /// [`Polarity`](sdn_metrics::Polarity) decides which direction is worse).
+    pub fn regressions(&self, gate_pct: f64) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.is_regression(gate_pct))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn samples_statistics() {
-        let mut s = Samples::default();
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.median(), 0.0);
-        assert_eq!(s.min(), 0.0);
-        assert_eq!(s.max(), 0.0);
-        assert!(s.is_empty());
-        s.push(2.0);
-        s.push(4.0);
-        s.push(9.0);
-        assert_eq!(s.len(), 3);
-        assert_eq!(s.mean(), 5.0);
-        assert_eq!(s.median(), 4.0);
-        assert_eq!(s.min(), 2.0);
-        assert_eq!(s.max(), 9.0);
-    }
+    use sdn_metrics::{Namespace, Polarity, Unit};
 
     #[test]
     fn report_aggregation_skips_failed_runs() {
@@ -243,21 +309,78 @@ mod tests {
                 },
             ],
         };
-        assert_eq!(report.bootstrap_samples().samples, vec![1.0]);
-        assert_eq!(report.recovery_samples().samples, vec![2.0]);
+        let bootstrap = report.bootstrap_digest();
+        assert_eq!(bootstrap.len(), 1);
+        assert_eq!(bootstrap.mean(), 1.0);
+        assert_eq!(report.recovery_digest().mean(), 2.0);
+        assert_eq!(report.first_recovery_digest().len(), 1);
         assert!(!report.all_converged());
     }
 
     #[test]
     fn run_report_lookups() {
+        let key = MetricKey::custom(Namespace::Scenario, "overhead");
         let run = RunReport {
-            summaries: vec![("overhead".into(), 3.5)],
+            summaries: vec![(key.clone(), 3.5)],
             ..RunReport::default()
         };
-        assert_eq!(run.summary("overhead"), Some(3.5));
-        assert_eq!(run.summary("missing"), None);
+        assert_eq!(run.metric(&key), Some(3.5));
+        assert_eq!(
+            run.metric(&MetricKey::custom(Namespace::Scenario, "missing")),
+            None
+        );
         assert_eq!(run.first_recovery_s(), None);
         assert!(run.workload("iperf").is_none());
-        assert!(run.probe("legitimacy").is_none());
+        assert!(run.probe(&MetricKey::LEGITIMACY).is_none());
+    }
+
+    fn report_with(bootstrap: f64, summary: Option<(MetricKey, f64)>) -> ScenarioReport {
+        ScenarioReport {
+            scenario: "t".into(),
+            network: "B4".into(),
+            runs: vec![RunReport {
+                bootstrap_s: Some(bootstrap),
+                summaries: summary.into_iter().collect(),
+                ..RunReport::default()
+            }],
+        }
+    }
+
+    #[test]
+    fn compare_flags_regressions_by_polarity() {
+        let throughput = MetricKey::named(
+            Namespace::Workload,
+            "goodput",
+            Unit::MbitPerSec,
+            Polarity::HigherIsBetter,
+        );
+        let baseline = report_with(10.0, Some((throughput.clone(), 100.0)));
+        // Bootstrap 30% slower, goodput 50% lower: both directions are regressions.
+        let current = report_with(13.0, Some((throughput.clone(), 50.0)));
+        let delta = current.compare(&baseline);
+        assert_eq!(delta.deltas.len(), 2);
+        let regressions = delta.regressions(25.0);
+        assert_eq!(regressions.len(), 2);
+        assert!((regressions[0].change_pct - 30.0).abs() < 1e-9);
+        assert!((regressions[1].change_pct + 50.0).abs() < 1e-9);
+        // A 40% gate only catches the goodput drop.
+        assert_eq!(delta.regressions(40.0).len(), 1);
+        // Improvements are never regressions.
+        let improved = report_with(5.0, Some((throughput, 200.0)));
+        assert!(improved.compare(&baseline).regressions(0.5).is_empty());
+    }
+
+    #[test]
+    fn compare_handles_zero_baselines_and_neutral_metrics() {
+        let rules = MetricKey::custom(Namespace::Probe, "rules");
+        let baseline = report_with(0.0, Some((rules.clone(), 0.0)));
+        let current = report_with(1.0, Some((rules, 500.0)));
+        let delta = current.compare(&baseline);
+        // Zero baseline -> infinite growth, still caught by any finite gate...
+        assert!(delta.deltas[0].change_pct.is_infinite());
+        let regressions = delta.regressions(25.0);
+        assert_eq!(regressions.len(), 1);
+        // ...but the neutral-polarity rules metric is never a regression.
+        assert_eq!(regressions[0].key, MetricKey::BOOTSTRAP_TIME);
     }
 }

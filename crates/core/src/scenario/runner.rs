@@ -167,7 +167,7 @@ impl<'a> SingleRun<'a> {
         let probe_series = sc
             .probes
             .iter()
-            .map(|p| ProbeSeries::new(p.name()))
+            .map(|p| ProbeSeries::new(p.key().clone()))
             .collect();
         let next_probe = if sc.probes.is_empty() {
             None
@@ -389,8 +389,8 @@ impl<'a> SingleRun<'a> {
 
     fn finalize(mut self) -> RunReport {
         self.sample_probes_at_end();
-        for (name, f) in &self.sc.summaries {
-            self.report.summaries.push((name.clone(), f(&self.net)));
+        for (key, f) in &self.sc.summaries {
+            self.report.summaries.push((key.clone(), f(&self.net)));
         }
         self.report.probes = self.probe_series;
         self.report.final_legitimate = self.net.is_legitimate();
@@ -412,7 +412,8 @@ enum Step {
 mod tests {
     use super::*;
     use crate::scenario::{
-        ControllerSelector, Endpoints, FaultEvent, LinkSelector, Probe, Scenario, SwitchSelector,
+        ControllerSelector, Endpoints, FaultEvent, LinkSelector, MetricKey, Namespace, Probe,
+        Scenario, SwitchSelector,
     };
     use sdn_topology::builders;
 
@@ -430,9 +431,9 @@ mod tests {
         assert_eq!(report.network, "Ring-5");
         assert_eq!(report.runs.len(), 2);
         assert!(report.all_converged());
-        let samples = report.bootstrap_samples();
-        assert_eq!(samples.len(), 2);
-        assert!(samples.min() > 0.0);
+        let digest = report.bootstrap_digest();
+        assert_eq!(digest.len(), 2);
+        assert!(digest.min() > 0.0);
         // Different seeds are recorded per run.
         assert_ne!(report.runs[0].seed, report.runs[1].seed);
     }
@@ -502,14 +503,18 @@ mod tests {
             )
             .run();
         let run = &report.runs[0];
-        let legitimacy = run.probe("legitimacy").expect("legitimacy series");
+        let legitimacy = run
+            .probe(&MetricKey::LEGITIMACY)
+            .expect("legitimacy series");
         assert!(legitimacy.values.len() > 2);
         // First sample is at t=0 with an un-bootstrapped (illegitimate) network.
         assert_eq!(legitimacy.times_s[0], 0.0);
         assert_eq!(legitimacy.values[0], 0.0);
         // It ends legitimate after recovery.
         assert_eq!(legitimacy.last(), Some(1.0));
-        let rules = run.probe("total_rules").expect("total_rules series");
+        let rules = run
+            .probe(&MetricKey::TOTAL_RULES)
+            .expect("total_rules series");
         assert!(rules.last().unwrap() > 0.0);
     }
 
@@ -595,6 +600,13 @@ mod tests {
         let sequential = determinism_scenario().threads(1).run();
         let parallel = determinism_scenario().threads(4).run();
         assert_eq!(sequential, parallel);
+        // The typed digests derived from the reports inherit that bit-identity:
+        // per-run values reduce in seed order regardless of worker count.
+        assert_eq!(sequential.bootstrap_digest(), parallel.bootstrap_digest());
+        assert_eq!(sequential.recovery_digest(), parallel.recovery_digest());
+        let key = MetricKey::custom(Namespace::Scenario, "live_switches");
+        assert_eq!(sequential.metric_digest(&key), parallel.metric_digest(&key));
+        assert!(!parallel.metric_digest(&key).is_empty());
         assert_eq!(parallel.runs.len(), 4);
         let seeds: Vec<u64> = parallel.runs.iter().map(|r| r.seed).collect();
         assert_eq!(seeds, vec![17, 18, 19, 20], "reports merged in seed order");
@@ -629,10 +641,15 @@ mod tests {
 
     #[test]
     fn summaries_are_evaluated_at_end_of_run() {
+        let key = MetricKey::custom(Namespace::Scenario, "live_switches");
         let report = small("summarized")
-            .summary("live_switches", |net| net.live_switch_ids().len() as f64)
+            .summary(key.clone(), |net| net.live_switch_ids().len() as f64)
             .run();
-        assert_eq!(report.runs[0].summary("live_switches"), Some(5.0));
-        assert_eq!(report.summary_samples("live_switches").mean(), 5.0);
+        assert_eq!(report.runs[0].metric(&key), Some(5.0));
+        assert_eq!(report.metric_digest(&key).mean(), 5.0);
+        // The aggregate view exposes bootstrap plus every summary key.
+        let digests = report.metric_digests();
+        assert_eq!(digests[0].0, MetricKey::BOOTSTRAP_TIME);
+        assert!(digests.iter().any(|(k, d)| k == &key && d.len() == 1));
     }
 }

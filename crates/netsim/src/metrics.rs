@@ -5,7 +5,7 @@ use crate::time::SimTime;
 use sdn_topology::NodeId;
 use std::collections::BTreeMap;
 
-/// Per-node send/receive counters.
+/// Per-node send/receive/failure counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NodeCounters {
     /// Messages handed to the network by this node.
@@ -16,6 +16,12 @@ pub struct NodeCounters {
     pub bytes_sent: u64,
     /// Bytes delivered to this node.
     pub bytes_received: u64,
+    /// Messages this node sent that the medium lost (omission failures).
+    pub dropped: u64,
+    /// Extra copies delivered to this node (duplication failures).
+    pub duplicated: u64,
+    /// Messages this node sent that had no operational link or live destination.
+    pub undeliverable: u64,
 }
 
 /// Global counters plus a per-node breakdown, maintained by the simulator.
@@ -34,9 +40,6 @@ pub struct NodeCounters {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetworkMetrics {
     per_node: BTreeMap<NodeId, NodeCounters>,
-    dropped: u64,
-    duplicated: u64,
-    undeliverable: u64,
 }
 
 impl NetworkMetrics {
@@ -54,20 +57,21 @@ impl NetworkMetrics {
         c.bytes_received += bytes as u64;
     }
 
-    /// Records a message lost by the medium (omission failure).
-    pub fn record_drop(&mut self) {
-        self.dropped += 1;
+    /// Records a message sent by `sender` and lost by the medium (omission failure).
+    pub fn record_drop(&mut self, sender: NodeId) {
+        self.per_node.entry(sender).or_default().dropped += 1;
     }
 
-    /// Records an extra copy delivered by the medium (duplication failure).
-    pub fn record_duplicate(&mut self) {
-        self.duplicated += 1;
+    /// Records an extra copy delivered to `receiver` by the medium (duplication
+    /// failure).
+    pub fn record_duplicate(&mut self, receiver: NodeId) {
+        self.per_node.entry(receiver).or_default().duplicated += 1;
     }
 
-    /// Records a message that could not be sent at all (no operational link to the
-    /// destination, or the destination has fail-stopped).
-    pub fn record_undeliverable(&mut self) {
-        self.undeliverable += 1;
+    /// Records a message sent by `sender` that could not be delivered at all (no
+    /// operational link to the destination, or the destination has fail-stopped).
+    pub fn record_undeliverable(&mut self, sender: NodeId) {
+        self.per_node.entry(sender).or_default().undeliverable += 1;
     }
 
     /// The counters for one node (zeroes if the node never sent or received anything).
@@ -95,19 +99,21 @@ impl NetworkMetrics {
         self.per_node.values().map(|c| c.bytes_sent).sum()
     }
 
-    /// Messages lost to omission failures.
+    /// Messages lost to omission failures, summed over all sending nodes.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.per_node.values().map(|c| c.dropped).sum()
     }
 
-    /// Extra copies delivered due to duplication failures.
+    /// Extra copies delivered due to duplication failures, summed over all receiving
+    /// nodes.
     pub fn duplicated(&self) -> u64 {
-        self.duplicated
+        self.per_node.values().map(|c| c.duplicated).sum()
     }
 
-    /// Messages that had no operational link or live destination.
+    /// Messages that had no operational link or live destination, summed over all
+    /// sending nodes.
     pub fn undeliverable(&self) -> u64 {
-        self.undeliverable
+        self.per_node.values().map(|c| c.undeliverable).sum()
     }
 
     /// The node that sent the most messages, with its count — the "maximum loaded
@@ -125,9 +131,6 @@ impl NetworkMetrics {
     /// Resets every counter to zero.
     pub fn reset(&mut self) {
         self.per_node.clear();
-        self.dropped = 0;
-        self.duplicated = 0;
-        self.undeliverable = 0;
     }
 
     /// Snapshot difference: counters in `self` minus counters in `earlier`
@@ -140,10 +143,10 @@ impl NetworkMetrics {
             after.received = after.received.saturating_sub(before.received);
             after.bytes_sent = after.bytes_sent.saturating_sub(before.bytes_sent);
             after.bytes_received = after.bytes_received.saturating_sub(before.bytes_received);
+            after.dropped = after.dropped.saturating_sub(before.dropped);
+            after.duplicated = after.duplicated.saturating_sub(before.duplicated);
+            after.undeliverable = after.undeliverable.saturating_sub(before.undeliverable);
         }
-        out.dropped = out.dropped.saturating_sub(earlier.dropped);
-        out.duplicated = out.duplicated.saturating_sub(earlier.duplicated);
-        out.undeliverable = out.undeliverable.saturating_sub(earlier.undeliverable);
         out
     }
 }
@@ -290,19 +293,24 @@ mod tests {
         m.record_send(n(0), 10);
         m.record_send(n(0), 20);
         m.record_delivery(n(1), 10);
-        m.record_drop();
-        m.record_duplicate();
-        m.record_undeliverable();
+        m.record_drop(n(0));
+        m.record_duplicate(n(1));
+        m.record_undeliverable(n(2));
         assert_eq!(m.total_sent(), 2);
         assert_eq!(m.total_received(), 1);
         assert_eq!(m.total_bytes_sent(), 30);
         assert_eq!(m.node(n(0)).sent, 2);
         assert_eq!(m.node(n(1)).received, 1);
         assert_eq!(m.node(n(9)), NodeCounters::default());
+        // Failures are attributed to the affected node; totals are derived sums.
+        assert_eq!(m.node(n(0)).dropped, 1);
+        assert_eq!(m.node(n(1)).duplicated, 1);
+        assert_eq!(m.node(n(2)).undeliverable, 1);
+        assert_eq!(m.node(n(1)).dropped, 0);
         assert_eq!(m.dropped(), 1);
         assert_eq!(m.duplicated(), 1);
         assert_eq!(m.undeliverable(), 1);
-        assert_eq!(m.iter().count(), 2);
+        assert_eq!(m.iter().count(), 3);
     }
 
     #[test]
@@ -323,13 +331,15 @@ mod tests {
     fn since_computes_phase_difference() {
         let mut m = NetworkMetrics::default();
         m.record_send(n(0), 10);
+        m.record_drop(n(0));
         let snapshot = m.clone();
         m.record_send(n(0), 10);
         m.record_send(n(2), 5);
-        m.record_drop();
+        m.record_drop(n(0));
         let phase = m.since(&snapshot);
         assert_eq!(phase.node(n(0)).sent, 1);
         assert_eq!(phase.node(n(2)).sent, 1);
+        assert_eq!(phase.node(n(0)).dropped, 1);
         assert_eq!(phase.dropped(), 1);
     }
 
@@ -337,7 +347,7 @@ mod tests {
     fn reset_clears_everything() {
         let mut m = NetworkMetrics::default();
         m.record_send(n(0), 10);
-        m.record_drop();
+        m.record_drop(n(0));
         m.reset();
         assert_eq!(m.total_sent(), 0);
         assert_eq!(m.dropped(), 0);

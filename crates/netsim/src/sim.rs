@@ -368,12 +368,13 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
                 // The destination must still be alive; links that failed while the
                 // packet was in flight do not retroactively destroy it.
                 if self.failed_nodes.contains(&to) || !self.nodes.contains_key(&to) {
-                    self.metrics.record_undeliverable();
+                    // The in-flight message is lost: charged to its sender.
+                    self.metrics.record_undeliverable(from);
                     return true;
                 }
                 self.metrics.record_delivery(to, bytes);
                 if duplicate {
-                    self.metrics.record_duplicate();
+                    self.metrics.record_duplicate(to);
                 }
                 self.run_callback(to, |node, ctx| node.on_message(from, msg, ctx));
             }
@@ -493,13 +494,13 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
             || self.failed_nodes.contains(&to)
             || !self.nodes.contains_key(&to)
         {
-            self.metrics.record_undeliverable();
+            self.metrics.record_undeliverable(from);
             return;
         }
         let config = self.link_config(from, to);
         match config.sample(&mut self.rng) {
             TransmissionOutcome::Lost => {
-                self.metrics.record_drop();
+                self.metrics.record_drop(from);
             }
             TransmissionOutcome::Delivered { copies, delay } => {
                 let total_delay = delay + config.serialization_delay(bytes);

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use renaissance::scenario::{Probe, Scenario};
+use renaissance::scenario::{MetricKey, Namespace, Probe, Scenario};
 use sdn_netsim::SimDuration;
 use sdn_topology::builders;
 
@@ -22,13 +22,15 @@ fn main() {
 
     // All switches start with empty configurations: no rules, no managers. Renaissance
     // discovers the network hop by hop and installs kappa-fault-resilient flows.
+    // End-of-run summaries are registered under typed metric keys.
+    let iterations = MetricKey::custom(Namespace::Scenario, "controller_iterations");
     let report = Scenario::builder("quickstart")
         .topology(topology)
         .task_delay(SimDuration::from_millis(500))
         .timeout(SimDuration::from_secs(600))
         .probe(Probe::legitimacy())
         .probe(Probe::total_rules())
-        .summary("controller_iterations", |net| {
+        .summary(iterations.clone(), |net| {
             let c0 = net.controller_ids()[0];
             net.controller(c0)
                 .map(|c| c.stats().iterations)
@@ -42,14 +44,14 @@ fn main() {
         .expect("Renaissance bootstraps every connected topology");
     println!("bootstrapped to a legitimate state in {bootstrap:.2}s (simulated)");
 
-    let rules = run.probe("total_rules").expect("probe series");
+    let rules = run.probe(&MetricKey::TOTAL_RULES).expect("probe series");
     println!("rule installation over time:");
     for (t, v) in rules.times_s.iter().zip(&rules.values) {
         println!("  t={t:>5.1}s  {v:>6.0} rules installed");
     }
     println!(
         "controller 0: {} do-forever iterations",
-        run.summary("controller_iterations").unwrap_or(0.0)
+        run.metric(&iterations).unwrap_or(0.0)
     );
     println!(
         "network totals: {} control messages, {} rules installed ({} max per switch)",

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example self_stabilization`
 
-use renaissance::scenario::{FaultEvent, Probe, Scenario};
+use renaissance::scenario::{FaultEvent, MetricKey, Probe, Scenario};
 use renaissance::CorruptionPlan;
 use sdn_netsim::SimDuration;
 
@@ -42,8 +42,8 @@ fn main() {
     println!("self-stabilized in {recovery:.2}s (simulated)");
 
     println!("legitimacy / total rules over time:");
-    let legitimacy = run.probe("legitimacy").expect("legitimacy probe");
-    let rules = run.probe("total_rules").expect("rules probe");
+    let legitimacy = run.probe(&MetricKey::LEGITIMACY).expect("legitimacy probe");
+    let rules = run.probe(&MetricKey::TOTAL_RULES).expect("rules probe");
     for ((t, legit), rules) in legitimacy
         .times_s
         .iter()

@@ -9,6 +9,7 @@
 
 pub use renaissance;
 pub use sdn_channel;
+pub use sdn_metrics;
 pub use sdn_netsim;
 pub use sdn_switch;
 pub use sdn_tags;

@@ -8,7 +8,8 @@
 //!   declarative lines.
 
 use renaissance::scenario::{
-    ControlPlane, ControllerSelector, Endpoints, FaultEvent, LinkSelector, Probe, Scenario,
+    ControlPlane, ControllerSelector, Endpoints, FaultEvent, LinkSelector, MetricKey, Probe,
+    Scenario,
 };
 use renaissance::{ControllerConfig, HarnessConfig, SdnNetwork};
 use sdn_netsim::SimDuration;
@@ -116,7 +117,7 @@ fn composite_scenario_is_a_few_declarative_lines() {
         assert!(throughput.iter().all(|&t| t >= 0.0));
         // The legitimacy probe observed a legitimate state again after the fault
         // batch (the instantaneous predicate may dip mid-round afterwards).
-        let legitimacy = run.probe("legitimacy").unwrap();
+        let legitimacy = run.probe(&MetricKey::LEGITIMACY).unwrap();
         assert!(legitimacy
             .times_s
             .iter()
@@ -124,7 +125,7 @@ fn composite_scenario_is_a_few_declarative_lines() {
             .any(|(&t, &v)| t > 5.0 && v == 1.0));
     }
     // Different seeds may pick different victims, but both runs recorded them.
-    assert!(report.recovery_samples().len() == 2);
+    assert!(report.recovery_digest().len() == 2);
 }
 
 /// The paper's temporary link-failure experiment, plus revival of the crashed
