@@ -1,0 +1,165 @@
+//! Wall-clock benchmarks of the simulation hot path this repository's perf work
+//! targets: legitimacy checking, operational-graph maintenance, and flat-indexed
+//! (CSR) BFS against the legacy `BTreeMap` adjacency BFS.
+//!
+//! The workspace builds offline, so this is a plain `harness = false` timing binary
+//! instead of a criterion benchmark: each case runs `RENAISSANCE_BENCH_ITERS`
+//! iterations (default 3) and reports mean wall-clock time per iteration. Results —
+//! including an end-to-end events-processed-per-second figure — also stream through
+//! the typed `sdn-metrics` pipeline and are printed as digests at the end.
+//!
+//! Run with: `cargo bench -p renaissance-bench --bench hotpath`
+
+use renaissance::{ControllerConfig, HarnessConfig, SdnNetwork};
+use sdn_metrics::{MemorySink, MetricKey, Recorder};
+use sdn_netsim::SimDuration;
+use sdn_topology::{builders, BfsScratch, Graph, NodeId};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+#[path = "common/timing.rs"]
+mod timing;
+
+/// The three tentpole topologies of the hot-path issue: a ring at paper scale, the
+/// PR 2 datacenter fat-tree, and a large random-regular jellyfish.
+const NETWORKS: [&str; 3] = ["ring(64)", "fat_tree(8)", "jellyfish(256, 4, 7)"];
+
+fn named(name: &str) -> sdn_topology::NamedTopology {
+    if let Some(rest) = name.strip_prefix("ring(") {
+        let n: usize = rest
+            .trim_end_matches(')')
+            .trim()
+            .parse()
+            .expect("ring size");
+        builders::ring(n, 3)
+    } else {
+        builders::by_name(name, 3)
+    }
+}
+
+/// The pre-FlatGraph BFS: `BTreeMap` distance/parent maps over the `BTreeMap`
+/// adjacency — kept here as the comparison baseline for the CSR traversal.
+fn btreemap_bfs(graph: &Graph, source: NodeId) -> usize {
+    let mut distance: BTreeMap<NodeId, u32> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    distance.insert(source, 0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = distance[&u];
+        for v in graph.neighbors(u) {
+            if let std::collections::btree_map::Entry::Vacant(e) = distance.entry(v) {
+                e.insert(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    distance.len()
+}
+
+/// Builds a converged deployment, or a partially-run one when bootstrap would take
+/// too long for a micro-benchmark — `legitimacy::check` costs the same either way.
+fn deployment(name: &str, bootstrap: bool) -> SdnNetwork {
+    let topology = named(name);
+    let controllers = topology.controller_count();
+    let switches = topology.switch_count();
+    let mut sdn = SdnNetwork::new(
+        topology,
+        ControllerConfig::for_network(controllers, switches),
+        HarnessConfig::default().with_task_delay(SimDuration::from_millis(200)),
+    );
+    if bootstrap {
+        sdn.run_until_legitimate(SimDuration::from_millis(250), SimDuration::from_secs(1_200))
+            .expect("bootstrap");
+    } else {
+        sdn.run_for(SimDuration::from_secs(5));
+    }
+    sdn
+}
+
+fn main() {
+    println!("hot-path wall-clock benchmarks");
+    let mut sink = MemorySink::default();
+
+    // --- FlatGraph BFS vs the legacy BTreeMap BFS --------------------------------
+    for name in NETWORKS {
+        let net = named(name);
+        let graph = &net.graph;
+        let source = net.switches[0];
+        let flat = graph.snapshot();
+        let source_idx = flat.index_of(source).expect("source in snapshot");
+        let mut scratch = BfsScratch::new();
+        // Sanity: both traversals reach the same node set.
+        assert_eq!(
+            flat.bfs(source_idx, &mut scratch),
+            btreemap_bfs(graph, source)
+        );
+        timing::bench(&format!("bfs/btreemap/{name}"), || {
+            btreemap_bfs(graph, source)
+        });
+        timing::bench(&format!("bfs/flatgraph/{name}"), || {
+            flat.bfs(source_idx, &mut scratch)
+        });
+        timing::bench(&format!("bfs/flatgraph+snapshot/{name}"), || {
+            let flat = graph.snapshot();
+            let mut scratch = BfsScratch::new();
+            flat.bfs(source_idx, &mut scratch)
+        });
+    }
+
+    // --- Operational graph: incremental maintenance vs from-scratch rebuild -----
+    for name in NETWORKS {
+        let mut sdn = deployment(name, false);
+        let links: Vec<_> = sdn.topology().graph.links().take(8).collect();
+        timing::bench(&format!("go/rebuild/{name}"), || {
+            sdn.sim().rebuild_operational_graph()
+        });
+        timing::bench(&format!("go/incremental_fault_cycle/{name}"), || {
+            // 8 fail/restore transitions, each maintained incrementally, plus the
+            // O(1) read — the sequence `operational_graph()` used to rebuild for.
+            for link in &links {
+                sdn.fail_link(link.a, link.b);
+            }
+            for link in &links {
+                sdn.restore_link(link.a, link.b);
+            }
+            sdn.sim().operational_graph().link_count()
+        });
+    }
+
+    // --- Legitimacy check (the `run_until_legitimate` poll body) -----------------
+    for name in NETWORKS {
+        // Bootstrapping jellyfish(256) to full legitimacy is minutes of sim time;
+        // the check itself costs the same on a partially-converged network.
+        let bootstrap = name != "jellyfish(256, 4, 7)";
+        let sdn = deployment(name, bootstrap);
+        timing::bench(
+            &format!(
+                "legitimacy/check/{name}{}",
+                if bootstrap { "" } else { " (unconverged)" }
+            ),
+            || sdn.legitimacy_report_fresh(),
+        );
+        timing::bench(&format!("legitimacy/cached_poll/{name}"), || {
+            sdn.legitimacy_report()
+        });
+    }
+
+    // --- End-to-end throughput through the metrics pipeline ----------------------
+    for name in ["ring(64)", "fat_tree(8)"] {
+        let started = Instant::now();
+        let sdn = deployment(name, true);
+        let wall_s = started.elapsed().as_secs_f64();
+        let events = sdn.sim().events_processed();
+        sink.record(name, &MetricKey::EVENTS_PER_SEC, events as f64 / wall_s);
+        sink.record(name, &MetricKey::WALL_CLOCK, wall_s * 1e3);
+    }
+    println!("\nbootstrap throughput (typed pipeline digests):");
+    for (scope, key, digest) in sink.iter() {
+        println!(
+            "{scope:<24} {:<22} mean {:>12.1} {}",
+            key.path(),
+            digest.mean(),
+            key.unit().symbol()
+        );
+    }
+}

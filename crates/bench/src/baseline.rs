@@ -14,6 +14,13 @@ use crate::report::Json;
 /// compared.
 pub const GATED_METRICS: &[&str] = &["bootstrap_s", "recovery_s", "messages_sent"];
 
+/// Per-cell metrics compared in the delta report but never gated: host-dependent
+/// wall-clock quantities whose drift is interesting context (is the simulator getting
+/// faster?) but would make the gate flake on runner noise. Schema-tolerant — cells
+/// missing one of these are simply not compared on it, so old baselines without
+/// `events_per_sec` still gate cleanly.
+pub const CONTEXT_METRICS: &[&str] = &["wall_clock_ms", "events_per_sec"];
+
 /// The change of one gated metric in one campaign cell.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GateEntry {
@@ -47,6 +54,10 @@ pub struct GateReport {
     pub gate_pct: f64,
     /// One entry per `(cell, gated metric)` present in both artifacts.
     pub entries: Vec<GateEntry>,
+    /// One entry per `(cell, context metric)` present in both artifacts — reported
+    /// for throughput trend visibility, never counted as a regression. For these,
+    /// `change_pct` is the raw relative change (sign uninterpreted).
+    pub context: Vec<GateEntry>,
     /// Cells present in only one of the two artifacts (`"spec/scenario"`), compared
     /// with nothing and reported so a silently shrinking sweep is visible.
     pub unmatched: Vec<String>,
@@ -78,6 +89,19 @@ impl GateReport {
                         ("current_mean", Json::num(e.current)),
                         ("change_pct", Json::num(e.change_pct)),
                         ("regressed", Json::Bool(e.regressed(self.gate_pct))),
+                    ])
+                })),
+            ),
+            (
+                "context",
+                Json::arr(self.context.iter().map(|e| {
+                    Json::obj([
+                        ("spec", Json::str(e.spec.clone())),
+                        ("scenario", Json::str(e.scenario.clone())),
+                        ("metric", Json::str(e.metric)),
+                        ("baseline", Json::num(e.baseline)),
+                        ("current", Json::num(e.current)),
+                        ("change_pct", Json::num(e.change_pct)),
                     ])
                 })),
             ),
@@ -138,9 +162,17 @@ pub fn gate_campaign(current: &Json, baseline: &Json, gate_pct: f64) -> Result<G
         })?);
     }
 
+    // A context metric can be a plain number on the cell or a samples object; either
+    // shape (or its absence) is tolerated.
+    let context_value = |cell: &Json, metric: &str| -> Option<f64> {
+        let v = cell.get(metric)?;
+        v.as_f64().or_else(|| v.get("mean")?.as_f64())
+    };
+
     let mut report = GateReport {
         gate_pct,
         entries: Vec::new(),
+        context: Vec::new(),
         unmatched: Vec::new(),
     };
     let mut matched_baselines = vec![false; baseline_by_cell.len()];
@@ -165,6 +197,27 @@ pub fn gate_campaign(current: &Json, baseline: &Json, gate_pct: f64) -> Result<G
                 f64::INFINITY
             };
             report.entries.push(GateEntry {
+                spec: spec.to_string(),
+                scenario: scenario.to_string(),
+                metric,
+                baseline: base,
+                current,
+                change_pct,
+            });
+        }
+        for &metric in CONTEXT_METRICS {
+            let (Some(current), Some(base)) = (
+                context_value(result, metric),
+                context_value(&baseline_cells[index], metric),
+            ) else {
+                continue;
+            };
+            let change_pct = if base != 0.0 {
+                (current - base) / base * 100.0
+            } else {
+                0.0
+            };
+            report.context.push(GateEntry {
                 spec: spec.to_string(),
                 scenario: scenario.to_string(),
                 metric,
@@ -250,6 +303,44 @@ mod tests {
             .unwrap()
             .regressions()
             .is_empty());
+    }
+
+    #[test]
+    fn context_metrics_are_reported_not_gated() {
+        let with_context = |eps: f64| {
+            Json::obj([
+                ("benchmark", Json::str("scale_campaign")),
+                (
+                    "results",
+                    Json::arr([Json::obj([
+                        ("spec", Json::str("a")),
+                        ("scenario", Json::str("bootstrap")),
+                        ("bootstrap_s", Json::obj([("mean", Json::num(1.0))])),
+                        ("recovery_s", Json::obj([("mean", Json::num(0.0))])),
+                        ("messages_sent", Json::obj([("mean", Json::num(1.0))])),
+                        ("wall_clock_ms", Json::num(100.0)),
+                        ("events_per_sec", Json::num(eps)),
+                    ])]),
+                ),
+            ])
+        };
+        // Throughput halved: reported in `context`, but no regression is flagged.
+        let report = gate_campaign(&with_context(500.0), &with_context(1000.0), 25.0).unwrap();
+        assert!(report.regressions().is_empty());
+        let eps = report
+            .context
+            .iter()
+            .find(|e| e.metric == "events_per_sec")
+            .expect("events_per_sec context entry");
+        assert!((eps.change_pct + 50.0).abs() < 1e-9);
+        assert!(report.context.iter().any(|e| e.metric == "wall_clock_ms"));
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"context\":["));
+        // A baseline without the context keys (pre-throughput schema) still gates.
+        let old = artifact(&[("a", "bootstrap", 1.0, 0.0, 1.0)]);
+        let report = gate_campaign(&with_context(500.0), &old, 25.0).unwrap();
+        assert!(report.context.is_empty());
+        assert_eq!(report.entries.len(), 3);
     }
 
     #[test]

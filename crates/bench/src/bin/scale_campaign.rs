@@ -128,6 +128,12 @@ fn main() {
             let report = run_scenario(&scale, network, scenario, seed);
             let wall_ms = started.elapsed().as_secs_f64() * 1e3;
             pipeline.record(&scope, &MetricKey::WALL_CLOCK, wall_ms);
+            // The hot-path throughput observable: simulator events processed per
+            // wall-clock second across the cell's runs. Host-dependent, so it is
+            // reported (and delta-tracked) but never gated.
+            let events: u64 = report.runs.iter().map(|r| r.events_processed).sum();
+            let events_per_sec = events as f64 / (wall_ms / 1e3).max(1e-9);
+            pipeline.record(&scope, &MetricKey::EVENTS_PER_SEC, events_per_sec);
             for run in &report.runs {
                 if let Some(s) = run.bootstrap_s {
                     pipeline.record(&scope, &MetricKey::BOOTSTRAP_TIME, s);
@@ -170,6 +176,7 @@ fn main() {
                 ("seed", Json::str(seed.to_string())),
                 ("converged", Json::Bool(converged)),
                 ("wall_clock_ms", Json::num(wall_ms)),
+                ("events_per_sec", Json::num(events_per_sec)),
                 ("bootstrap_s", Json::samples(&bootstrap)),
                 ("recovery_s", Json::samples(&recovery)),
                 ("sim_end_s", Json::samples(&digest(&MetricKey::SIM_END))),
@@ -277,6 +284,18 @@ fn gate_against(current: &Json, baseline_path: &str, gate_pct: f64, out: &str) -
     );
     for cell in &report.unmatched {
         println!("  (unmatched: {cell})");
+    }
+    // Context metrics: throughput trend, reported but never gated.
+    for entry in &report.context {
+        println!(
+            "  context {}/{} {}: {:.0} -> {:.0} ({:+.1}%)",
+            entry.spec,
+            entry.scenario,
+            entry.metric,
+            entry.baseline,
+            entry.current,
+            entry.change_pct
+        );
     }
     if regressions.is_empty() {
         println!(

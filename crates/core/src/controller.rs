@@ -13,6 +13,7 @@ use sdn_switch::{CommandBatch, QueryReply, Rule, SwitchCommand};
 use sdn_tags::{RoundTracker, Tag, TagGenerator};
 use sdn_topology::{FlowPlan, FlowPlanner, Graph, NodeId};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Counters describing a controller's activity; several experiments (Figure 9, the
 /// Theorem 1 illegitimate-deletion bound) are read straight off these numbers.
@@ -47,9 +48,13 @@ pub struct Controller {
     rounds: RoundTracker,
     tag_gen: TagGenerator,
     /// The routing plan derived from the latest fusion view; used to pick first hops for
-    /// the controller's own outgoing packets.
-    plan: FlowPlan,
+    /// the controller's own outgoing packets. Shared (`Arc`) because the plan of each
+    /// round is identical to the rule plan — one computation, no clone.
+    plan: Arc<FlowPlan>,
     stats: ControllerStats,
+    /// Bumped whenever state a legitimacy check reads (`replyDB`, round tags, the
+    /// routing plan) may have changed; the harness dirty-tracks on it.
+    state_version: u64,
 }
 
 impl Controller {
@@ -68,8 +73,9 @@ impl Controller {
             reply_db: ReplyDb::new(config.max_replies),
             rounds,
             tag_gen,
-            plan: FlowPlan::default(),
+            plan: Arc::new(FlowPlan::default()),
             stats: ControllerStats::default(),
+            state_version: 0,
         }
     }
 
@@ -86,6 +92,14 @@ impl Controller {
     /// Activity counters.
     pub fn stats(&self) -> ControllerStats {
         self.stats
+    }
+
+    /// A counter that bumps whenever the state the legitimacy predicate reads —
+    /// `replyDB`, the round tags, the routing plan — may have changed. Two equal
+    /// versions on the same controller guarantee an unchanged view, which is what
+    /// lets the harness dirty-track its legitimacy checks.
+    pub fn state_version(&self) -> u64 {
+        self.state_version
     }
 
     /// The current synchronization-round tag (`currTag`).
@@ -131,6 +145,7 @@ impl Controller {
     /// for wrapping them into in-band packets and routing them hop by hop.
     pub fn iterate(&mut self, neighbors: &[NodeId]) -> Vec<(NodeId, CommandBatch)> {
         self.stats.iterations += 1;
+        self.state_version += 1;
 
         // Line 8: keep only live, reachable replies; re-learn every tag seen so far so
         // that nextTag() stays ahead of anything in the system.
@@ -153,13 +168,15 @@ impl Controller {
         let curr = self.rounds.curr();
         let prev = self.rounds.prev();
 
-        // Line 13: pick the reference view for rule generation.
+        // Line 13: pick the reference view for rule generation — a borrow of whichever
+        // derived graph matches, never a clone.
         let fusion_graph = self.reply_db.fusion_graph(curr, prev, self.id, neighbors);
         let prev_graph = self.reply_db.res_graph(prev, self.id, neighbors);
-        let (refer_tag, refer_graph) = if fusion_graph == prev_graph {
-            (prev, prev_graph.clone())
+        let use_prev = fusion_graph == prev_graph;
+        let (refer_tag, refer_graph) = if use_prev {
+            (prev, &prev_graph)
         } else {
-            (curr, fusion_graph.clone())
+            (curr, &fusion_graph)
         };
 
         // Controllers never relay packets, so flows must not be planned through them.
@@ -171,16 +188,11 @@ impl Controller {
         if let Some(limit) = self.config.max_priorities {
             planner = planner.with_max_candidates(limit);
         }
-        let rule_plan = planner.plan_restricted(&refer_graph, &non_transit);
-        self.plan = if refer_graph == fusion_graph {
-            rule_plan.clone()
-        } else {
-            let fusion_non_transit: BTreeSet<NodeId> = fusion_graph
-                .nodes()
-                .filter(|n| n.is_controller(self.config.n_controllers))
-                .collect();
-            planner.plan_restricted(&fusion_graph, &fusion_non_transit)
-        };
+        // The reference graph always equals the fusion view (`use_prev` means the two
+        // coincide), so the rule plan doubles as the controller's own routing plan:
+        // one computation, shared through the `Arc`.
+        let rule_plan = Arc::new(planner.plan_restricted(refer_graph, &non_transit));
+        self.plan = Arc::clone(&rule_plan);
 
         // Reachability in the *previous* round's view decides which controllers are
         // considered alive when a new round cleans up stale state (line 15).
@@ -203,12 +215,16 @@ impl Controller {
             let mut commands = vec![SwitchCommand::NewRound { tag: curr }];
             if dst.is_switch(self.config.n_controllers) {
                 if let Some(reply) = self.reply_db.get(dst, refer_tag) {
-                    let reply = reply.clone();
-                    commands.extend(self.switch_update_commands(
-                        &reply,
+                    let (update, manager_deletions, rule_deletions) = switch_update_commands(
+                        self.config,
+                        self.id,
+                        reply,
                         new_round,
                         &prev_reachable,
-                    ));
+                    );
+                    commands.extend(update);
+                    self.stats.manager_deletions_requested += manager_deletions;
+                    self.stats.rule_deletions_requested += rule_deletions;
                 } else {
                     // Query-and-modify-by-neighbor (paper, Section 2.1.1): a switch we
                     // discovered through a neighbor's reply but have not heard from yet
@@ -219,7 +235,7 @@ impl Controller {
                     });
                 }
                 commands.push(SwitchCommand::UpdateRules {
-                    rules: self.my_rules(&rule_plan, &refer_graph, dst, curr),
+                    rules: self.my_rules(&rule_plan, refer_graph, dst, curr),
                     keep_tags: keep_tags.clone(),
                 });
                 self.stats.rule_updates_sent += 1;
@@ -229,55 +245,6 @@ impl Controller {
             messages.push((dst, CommandBatch::new(self.id, commands)));
         }
         messages
-    }
-
-    /// Builds the manager / stale-rule cleanup commands for one switch.
-    ///
-    /// The cleanup criterion follows the paper's Algorithm 1 (line 10): at the start of
-    /// a new synchronization round, remove any manager or rule belonging to a controller
-    /// that was *not discovered to be reachable* during the previous round. (Algorithm 2
-    /// line 15 additionally keys the decision on whether the manager currently has rules
-    /// in the queried snapshot; because every query is answered after the same batch's
-    /// deletions are applied, that extra condition lets two live controllers alternately
-    /// delete each other's state forever under an unlucky deterministic schedule, so we
-    /// implement the reachability-only criterion that Algorithm 1 describes. See
-    /// DESIGN.md, "Deviations".)
-    ///
-    /// The non-memory-adaptive variant (Section 8.1) issues no deletions at all and
-    /// leaves cleanup to the switches' own eviction.
-    fn switch_update_commands(
-        &mut self,
-        reply: &QueryReply,
-        new_round: bool,
-        prev_reachable: &BTreeSet<NodeId>,
-    ) -> Vec<SwitchCommand> {
-        let mut commands = Vec::new();
-        if self.config.variant == Variant::MemoryAdaptive && new_round {
-            let is_stale = |k: &NodeId| {
-                *k != self.id
-                    && (!k.is_controller(self.config.n_controllers) || !prev_reachable.contains(k))
-            };
-            for &manager in &reply.managers {
-                if is_stale(&manager) {
-                    commands.push(SwitchCommand::DelManager {
-                        controller: manager,
-                    });
-                    self.stats.manager_deletions_requested += 1;
-                }
-            }
-            let controllers_with_rules: BTreeSet<NodeId> =
-                reply.rules.iter().map(|r| r.cid).collect();
-            for &cid in &controllers_with_rules {
-                if is_stale(&cid) {
-                    commands.push(SwitchCommand::DelAllRules { controller: cid });
-                    self.stats.rule_deletions_requested += 1;
-                }
-            }
-        }
-        commands.push(SwitchCommand::AddManager {
-            controller: self.id,
-        });
-        commands
     }
 
     /// `myRules(G, j, tag)`: the rules this controller installs at switch `j` given its
@@ -315,6 +282,7 @@ impl Controller {
         match self.reply_db.insert(reply, self.rounds.curr()) {
             InsertOutcome::Stored | InsertOutcome::StoredAfterReset => {
                 self.stats.replies_accepted += 1;
+                self.state_version += 1;
             }
             InsertOutcome::IgnoredStaleTag => {
                 self.stats.replies_ignored += 1;
@@ -336,15 +304,68 @@ impl Controller {
 
     /// Corrupts the round tags — models a transient fault hitting the controller.
     pub fn corrupt_tags(&mut self, curr: Tag, prev: Tag) {
+        self.state_version += 1;
         self.rounds.corrupt(curr, prev);
     }
 
     /// Injects an arbitrary (possibly bogus) reply into `replyDB`, bypassing the tag
     /// check — models a transient fault corrupting the controller's memory.
     pub fn corrupt_inject_reply(&mut self, reply: QueryReply) {
+        self.state_version += 1;
         let tag = reply.echo_tag;
         let _ = self.reply_db.insert(reply, tag);
     }
+}
+
+/// Builds the manager / stale-rule cleanup commands for one switch, returning the
+/// commands plus the `(delMngr, delAllRules)` counts for the stats.
+///
+/// The cleanup criterion follows the paper's Algorithm 1 (line 10): at the start of
+/// a new synchronization round, remove any manager or rule belonging to a controller
+/// that was *not discovered to be reachable* during the previous round. (Algorithm 2
+/// line 15 additionally keys the decision on whether the manager currently has rules
+/// in the queried snapshot; because every query is answered after the same batch's
+/// deletions are applied, that extra condition lets two live controllers alternately
+/// delete each other's state forever under an unlucky deterministic schedule, so we
+/// implement the reachability-only criterion that Algorithm 1 describes. See
+/// DESIGN.md, "Deviations".)
+///
+/// The non-memory-adaptive variant (Section 8.1) issues no deletions at all and
+/// leaves cleanup to the switches' own eviction.
+fn switch_update_commands(
+    config: ControllerConfig,
+    self_id: NodeId,
+    reply: &QueryReply,
+    new_round: bool,
+    prev_reachable: &BTreeSet<NodeId>,
+) -> (Vec<SwitchCommand>, u64, u64) {
+    let mut commands = Vec::new();
+    let mut manager_deletions = 0u64;
+    let mut rule_deletions = 0u64;
+    if config.variant == Variant::MemoryAdaptive && new_round {
+        let is_stale = |k: &NodeId| {
+            *k != self_id && (!k.is_controller(config.n_controllers) || !prev_reachable.contains(k))
+        };
+        for &manager in &reply.managers {
+            if is_stale(&manager) {
+                commands.push(SwitchCommand::DelManager {
+                    controller: manager,
+                });
+                manager_deletions += 1;
+            }
+        }
+        let controllers_with_rules: BTreeSet<NodeId> = reply.rules.iter().map(|r| r.cid).collect();
+        for &cid in &controllers_with_rules {
+            if is_stale(&cid) {
+                commands.push(SwitchCommand::DelAllRules { controller: cid });
+                rule_deletions += 1;
+            }
+        }
+    }
+    commands.push(SwitchCommand::AddManager {
+        controller: self_id,
+    });
+    (commands, manager_deletions, rule_deletions)
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use crate::packet::ControlPacket;
 use sdn_netsim::{NetworkMetrics, SimConfig, SimDuration, SimTime, Simulator};
 use sdn_switch::{AbstractSwitch, SwitchConfig};
 use sdn_topology::{NamedTopology, NodeId};
+use std::cell::RefCell;
 
 /// A fully wired simulated SDN deployment.
 ///
@@ -35,6 +36,20 @@ pub struct SdnNetwork {
     controller_config: ControllerConfig,
     harness_config: HarnessConfig,
     sim: Simulator<ControlPacket, SdnNode>,
+    /// Memoized legitimacy verdict, keyed on the simulator's topology generation and
+    /// the fold of every node's state version: when no relevant event fired since the
+    /// last check, [`SdnNetwork::legitimacy_report`] is O(nodes) instead of O(BFS).
+    /// Caching never changes observable results — the key covers every input the
+    /// predicate reads, and a property test cross-checks cached against recomputed
+    /// reports under randomized fault schedules.
+    legitimacy_cache: RefCell<Option<LegitimacyCache>>,
+}
+
+/// One memoized legitimacy evaluation (see [`SdnNetwork::legitimacy_report`]).
+struct LegitimacyCache {
+    generation: u64,
+    state_stamp: u64,
+    report: LegitimacyReport,
 }
 
 impl SdnNetwork {
@@ -71,6 +86,7 @@ impl SdnNetwork {
             controller_config,
             harness_config,
             sim,
+            legitimacy_cache: RefCell::new(None),
         }
     }
 
@@ -152,8 +168,54 @@ impl SdnNetwork {
     }
 
     /// Detailed legitimacy report, listing every violated condition.
+    ///
+    /// Dirty-tracked: the report is recomputed only when the operational topology,
+    /// the observed neighborhoods, or any controller/switch state changed since the
+    /// last evaluation; otherwise the memoized report is returned. The cache key
+    /// covers every input [`legitimacy::check`] reads, so the cached and recomputed
+    /// reports are always identical — [`SdnNetwork::legitimacy_report_fresh`] is the
+    /// explicit escape hatch that bypasses the cache.
     pub fn legitimacy_report(&self) -> LegitimacyReport {
-        legitimacy::check(self)
+        let generation = self.sim.topology_generation();
+        let state_stamp = self.state_stamp();
+        if let Some(cache) = self.legitimacy_cache.borrow().as_ref() {
+            if cache.generation == generation && cache.state_stamp == state_stamp {
+                return cache.report.clone();
+            }
+        }
+        let report = legitimacy::check(self);
+        *self.legitimacy_cache.borrow_mut() = Some(LegitimacyCache {
+            generation,
+            state_stamp,
+            report: report.clone(),
+        });
+        report
+    }
+
+    /// Recomputes the legitimacy report from scratch, ignoring (and refreshing) the
+    /// memoized result — the escape hatch for callers that want to pay for certainty,
+    /// and the oracle the cache property test compares against.
+    pub fn legitimacy_report_fresh(&self) -> LegitimacyReport {
+        let report = legitimacy::check(self);
+        *self.legitimacy_cache.borrow_mut() = Some(LegitimacyCache {
+            generation: self.sim.topology_generation(),
+            state_stamp: self.state_stamp(),
+            report: report.clone(),
+        });
+        report
+    }
+
+    /// Folds every node's state version into one stamp. Any single state mutation
+    /// changes the fold (each node contributes its identifier and version through a
+    /// position-sensitive mix), which is what makes `(generation, stamp)` a sound
+    /// cache key for the legitimacy predicate.
+    fn state_stamp(&self) -> u64 {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for (id, node) in self.sim.nodes() {
+            acc ^= (u64::from(id.index()) << 32) ^ node.state_version();
+            acc = acc.rotate_left(13).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        acc
     }
 
     // ------------------------------------------------------------------
@@ -410,6 +472,61 @@ mod tests {
         sdn.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
             .expect("recovery after switch revival");
         assert!(!sdn.switch(victim).unwrap().managers().is_empty());
+    }
+
+    /// The dirty-tracking contract: across arbitrary interleavings of faults,
+    /// revivals, corruption, and simulation time, the memoized legitimacy report
+    /// must be indistinguishable from a from-scratch recompute.
+    #[test]
+    fn cached_legitimacy_equals_fresh_recompute_under_random_faults() {
+        use sdn_rng::Rng;
+        for seed in 0..5u64 {
+            let topology = builders::ring(8, 2);
+            let mut sdn = SdnNetwork::new(
+                topology,
+                ControllerConfig::for_network(2, 8),
+                HarnessConfig::default()
+                    .with_task_delay(SimDuration::from_millis(100))
+                    .with_seed(seed),
+            );
+            let mut rng = Rng::seed_from_u64(seed ^ 0xF00D);
+            for step in 0..40 {
+                let switches = sdn.switch_ids();
+                let controllers = sdn.controller_ids();
+                let s = switches[rng.gen_range(0..switches.len() as u64) as usize];
+                let c = controllers[rng.gen_range(0..controllers.len() as u64) as usize];
+                match rng.gen_range(0..8u32) {
+                    0 => sdn.run_for(SimDuration::from_millis(rng.gen_range(10..300u64))),
+                    1 => sdn.fail_switch(s),
+                    2 => sdn.revive_switch(s),
+                    3 => sdn.fail_controller(c),
+                    4 => sdn.revive_controller(c),
+                    5 => {
+                        let i = rng.gen_range(0..switches.len() as u64) as usize;
+                        let j = (i + 1) % switches.len();
+                        sdn.fail_link(switches[i], switches[j]);
+                    }
+                    6 => {
+                        let i = rng.gen_range(0..switches.len() as u64) as usize;
+                        let j = (i + 1) % switches.len();
+                        sdn.restore_link(switches[i], switches[j]);
+                    }
+                    _ => {
+                        if let Some(sw) = sdn.switch_mut(s) {
+                            sw.corrupt_clear();
+                        }
+                    }
+                }
+                // First query may serve a memoized report, second recomputes: any
+                // stale cache key would make them diverge.
+                let cached = sdn.legitimacy_report();
+                let fresh = sdn.legitimacy_report_fresh();
+                assert_eq!(cached, fresh, "cache divergence at seed {seed} step {step}");
+                // A repeat query with no intervening event serves the cache; it must
+                // still match.
+                assert_eq!(sdn.legitimacy_report(), fresh);
+            }
+        }
     }
 
     #[test]

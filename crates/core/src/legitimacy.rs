@@ -14,7 +14,8 @@
 
 use crate::harness::SdnNetwork;
 use sdn_switch::forwarding;
-use sdn_topology::{Graph, NodeId};
+use sdn_topology::flat::NO_INDEX;
+use sdn_topology::{BfsScratch, FlatGraph, Graph, NodeId};
 use std::collections::BTreeSet;
 
 /// The outcome of a legitimacy check: an empty issue list means the state is legitimate.
@@ -40,6 +41,11 @@ impl LegitimacyReport {
 }
 
 /// Evaluates the legitimacy predicate over the current state of `net`.
+///
+/// The operational graph is snapshot once into a [`FlatGraph`] and every
+/// reachability question — the per-controller switch-transit sets, the induced
+/// subgraphs, and the in-band routing walks — runs over that snapshot with a
+/// shared, reusable [`BfsScratch`] workspace.
 pub fn check(net: &SdnNetwork) -> LegitimacyReport {
     let mut report = LegitimacyReport::default();
     let operational = net.sim().operational_graph();
@@ -55,16 +61,36 @@ pub fn check(net: &SdnNetwork) -> LegitimacyReport {
     // packets, so a node that can only be reached by relaying through another controller
     // is outside the task definition (it cannot be discovered or managed in-band).
     let controller_set: BTreeSet<NodeId> = net.controller_ids().into_iter().collect();
+    let flat = operational.snapshot();
+    let mut scratch = BfsScratch::new();
+    let is_controller: Vec<bool> = flat
+        .node_ids()
+        .iter()
+        .map(|n| controller_set.contains(n))
+        .collect();
+
+    // One switch-transit BFS per live controller, shared by conditions 1–3
+    // (the old code re-ran it per (switch, controller) pair).
+    let transit: Vec<(NodeId, TransitReach)> = live_controllers
+        .iter()
+        .map(|&c| {
+            (
+                c,
+                TransitReach::compute(&flat, c, &is_controller, &mut scratch),
+            )
+        })
+        .collect();
 
     // Condition 1: every live controller knows the topology it can reach.
-    for &c in &live_controllers {
+    for (c, reach) in &transit {
+        let c = *c;
         let Some(controller) = net.controller(c) else {
             report.push(format!("controller {c} has no state machine"));
             continue;
         };
-        let observed = net.sim().observed_neighbors(c);
-        let discovered = controller.discovered_graph(&observed);
-        let expected = reachable_subgraph(&operational, c, &controller_set);
+        let observed = net.sim().observed(c);
+        let discovered = controller.discovered_graph(observed);
+        let expected = reach.induced_subgraph(&flat);
         if discovered != expected {
             report.push(format!(
                 "controller {c} topology view diverges: knows {} nodes / {} links, expected {} nodes / {} links",
@@ -82,10 +108,10 @@ pub fn check(net: &SdnNetwork) -> LegitimacyReport {
             report.push(format!("switch {s} has no state machine"));
             continue;
         };
-        let expected_managers: BTreeSet<NodeId> = live_controllers
+        let expected_managers: BTreeSet<NodeId> = transit
             .iter()
-            .copied()
-            .filter(|&c| switch_transit_reachable(&operational, c, &controller_set).contains(&s))
+            .filter(|(_, reach)| reach.contains(&flat, s))
+            .map(|&(c, _)| c)
             .collect();
         let actual_managers: BTreeSet<NodeId> =
             switch.managers().to_sorted_vec().into_iter().collect();
@@ -110,15 +136,17 @@ pub fn check(net: &SdnNetwork) -> LegitimacyReport {
 
     // Condition 3: in-band connectivity between every controller and every node it can
     // possibly reach without relaying through another controller.
-    for &c in &live_controllers {
-        for node in switch_transit_reachable(&operational, c, &controller_set) {
+    let mut neighbor_buf: Vec<NodeId> = Vec::new();
+    for (c, reach) in &transit {
+        let c = *c;
+        for &node in &reach.nodes {
             if node == c {
                 continue;
             }
-            if route_in_band(net, &operational, c, node).is_none() {
+            if route_in_band_flat(net, &flat, c, node, &mut neighbor_buf).is_none() {
                 report.push(format!("no in-band path from controller {c} to {node}"));
             }
-            if route_in_band(net, &operational, node, c).is_none() {
+            if route_in_band_flat(net, &flat, node, c, &mut neighbor_buf).is_none() {
                 report.push(format!(
                     "no in-band path from {node} back to controller {c}"
                 ));
@@ -129,45 +157,67 @@ pub fn check(net: &SdnNetwork) -> LegitimacyReport {
     report
 }
 
-/// Nodes reachable from `from` along paths whose *intermediate* hops are all switches —
-/// the reachability notion that matters in-band, because controllers never forward.
-fn switch_transit_reachable(
-    graph: &Graph,
-    from: NodeId,
-    controllers: &BTreeSet<NodeId>,
-) -> BTreeSet<NodeId> {
-    let mut reachable = BTreeSet::new();
-    let mut queue = std::collections::VecDeque::new();
-    reachable.insert(from);
-    queue.push_back(from);
-    while let Some(node) = queue.pop_front() {
-        // Only the starting node and switches relay further.
-        if node != from && controllers.contains(&node) {
-            continue;
-        }
-        for next in graph.neighbors(node) {
-            if reachable.insert(next) {
-                queue.push_back(next);
-            }
-        }
-    }
-    reachable
+/// The switch-transit reachability of one controller: nodes reachable along paths
+/// whose *intermediate* hops are all switches — the reachability notion that matters
+/// in-band, because controllers never forward.
+struct TransitReach {
+    /// Reached nodes in ascending identifier order.
+    nodes: Vec<NodeId>,
+    /// Membership mask per dense index of the snapshot the BFS ran over.
+    mask: Vec<bool>,
 }
 
-/// The subgraph of `graph` induced by the nodes reachable from `from` without relaying
-/// through controllers.
-fn reachable_subgraph(graph: &Graph, from: NodeId, controllers: &BTreeSet<NodeId>) -> Graph {
-    let reachable = switch_transit_reachable(graph, from, controllers);
-    let mut out = Graph::new();
-    for &n in &reachable {
-        out.add_node(n);
-    }
-    for link in graph.links() {
-        if reachable.contains(&link.a) && reachable.contains(&link.b) {
-            out.add_link(link.a, link.b);
+impl TransitReach {
+    fn compute(
+        flat: &FlatGraph,
+        from: NodeId,
+        is_controller: &[bool],
+        scratch: &mut BfsScratch,
+    ) -> Self {
+        let mut mask = vec![false; flat.node_count()];
+        let Some(source) = flat.index_of(from) else {
+            // A node outside the operational graph reaches only itself.
+            return TransitReach {
+                nodes: vec![from],
+                mask,
+            };
+        };
+        flat.bfs_filtered(source, scratch, |idx| !is_controller[idx as usize]);
+        let mut nodes = Vec::new();
+        for (idx, &d) in scratch.distances().iter().enumerate() {
+            if d != NO_INDEX {
+                mask[idx] = true;
+                nodes.push(flat.node_at(idx as u32));
+            }
         }
+        TransitReach { nodes, mask }
     }
-    out
+
+    fn contains(&self, flat: &FlatGraph, node: NodeId) -> bool {
+        flat.index_of(node)
+            .map(|idx| self.mask[idx as usize])
+            .unwrap_or(false)
+    }
+
+    /// The subgraph of the snapshot induced by the reached nodes.
+    fn induced_subgraph(&self, flat: &FlatGraph) -> Graph {
+        let mut out = Graph::new();
+        for &n in &self.nodes {
+            out.add_node(n);
+        }
+        for (idx, reached) in self.mask.iter().enumerate() {
+            if !reached {
+                continue;
+            }
+            let idx = idx as u32;
+            for &peer in flat.neighbor_indices(idx) {
+                if peer > idx && self.mask[peer as usize] {
+                    out.add_link(flat.node_at(idx), flat.node_at(peer));
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Simulates the in-band forwarding of one packet from `from` to `to` over the current
@@ -182,7 +232,50 @@ pub fn route_in_band(
     from: NodeId,
     to: NodeId,
 ) -> Option<Vec<NodeId>> {
-    let ttl = 4 * operational.node_count().max(4);
+    // Walks the graph directly — a single path probe does not amortize a CSR
+    // snapshot; the batch caller [`check`] uses the snapshot variant below.
+    route_in_band_impl(
+        net,
+        operational.node_count(),
+        |cur, buf| buf.extend(operational.neighbors(cur)),
+        from,
+        to,
+        &mut Vec::new(),
+    )
+}
+
+/// [`route_in_band`] over a prepared snapshot: the hot-path variant [`check`] uses,
+/// reading neighbor slices straight off the CSR rows into a reusable buffer.
+fn route_in_band_flat(
+    net: &SdnNetwork,
+    flat: &FlatGraph,
+    from: NodeId,
+    to: NodeId,
+    neighbor_buf: &mut Vec<NodeId>,
+) -> Option<Vec<NodeId>> {
+    route_in_band_impl(
+        net,
+        flat.node_count(),
+        |cur, buf| buf.extend(flat.neighbors(cur)),
+        from,
+        to,
+        neighbor_buf,
+    )
+}
+
+/// The shared in-band DFS walk, parameterized over the neighbor source.
+fn route_in_band_impl<F>(
+    net: &SdnNetwork,
+    node_count: usize,
+    mut fill_neighbors: F,
+    from: NodeId,
+    to: NodeId,
+    neighbor_buf: &mut Vec<NodeId>,
+) -> Option<Vec<NodeId>>
+where
+    F: FnMut(NodeId, &mut Vec<NodeId>),
+{
+    let ttl = 4 * node_count.max(4);
     let mut visited: Vec<NodeId> = vec![from];
     let mut trail: Vec<NodeId> = vec![from];
     let mut path: Vec<NodeId> = vec![from];
@@ -195,7 +288,9 @@ pub fn route_in_band(
         if hops >= ttl {
             return None;
         }
-        let neighbors: Vec<NodeId> = operational.neighbors(cur).collect();
+        neighbor_buf.clear();
+        fill_neighbors(cur, neighbor_buf);
+        let neighbors: &[NodeId] = neighbor_buf;
         let next = if let Some(controller) = net.controller(cur) {
             // Controllers only originate packets; mid-path controllers never forward.
             if cur == from {
@@ -208,9 +303,7 @@ pub fn route_in_band(
                 None
             }
         } else if let Some(switch) = net.switch(cur) {
-            forwarding::decide(switch.rules(), from, to, &visited, &neighbors, &mut |_| {
-                true
-            })
+            forwarding::decide(switch.rules(), from, to, &visited, neighbors, &mut |_| true)
         } else {
             None
         };
@@ -273,10 +366,10 @@ mod tests {
         let operational = sdn.sim().operational_graph();
         let c = sdn.controller_ids()[0];
         for s in sdn.switch_ids() {
-            let path = route_in_band(&sdn, &operational, c, s).expect("path to switch");
+            let path = route_in_band(&sdn, operational, c, s).expect("path to switch");
             assert_eq!(*path.first().unwrap(), c);
             assert_eq!(*path.last().unwrap(), s);
-            let back = route_in_band(&sdn, &operational, s, c).expect("path back");
+            let back = route_in_band(&sdn, operational, s, c).expect("path back");
             assert_eq!(*back.last().unwrap(), c);
         }
     }

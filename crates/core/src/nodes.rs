@@ -48,7 +48,7 @@ impl ControllerNode {
         packet.arrive_at(ctx.id());
         // Prefer the flow plan's candidates, then a direct neighbor, then the hint
         // (typically the neighbor an incoming query arrived from).
-        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+        let neighbors = ctx.neighbors();
         let first_hop = self
             .controller
             .first_hop_candidates(dst)
@@ -77,8 +77,7 @@ impl Node<ControlPacket> for ControllerNode {
         if timer != TASK_TIMER {
             return;
         }
-        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
-        let batches = self.controller.iterate(&neighbors);
+        let batches = self.controller.iterate(ctx.neighbors());
         for (dst, batch) in batches {
             let packet = ControlPacket::new(
                 self.controller.id(),
@@ -113,8 +112,7 @@ impl Node<ControlPacket> for ControllerNode {
             PacketBody::Commands(batch) => {
                 // Another controller's query (Algorithm 2 line 23).
                 if let Some(tag) = batch.query_tag() {
-                    let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
-                    let reply = self.controller.on_query(batch.from, tag, &neighbors);
+                    let reply = self.controller.on_query(batch.from, tag, ctx.neighbors());
                     let packet = ControlPacket::new(
                         self.controller.id(),
                         batch.from,
@@ -156,18 +154,19 @@ impl SwitchNode {
             return;
         }
         packet.arrive_at(self.switch.id());
-        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
-        let decision =
-            self.switch
-                .next_hop(packet.src, packet.dst, &packet.visited, &neighbors, |_| {
-                    true
-                });
+        let decision = self.switch.next_hop(
+            packet.src,
+            packet.dst,
+            &packet.visited,
+            ctx.neighbors(),
+            |_| true,
+        );
         match decision {
             Some(hop) => ctx.send(hop, packet),
             None => {
                 // Bounce back along the DFS trail (data-plane depth-first search).
                 match packet.bounce_back() {
-                    Some(back) if neighbors.contains(&back) => ctx.send(back, packet),
+                    Some(back) if ctx.is_neighbor(back) => ctx.send(back, packet),
                     _ => self.undeliverable_packets += 1,
                 }
             }
@@ -188,8 +187,7 @@ impl Node<ControlPacket> for SwitchNode {
         }
         match packet.body {
             PacketBody::Commands(ref batch) => {
-                let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
-                if let Some(reply) = self.switch.apply_batch(batch, &neighbors) {
+                if let Some(reply) = self.switch.apply_batch(batch, ctx.neighbors()) {
                     let reply_packet = ControlPacket::new(
                         self.switch.id(),
                         batch.from,
@@ -247,6 +245,15 @@ impl SdnNode {
         match self {
             SdnNode::Switch(s) => Some(&mut s.switch),
             SdnNode::Controller(_) => None,
+        }
+    }
+
+    /// The state-machine version counter of whichever role this node plays — the
+    /// per-node ingredient of the harness's legitimacy dirty-tracking.
+    pub fn state_version(&self) -> u64 {
+        match self {
+            SdnNode::Controller(c) => c.controller.state_version(),
+            SdnNode::Switch(s) => s.switch.state_version(),
         }
     }
 }

@@ -57,6 +57,9 @@ pub struct RunReport {
     pub max_rules_per_switch: usize,
     /// Total control-plane messages sent over the whole run.
     pub messages_sent: u64,
+    /// Total simulator events processed over the whole run (deliveries, timers,
+    /// observation refreshes) — the numerator of events-per-second throughput.
+    pub events_processed: u64,
     /// Simulated clock at the end of the run, in seconds.
     pub sim_end_s: f64,
 }

@@ -397,6 +397,7 @@ impl<'a> SingleRun<'a> {
         self.report.total_rules = self.net.total_rules();
         self.report.max_rules_per_switch = self.net.max_rules_per_switch();
         self.report.messages_sent = self.net.metrics().total_sent();
+        self.report.events_processed = self.net.sim().events_processed();
         self.report.sim_end_s = self.net.now().as_secs_f64();
         self.report.seed = self.seed;
         self.report

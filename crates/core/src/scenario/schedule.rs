@@ -338,7 +338,7 @@ impl FaultContext {
 /// link "such that it enables a backup path").
 pub fn mid_path_link(net: &SdnNetwork, src: NodeId, dst: NodeId) -> Option<(NodeId, NodeId)> {
     let operational = net.sim().operational_graph();
-    let path = legitimacy::route_in_band(net, &operational, src, dst)?;
+    let path = legitimacy::route_in_band(net, operational, src, dst)?;
     if path.len() < 2 {
         return None;
     }

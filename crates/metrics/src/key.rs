@@ -191,6 +191,14 @@ impl MetricKey {
         Unit::Millis,
         Polarity::LowerIsBetter,
     );
+    /// Simulator events processed per wall-clock second — the hot-path throughput
+    /// observable the scale campaign reports (never gated: it depends on the host).
+    pub const EVENTS_PER_SEC: MetricKey = MetricKey::named(
+        Namespace::Bench,
+        "events_per_sec",
+        Unit::Count,
+        Polarity::HigherIsBetter,
+    );
 
     /// A key with a `'static` name — usable in `const` contexts.
     pub const fn named(

@@ -67,7 +67,9 @@ pub trait Node<M: Payload> {
 pub struct Context<M: Payload> {
     node: NodeId,
     now: SimTime,
-    neighbors: Vec<NodeId>,
+    /// Lent by the simulator for the duration of the callback and moved back
+    /// afterwards (see `Simulator::run_callback`).
+    pub(crate) neighbors: Vec<NodeId>,
     random: u64,
     pub(crate) outbox: Vec<(NodeId, M)>,
     pub(crate) timers: Vec<(SimDuration, TimerId)>,
@@ -119,6 +121,16 @@ impl<M: Payload> Context<M> {
     /// an operational direct neighbor when the send is processed.
     pub fn send(&mut self, to: NodeId, msg: M) {
         self.outbox.push((to, msg));
+    }
+
+    /// Sends a copy of `msg` to every currently observed neighbor, in ascending
+    /// identifier order — the borrow-friendly replacement for the old
+    /// `for n in ctx.neighbors().to_vec() { ctx.send(n, msg.clone()) }` idiom.
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            self.outbox.push((to, msg.clone()));
+        }
     }
 
     /// Arms a timer that fires after `delay`; the timer identifier is passed back to

@@ -96,13 +96,13 @@ impl Default for SimConfig {
 /// impl Node<u64> for Gossip {
 ///     fn on_start(&mut self, ctx: &mut Context<u64>) {
 ///         if ctx.id() == NodeId::new(0) {
-///             for &n in ctx.neighbors().to_vec().iter() { ctx.send(n, 1); }
+///             ctx.broadcast(1);
 ///         }
 ///     }
 ///     fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Context<u64>) {
 ///         if !self.seen {
 ///             self.seen = true;
-///             for &n in ctx.neighbors().to_vec().iter() { ctx.send(n, msg + 1); }
+///             ctx.broadcast(msg + 1);
 ///         }
 ///     }
 /// }
@@ -122,6 +122,14 @@ pub struct Simulator<M: Payload, N: Node<M>> {
     started: BTreeSet<NodeId>,
     failed_nodes: BTreeSet<NodeId>,
     topology: Graph,
+    /// The operational topology `Go`, maintained incrementally under every
+    /// link/node status transition instead of being rebuilt per query.
+    operational: Graph,
+    /// Bumped whenever `Go` or the observed neighborhoods actually change;
+    /// stable across no-op events. Consumers key caches on this.
+    generation: u64,
+    /// Total events processed by [`Simulator::step`] — the throughput numerator.
+    events_processed: u64,
     link_status: BTreeMap<Link, LinkStatus>,
     link_overrides: BTreeMap<Link, LinkConfig>,
     observed: BTreeMap<NodeId, Vec<NodeId>>,
@@ -142,6 +150,9 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
             started: BTreeSet::new(),
             failed_nodes: BTreeSet::new(),
             topology: topology.clone(),
+            operational: topology.clone(),
+            generation: 0,
+            events_processed: 0,
             link_status: BTreeMap::new(),
             link_overrides: BTreeMap::new(),
             observed: BTreeMap::new(),
@@ -191,7 +202,18 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
 
     /// The operational topology `Go`: `Gc` minus temporarily failed links and
     /// fail-stopped nodes.
-    pub fn operational_graph(&self) -> Graph {
+    ///
+    /// Maintained incrementally under status transitions — this accessor is O(1),
+    /// not a rebuild. [`Simulator::rebuild_operational_graph`] is the from-scratch
+    /// reference implementation the incremental graph is tested against.
+    pub fn operational_graph(&self) -> &Graph {
+        &self.operational
+    }
+
+    /// Rebuilds `Go` from scratch out of `Gc`, the link statuses, and the failed
+    /// node set. Reference implementation for tests and benches; always equal to
+    /// [`Simulator::operational_graph`].
+    pub fn rebuild_operational_graph(&self) -> Graph {
         let mut g = Graph::new();
         for node in self.topology.nodes() {
             if !self.failed_nodes.contains(&node) {
@@ -204,6 +226,21 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
             }
         }
         g
+    }
+
+    /// A counter that bumps exactly when the operational topology `Go` or the
+    /// observed neighborhoods change, and stays stable across no-op events
+    /// (failing an already-failed link, reviving a live node, ...). Consumers
+    /// use it to dirty-track anything derived from the operational topology.
+    pub fn topology_generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total number of events processed so far — deliveries, timers, and
+    /// observation refreshes. The numerator of the `events_per_sec` throughput
+    /// metric the bench campaign reports.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Immutable access to a node's state machine.
@@ -258,6 +295,12 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
         self.observed.get(&id).cloned().unwrap_or_default()
     }
 
+    /// Borrowed view of the observed neighborhood — the allocation-free variant of
+    /// [`Simulator::observed_neighbors`].
+    pub fn observed(&self, id: NodeId) -> &[NodeId] {
+        self.observed.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Overrides the link behaviour of one specific link.
     pub fn set_link_config(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
         self.link_overrides.insert(Link::new(a, b), config);
@@ -276,12 +319,14 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     /// their original delivery schedule; new packets are dropped.
     pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
         self.link_status.insert(Link::new(a, b), LinkStatus::Down);
+        self.sync_operational_link(a, b);
         self.schedule_observation_refresh();
     }
 
     /// Restores a temporarily failed link.
     pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
         self.link_status.insert(Link::new(a, b), LinkStatus::Up);
+        self.sync_operational_link(a, b);
         self.schedule_observation_refresh();
     }
 
@@ -289,6 +334,7 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> bool {
         let existed = self.topology.remove_link(a, b);
         self.link_status.remove(&Link::new(a, b));
+        self.sync_operational_link(a, b);
         self.schedule_observation_refresh();
         existed
     }
@@ -297,36 +343,68 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     pub fn add_link(&mut self, a: NodeId, b: NodeId) {
         self.topology.add_link(a, b);
         self.link_status.insert(Link::new(a, b), LinkStatus::Up);
+        // `Gc` may have gained brand-new endpoints; live ones join `Go` too.
+        for node in [a, b] {
+            if !self.failed_nodes.contains(&node) && !self.operational.contains_node(node) {
+                self.operational.add_node(node);
+                self.generation += 1;
+            }
+        }
+        self.sync_operational_link(a, b);
         self.schedule_observation_refresh();
     }
 
     /// Fail-stops a node: it no longer receives messages or timer callbacks, and its
     /// links become non-operational.
     pub fn fail_node(&mut self, id: NodeId) {
-        self.failed_nodes.insert(id);
+        if self.failed_nodes.insert(id) && self.operational.remove_node(id) {
+            self.generation += 1;
+        }
         self.schedule_observation_refresh();
     }
 
     /// Revives a previously fail-stopped node (its state machine is kept as-is; callers
     /// that want a fresh node should replace it via [`Simulator::replace_node`]).
     pub fn revive_node(&mut self, id: NodeId) {
-        self.failed_nodes.remove(&id);
+        if self.failed_nodes.remove(&id) && self.topology.contains_node(id) {
+            self.operational.add_node(id);
+            let peers: Vec<NodeId> = self.topology.neighbors(id).collect();
+            for peer in peers {
+                if self.link_is_operational(id, peer) {
+                    self.operational.add_link(id, peer);
+                }
+            }
+            self.generation += 1;
+        }
         self.schedule_observation_refresh();
     }
 
     /// Replaces the state machine of `id` (e.g. reviving a controller with empty state),
     /// returning the previous one if it existed.
+    ///
+    /// Bumps the generation: a fresh state machine invalidates anything cached about
+    /// the node even though `Go` itself is unchanged.
     pub fn replace_node(&mut self, id: NodeId, node: N) -> Option<N> {
         let prev = self.nodes.insert(id, node);
         self.started.remove(&id);
+        self.generation += 1;
         prev
     }
 
     /// Adds a brand new node to the topology together with its links and state machine.
     pub fn add_node_with_links(&mut self, id: NodeId, links: &[NodeId], node: N) {
         self.topology.add_node(id);
+        if !self.failed_nodes.contains(&id) && !self.operational.contains_node(id) {
+            self.operational.add_node(id);
+            self.generation += 1;
+        }
         for &peer in links {
             self.topology.add_link(id, peer);
+            if !self.failed_nodes.contains(&peer) && !self.operational.contains_node(peer) {
+                self.operational.add_node(peer);
+                self.generation += 1;
+            }
+            self.sync_operational_link(id, peer);
         }
         self.add_node(id, node);
         self.schedule_observation_refresh();
@@ -335,6 +413,9 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     /// Permanently removes a node and its links from the simulation.
     pub fn remove_node(&mut self, id: NodeId) {
         self.topology.remove_node(id);
+        if self.operational.remove_node(id) {
+            self.generation += 1;
+        }
         self.nodes.remove(&id);
         self.failed_nodes.remove(&id);
         self.started.remove(&id);
@@ -357,6 +438,7 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
         };
         debug_assert!(event.at >= self.now, "event from the past");
         self.now = event.at.max(self.now);
+        self.events_processed += 1;
         match event.kind {
             EventKind::Deliver {
                 from,
@@ -435,6 +517,21 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
         self.events.push(Reverse(Event { at, seq, kind }));
     }
 
+    /// Re-derives the operational status of the link `(a, b)` and applies the delta
+    /// to the incrementally maintained `Go`, bumping the generation if it changed.
+    fn sync_operational_link(&mut self, a: NodeId, b: NodeId) {
+        let changed = if self.link_is_operational(a, b) {
+            // Both endpoints are alive (otherwise the link is not operational), so
+            // they are already nodes of `Go` and this adds only the edge.
+            self.operational.add_link(a, b)
+        } else {
+            self.operational.remove_link(a, b)
+        };
+        if changed {
+            self.generation += 1;
+        }
+    }
+
     fn schedule_observation_refresh(&mut self) {
         if self.config.detection_delay.is_zero() {
             self.refresh_observations();
@@ -454,7 +551,12 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
                 .collect();
             observed.insert(node, neighbors);
         }
-        self.observed = observed;
+        // A refresh that observes nothing new (e.g. scheduled by a no-op fault)
+        // must not invalidate caches keyed on the generation.
+        if observed != self.observed {
+            self.observed = observed;
+            self.generation += 1;
+        }
     }
 
     fn link_config(&self, a: NodeId, b: NodeId) -> LinkConfig {
@@ -471,12 +573,27 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
         let Some(mut node) = self.nodes.remove(&id) else {
             return;
         };
-        let neighbors = self.observed_neighbors(id);
+        // Lend the observed-neighbor vector to the callback instead of cloning it:
+        // nothing can touch `observed` while the callback runs (effects are applied
+        // only after it returns), so the vector is moved out and moved back.
+        let neighbors = self
+            .observed
+            .get_mut(&id)
+            .map(std::mem::take)
+            .unwrap_or_default();
         let random = self.rng.next_u64();
         let mut ctx = Context::new(id, self.now, neighbors, random);
         f(&mut node, &mut ctx);
         self.nodes.insert(id, node);
-        let Context { outbox, timers, .. } = ctx;
+        let Context {
+            neighbors,
+            outbox,
+            timers,
+            ..
+        } = ctx;
+        if let Some(slot) = self.observed.get_mut(&id) {
+            *slot = neighbors;
+        }
         for (delay, timer) in timers {
             let at = self.now + delay;
             self.push_event(at, EventKind::Timer { node: id, timer });
@@ -504,8 +621,12 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
             }
             TransmissionOutcome::Delivered { copies, delay } => {
                 let total_delay = delay + config.serialization_delay(bytes);
-                for copy in 0..copies {
-                    let at = self.now + total_delay;
+                let at = self.now + total_delay;
+                // The common case is a single copy: move the message into the event.
+                // Only medium-level duplication pays for clones, and the original
+                // (non-duplicate first, duplicates after) event order is preserved.
+                let mut copy = 0;
+                while copy + 1 < copies {
                     self.push_event(
                         at,
                         EventKind::Deliver {
@@ -516,7 +637,18 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
                             duplicate: copy > 0,
                         },
                     );
+                    copy += 1;
                 }
+                self.push_event(
+                    at,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        msg,
+                        bytes,
+                        duplicate: copy > 0,
+                    },
+                );
             }
         }
     }
@@ -545,10 +677,7 @@ mod tests {
     impl Node<u64> for Echo {
         fn on_start(&mut self, ctx: &mut Context<u64>) {
             if ctx.id() == NodeId::new(0) {
-                let peers: Vec<NodeId> = ctx.neighbors().to_vec();
-                for p in peers {
-                    ctx.send(p, 1);
-                }
+                ctx.broadcast(1);
             }
         }
         fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<u64>) {
@@ -560,10 +689,7 @@ mod tests {
         }
         fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<u64>) {
             // Timers are used by one test to trigger a delayed send.
-            let peers: Vec<NodeId> = ctx.neighbors().to_vec();
-            for p in peers {
-                ctx.send(p, 100 + timer.0);
-            }
+            ctx.broadcast(100 + timer.0);
         }
     }
 
@@ -808,5 +934,116 @@ mod tests {
         assert!(sim.topology().has_link(n(2), n(5)));
         assert!(sim.node(n(5)).is_some());
         assert_eq!(sim.observed_neighbors(n(5)), vec![n(2)]);
+    }
+
+    #[test]
+    fn operational_graph_tracks_faults_incrementally() {
+        let mut sim = sim_with_echo(false);
+        assert_eq!(*sim.operational_graph(), sim.rebuild_operational_graph());
+        sim.fail_link(n(0), n(1));
+        assert!(!sim.operational_graph().has_link(n(0), n(1)));
+        assert_eq!(*sim.operational_graph(), sim.rebuild_operational_graph());
+        sim.fail_node(n(2));
+        assert!(!sim.operational_graph().contains_node(n(2)));
+        assert_eq!(*sim.operational_graph(), sim.rebuild_operational_graph());
+        sim.restore_link(n(0), n(1));
+        sim.revive_node(n(2));
+        assert_eq!(*sim.operational_graph(), sim.rebuild_operational_graph());
+        assert_eq!(*sim.operational_graph(), *sim.topology());
+    }
+
+    #[test]
+    fn generation_is_stable_across_noop_events() {
+        let mut sim = sim_with_echo(false);
+        sim.run_until(SimTime::from_secs(1));
+        let gen = sim.topology_generation();
+        // Failing an already-missing link, reviving a live node, re-restoring an
+        // up link: none of these change `Go` or the observations.
+        sim.fail_link(n(0), n(2)); // not a topology link
+        sim.revive_node(n(1)); // not failed
+        sim.restore_link(n(0), n(1)); // already up
+        sim.run_until(SimTime::from_secs(2)); // drain the scheduled refreshes
+        assert_eq!(sim.topology_generation(), gen, "no-op events must not bump");
+        // A real fault bumps.
+        sim.fail_link(n(0), n(1));
+        assert!(sim.topology_generation() > gen);
+    }
+
+    /// Randomized interleavings of every fault primitive: after each step the
+    /// incrementally maintained `Go` must equal a from-scratch rebuild, and the
+    /// generation must bump exactly when the rebuild differs from the previous one
+    /// (modulo observation changes, which also legitimately bump).
+    #[test]
+    fn incremental_operational_graph_matches_rebuild_under_random_faults() {
+        let nodes = 12u32;
+        let g = Graph::from_links(
+            (0..nodes).flat_map(|i| [(n(i), n((i + 1) % nodes)), (n(i), n((i + 3) % nodes))]),
+        );
+        for seed in 0..20u64 {
+            let mut sim: Simulator<u64, Echo> = Simulator::new(
+                &g,
+                SimConfig {
+                    detection_delay: SimDuration::from_millis(10),
+                    seed,
+                    ..SimConfig::default()
+                },
+            );
+            for node in g.nodes() {
+                sim.add_node(node, Echo::new(false));
+            }
+            let mut rng = Rng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+            let mut next_id = nodes;
+            for step in 0..120 {
+                let a = n(rng.gen_range(0..nodes));
+                let b = n(rng.gen_range(0..nodes));
+                match rng.gen_range(0..8u32) {
+                    0 => {
+                        if a != b {
+                            sim.fail_link(a, b);
+                        }
+                    }
+                    1 => {
+                        if a != b {
+                            sim.restore_link(a, b);
+                        }
+                    }
+                    2 => sim.fail_node(a),
+                    3 => sim.revive_node(a),
+                    4 => {
+                        if a != b {
+                            sim.remove_link(a, b);
+                        }
+                    }
+                    5 => {
+                        if a != b {
+                            sim.add_link(a, b);
+                        }
+                    }
+                    6 => {
+                        let id = n(next_id);
+                        next_id += 1;
+                        sim.add_node_with_links(id, &[a], Echo::new(false));
+                    }
+                    _ => {
+                        // Advance time so scheduled refreshes interleave with faults.
+                        sim.run_for(SimDuration::from_millis(5));
+                    }
+                }
+                let before = sim.topology_generation();
+                assert_eq!(
+                    *sim.operational_graph(),
+                    sim.rebuild_operational_graph(),
+                    "divergence at seed {seed} step {step}"
+                );
+                assert_eq!(
+                    sim.topology_generation(),
+                    before,
+                    "reading the graph must not bump the generation"
+                );
+            }
+            // Let every pending refresh drain and check once more.
+            sim.run_for(SimDuration::from_secs(1));
+            assert_eq!(*sim.operational_graph(), sim.rebuild_operational_graph());
+        }
     }
 }

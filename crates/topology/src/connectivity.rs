@@ -6,12 +6,120 @@
 //! and (b) choose the largest `kappa` a topology can support.
 //!
 //! Edge connectivity is computed with unit-capacity max-flow (Edmonds–Karp) between a
-//! fixed node and every other node, which is exact for undirected graphs.
+//! fixed node and every other node, which is exact for undirected graphs. The flow
+//! network lives directly on the [`FlatGraph`] CSR arcs: every undirected link is two
+//! directed arcs of capacity 1, the reverse-arc table is computed once per graph, and
+//! the residual/parent arrays are reused across the `n - 1` max-flow runs instead of
+//! being reallocated as `BTreeMap`s per BFS.
 
+use crate::flat::{FlatGraph, NO_INDEX};
 use crate::graph::Graph;
 use crate::ids::NodeId;
-use crate::paths;
-use std::collections::{BTreeMap, VecDeque};
+
+/// The CSR flow network shared by every max-flow run over one graph: the snapshot,
+/// the reverse-arc table, and the reusable residual-capacity / BFS workspaces.
+struct FlowNetwork {
+    flat: FlatGraph,
+    /// For the arc at position `p` (an entry of the CSR neighbor array), the position
+    /// of the opposite-direction arc.
+    reverse_arc: Vec<u32>,
+    /// Residual capacity per arc; refilled to 1 before each max-flow run.
+    capacity: Vec<u8>,
+    /// BFS workspace: the arc that discovered each node ([`NO_INDEX`] = undiscovered).
+    parent_arc: Vec<u32>,
+    queue: Vec<u32>,
+}
+
+impl FlowNetwork {
+    fn new(graph: &Graph) -> Self {
+        let flat = FlatGraph::from_graph(graph);
+        let arc_count = flat.arc_targets().len();
+        let mut reverse_arc = vec![NO_INDEX; arc_count];
+        for u in 0..flat.node_count() as u32 {
+            let start = flat.offsets()[u as usize] as usize;
+            for (k, &v) in flat.neighbor_indices(u).iter().enumerate() {
+                // The reverse arc is v's row entry pointing back at u; rows are
+                // ascending, so a binary search finds it.
+                let j = flat
+                    .neighbor_indices(v)
+                    .binary_search(&u)
+                    .expect("undirected link must appear in both rows");
+                reverse_arc[start + k] = flat.offsets()[v as usize] + j as u32;
+            }
+        }
+        let n = flat.node_count();
+        FlowNetwork {
+            flat,
+            reverse_arc,
+            capacity: vec![1; arc_count],
+            parent_arc: vec![NO_INDEX; n],
+            queue: Vec::with_capacity(n),
+        }
+    }
+
+    /// Maximum flow between two dense indices, resetting the residual network first.
+    fn max_flow(&mut self, source: u32, target: u32) -> usize {
+        self.capacity.fill(1);
+        let mut flow = 0usize;
+        loop {
+            // BFS over arcs with residual capacity, recording the discovering arc.
+            self.parent_arc.fill(NO_INDEX);
+            self.queue.clear();
+            self.queue.push(source);
+            let mut head = 0usize;
+            let mut found = false;
+            'search: while head < self.queue.len() {
+                let u = self.queue[head];
+                head += 1;
+                let start = self.flat.offsets()[u as usize] as usize;
+                for (k, &v) in self.flat.neighbor_indices(u).iter().enumerate() {
+                    let p = start + k;
+                    if v != source
+                        && self.parent_arc[v as usize] == NO_INDEX
+                        && self.capacity[p] > 0
+                    {
+                        self.parent_arc[v as usize] = p as u32;
+                        if v == target {
+                            found = true;
+                            break 'search;
+                        }
+                        self.queue.push(v);
+                    }
+                }
+            }
+            if !found {
+                break;
+            }
+            // Augment along the path by one unit.
+            let mut v = target;
+            while v != source {
+                let p = self.parent_arc[v as usize] as usize;
+                self.capacity[p] -= 1;
+                self.capacity[self.reverse_arc[p] as usize] += 1;
+                v = self.arc_tail(p);
+            }
+            flow += 1;
+        }
+        flow
+    }
+
+    /// The tail (origin) node of the arc at global position `p`: the node whose
+    /// CSR row spans `p`, found by binary search over the row offsets.
+    fn arc_tail(&self, p: usize) -> u32 {
+        let offsets = self.flat.offsets();
+        match offsets.binary_search(&(p as u32)) {
+            // `p` is the first arc of one or more (possibly empty) rows: the tail is
+            // the last row starting there.
+            Ok(mut i) => {
+                while i + 1 < offsets.len() && offsets[i + 1] as usize == p {
+                    i += 1;
+                }
+                i as u32
+            }
+            Err(i) => (i - 1) as u32,
+        }
+    }
+}
 
 /// Maximum number of edge-disjoint paths between `source` and `target`.
 ///
@@ -33,69 +141,43 @@ pub fn edge_disjoint_paths(graph: &Graph, source: NodeId, target: NodeId) -> usi
     if source == target {
         return usize::from(graph.contains_node(source));
     }
+    // Cheap early exit before paying for the flow-network construction.
     if !graph.contains_node(source) || !graph.contains_node(target) {
         return 0;
     }
-    // Residual capacities over directed arcs; an undirected edge becomes two arcs of
-    // capacity 1 each, which is the standard reduction for undirected edge connectivity.
-    let mut capacity: BTreeMap<(NodeId, NodeId), i64> = BTreeMap::new();
-    for link in graph.links() {
-        capacity.insert((link.a, link.b), 1);
-        capacity.insert((link.b, link.a), 1);
-    }
-    let mut flow = 0usize;
-    loop {
-        // BFS over arcs with residual capacity.
-        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
-        let mut queue = VecDeque::new();
-        queue.push_back(source);
-        parent.insert(source, source);
-        while let Some(u) = queue.pop_front() {
-            if u == target {
-                break;
-            }
-            for v in graph.neighbors(u) {
-                if !parent.contains_key(&v) && capacity.get(&(u, v)).copied().unwrap_or(0) > 0 {
-                    parent.insert(v, u);
-                    queue.push_back(v);
-                }
-            }
-        }
-        if !parent.contains_key(&target) {
-            break;
-        }
-        // Augment along the path by one unit.
-        let mut v = target;
-        while v != source {
-            let u = parent[&v];
-            *capacity.entry((u, v)).or_insert(0) -= 1;
-            *capacity.entry((v, u)).or_insert(0) += 1;
-            v = u;
-        }
-        flow += 1;
-    }
-    flow
+    let mut net = FlowNetwork::new(graph);
+    let (Some(s), Some(t)) = (net.flat.index_of(source), net.flat.index_of(target)) else {
+        return 0;
+    };
+    net.max_flow(s, t)
 }
 
 /// Computes the edge connectivity `lambda(G)`: the minimum number of link removals that
 /// can disconnect the graph. Returns 0 for graphs with fewer than 2 nodes or graphs that
 /// are already disconnected.
 ///
-/// Uses the classic reduction: `lambda(G) = min over v != v0 of maxflow(v0, v)`.
+/// Uses the classic reduction: `lambda(G) = min over v != v0 of maxflow(v0, v)`, with
+/// one shared flow network reused across every target.
 pub fn edge_connectivity(graph: &Graph) -> usize {
-    let nodes: Vec<NodeId> = graph.nodes().collect();
-    if nodes.len() < 2 {
+    if graph.node_count() < 2 {
         return 0;
     }
-    if !paths::is_connected(graph) {
+    if !crate::paths::is_connected(graph) {
         return 0;
     }
-    let v0 = nodes[0];
-    nodes[1..]
-        .iter()
-        .map(|&v| edge_disjoint_paths(graph, v0, v))
-        .min()
-        .unwrap_or(0)
+    let mut net = FlowNetwork::new(graph);
+    let mut lambda = usize::MAX;
+    for v in 1..net.flat.node_count() as u32 {
+        lambda = lambda.min(net.max_flow(0, v));
+        if lambda == 0 {
+            break;
+        }
+    }
+    if lambda == usize::MAX {
+        0
+    } else {
+        lambda
+    }
 }
 
 /// Returns `true` when the graph can tolerate `kappa` link failures without
@@ -191,5 +273,18 @@ mod tests {
         assert!(edge_connectivity(&g) <= g.min_degree());
         let h = cycle(5);
         assert!(edge_connectivity(&h) <= h.min_degree());
+    }
+
+    #[test]
+    fn sparse_identifiers_flow_correctly() {
+        // Same two parallel routes, but with holes in the identifier space.
+        let g = Graph::from_links([
+            (n(10), n(100)),
+            (n(100), n(30)),
+            (n(10), n(200)),
+            (n(200), n(30)),
+        ]);
+        assert_eq!(edge_disjoint_paths(&g, n(10), n(30)), 2);
+        assert_eq!(edge_connectivity(&g), 2);
     }
 }

@@ -11,9 +11,9 @@
 //! The forwarding engine in `sdn-switch` picks the highest-priority rule whose out-link
 //! is currently operational, which is exactly the fast-failover group behaviour.
 
+use crate::flat::{BfsScratch, FlatGraph};
 use crate::graph::Graph;
 use crate::ids::NodeId;
-use crate::paths::BfsTree;
 use std::collections::BTreeMap;
 
 /// A priority-ordered list of candidate next hops from one node towards a destination.
@@ -275,21 +275,37 @@ impl FlowPlanner {
         let limit = self.max_candidates.unwrap_or(usize::MAX);
         let mut next_hops = BTreeMap::new();
         let mut distances = BTreeMap::new();
+        // Distances towards a target are computed over the graph without the other
+        // non-transit nodes: paths may start or end at a non-transit node but never
+        // pass through one. That search graph is *identical* for every
+        // transit-capable target, so it is built and snapshot once; only the few
+        // non-transit targets (the controllers) need a per-target variant that keeps
+        // the target itself. One scratch serves every BFS.
+        let mut scratch = BfsScratch::new();
+        let base: FlatGraph = if non_transit.is_empty() {
+            graph.snapshot()
+        } else {
+            graph.without_nodes(non_transit.iter()).snapshot()
+        };
+        let mut per_target: FlatGraph;
         for target in graph.nodes() {
-            // Distances towards `target` are computed over the graph without the other
-            // non-transit nodes: paths may start or end at a non-transit node but never
-            // pass through one.
-            let restricted: Vec<NodeId> = non_transit
-                .iter()
-                .copied()
-                .filter(|&n| n != target)
-                .collect();
-            let search_graph = if restricted.is_empty() {
-                graph.clone()
+            let flat: &FlatGraph = if non_transit.contains(&target) {
+                let restricted: Vec<NodeId> = non_transit
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != target)
+                    .collect();
+                per_target = graph.without_nodes(restricted.iter()).snapshot();
+                &per_target
             } else {
-                graph.without_nodes(restricted.iter())
+                &base
             };
-            let tree = BfsTree::compute(&search_graph, target);
+            let Some(target_idx) = flat.index_of(target) else {
+                continue;
+            };
+            flat.bfs(target_idx, &mut scratch);
+            let dist_to_target =
+                |node: NodeId| flat.index_of(node).and_then(|idx| scratch.distance(idx));
             for at in graph.nodes() {
                 if at == target {
                     continue;
@@ -300,13 +316,13 @@ impl FlowPlanner {
                 let mut candidates: Vec<(u32, NodeId)> = graph
                     .neighbors(at)
                     .filter(|h| !non_transit.contains(h) || *h == target)
-                    .filter_map(|h| tree.distance(h).map(|d| (d, h)))
+                    .filter_map(|h| dist_to_target(h).map(|d| (d, h)))
                     .collect();
                 candidates.sort();
                 let d_at = if is_endpoint_only {
                     candidates.first().map(|&(d, _)| d + 1)
                 } else {
-                    tree.distance(at)
+                    dist_to_target(at)
                 };
                 let Some(d_at) = d_at else {
                     continue; // disconnected pair under the transit restriction

@@ -203,6 +203,14 @@ impl Graph {
         }
     }
 
+    /// Takes a compact CSR snapshot of the current graph (see [`crate::flat`]).
+    ///
+    /// The snapshot preserves the ascending neighbor order, so traversals over it
+    /// are bit-identical to traversals over the graph itself — just faster.
+    pub fn snapshot(&self) -> crate::flat::FlatGraph {
+        crate::flat::FlatGraph::from_graph(self)
+    }
+
     /// Returns `true` if the graph has no nodes.
     pub fn is_empty(&self) -> bool {
         self.adjacency.is_empty()

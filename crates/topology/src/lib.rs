@@ -40,12 +40,14 @@
 
 pub mod builders;
 pub mod connectivity;
+pub mod flat;
 pub mod flows;
 pub mod graph;
 pub mod ids;
 pub mod paths;
 
 pub use builders::NamedTopology;
+pub use flat::{BfsScratch, FlatGraph};
 pub use flows::{FlowPlan, FlowPlanner, NextHopSet};
 pub use graph::Graph;
 pub use ids::{NodeId, NodeKind};

@@ -3,18 +3,22 @@
 //! The paper (Section 5.4) defines the *first shortest path* between two nodes as the
 //! shortest path that, among all shortest paths, uses the neighbors with minimum
 //! identifiers. Because [`crate::Graph::neighbors`] iterates in ascending identifier
-//! order, a plain BFS that only keeps the *first* discovered parent computes exactly
-//! this path, which keeps every controller's routing decision deterministic and
-//! reproducible.
+//! order — an order the [`FlatGraph`] snapshot preserves — a plain BFS that only keeps
+//! the *first* discovered parent computes exactly this path, which keeps every
+//! controller's routing decision deterministic and reproducible.
+//!
+//! All traversals run over a [`FlatGraph`] snapshot with a reusable [`BfsScratch`]
+//! workspace: multi-source sweeps ([`diameter`], [`farthest_pair`]) snapshot once and
+//! reuse the scratch across every search instead of allocating fresh maps per BFS.
 
+use crate::flat::{BfsScratch, FlatGraph, NO_INDEX};
 use crate::graph::Graph;
 use crate::ids::NodeId;
-use std::collections::{BTreeMap, VecDeque};
 
 /// The result of a breadth-first search from a single source.
 ///
 /// Stores, for every reachable node, its hop distance from the source and its parent on
-/// the first shortest path.
+/// the first shortest path. Backed by the flat-indexed snapshot the search ran over.
 ///
 /// # Example
 ///
@@ -32,8 +36,13 @@ use std::collections::{BTreeMap, VecDeque};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BfsTree {
     source: NodeId,
-    distance: BTreeMap<NodeId, u32>,
-    parent: BTreeMap<NodeId, NodeId>,
+    flat: FlatGraph,
+    source_idx: u32,
+    /// Per dense index; [`NO_INDEX`] marks unreachable nodes.
+    dist: Vec<u32>,
+    /// Per dense index; [`NO_INDEX`] marks the source and unreachable nodes.
+    parent: Vec<u32>,
+    reached: usize,
 }
 
 impl BfsTree {
@@ -42,25 +51,35 @@ impl BfsTree {
     /// If `source` is not in the graph, the tree contains only the source itself at
     /// distance 0 (mirroring a node that knows about itself but nothing else).
     pub fn compute(graph: &Graph, source: NodeId) -> Self {
-        let mut distance = BTreeMap::new();
-        let mut parent = BTreeMap::new();
-        let mut queue = VecDeque::new();
-        distance.insert(source, 0);
-        queue.push_back(source);
-        while let Some(u) = queue.pop_front() {
-            let du = distance[&u];
-            for v in graph.neighbors(u) {
-                if let std::collections::btree_map::Entry::Vacant(e) = distance.entry(v) {
-                    e.insert(du + 1);
-                    parent.insert(v, u);
-                    queue.push_back(v);
-                }
-            }
-        }
+        let flat = if graph.contains_node(source) {
+            FlatGraph::from_graph(graph)
+        } else {
+            // Mirror the historical behavior: a missing source sees only itself.
+            let mut only_source = Graph::new();
+            only_source.add_node(source);
+            FlatGraph::from_graph(&only_source)
+        };
+        let mut scratch = BfsScratch::new();
+        Self::compute_flat(flat, source, &mut scratch)
+    }
+
+    /// Runs the search over an existing snapshot, reusing `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not part of the snapshot.
+    pub fn compute_flat(flat: FlatGraph, source: NodeId, scratch: &mut BfsScratch) -> Self {
+        let source_idx = flat
+            .index_of(source)
+            .expect("BFS source must be part of the snapshot");
+        let reached = flat.bfs(source_idx, scratch);
         BfsTree {
             source,
-            distance,
-            parent,
+            source_idx,
+            dist: scratch.distances().to_vec(),
+            parent: scratch.parents().to_vec(),
+            reached,
+            flat,
         }
     }
 
@@ -71,46 +90,69 @@ impl BfsTree {
 
     /// Hop distance from the source to `node`, or `None` if unreachable.
     pub fn distance(&self, node: NodeId) -> Option<u32> {
-        self.distance.get(&node).copied()
+        let idx = self.flat.index_of(node)?;
+        match self.dist[idx as usize] {
+            NO_INDEX => None,
+            d => Some(d),
+        }
     }
 
     /// Returns `true` when `node` is reachable from the source.
     pub fn reaches(&self, node: NodeId) -> bool {
-        self.distance.contains_key(&node)
+        self.distance(node).is_some()
     }
 
     /// The parent of `node` on its first shortest path from the source.
     pub fn parent(&self, node: NodeId) -> Option<NodeId> {
-        self.parent.get(&node).copied()
+        let idx = self.flat.index_of(node)?;
+        match self.parent[idx as usize] {
+            NO_INDEX => None,
+            p => Some(self.flat.node_at(p)),
+        }
     }
 
-    /// Iterates over all reachable nodes together with their distances.
+    /// Iterates over all reachable nodes together with their distances, in ascending
+    /// identifier order.
     pub fn reachable(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
-        self.distance.iter().map(|(&n, &d)| (n, d))
+        self.flat
+            .node_ids()
+            .iter()
+            .zip(&self.dist)
+            .filter(|(_, &d)| d != NO_INDEX)
+            .map(|(&n, &d)| (n, d))
     }
 
     /// Number of reachable nodes, including the source.
     pub fn reachable_count(&self) -> usize {
-        self.distance.len()
+        self.reached
     }
 
     /// The largest distance of any reachable node (the source's eccentricity restricted
     /// to its connected component).
     pub fn eccentricity(&self) -> u32 {
-        self.distance.values().copied().max().unwrap_or(0)
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != NO_INDEX)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Reconstructs the first shortest path from the source to `target`
     /// (inclusive of both endpoints), or `None` if the target is unreachable.
     pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
-        if !self.distance.contains_key(&target) {
+        let target_idx = self.flat.index_of(target)?;
+        if self.dist[target_idx as usize] == NO_INDEX {
             return None;
         }
         let mut path = vec![target];
-        let mut cur = target;
-        while cur != self.source {
-            cur = *self.parent.get(&cur)?;
-            path.push(cur);
+        let mut cur = target_idx;
+        while cur != self.source_idx {
+            cur = self.parent[cur as usize];
+            if cur == NO_INDEX {
+                return None;
+            }
+            path.push(self.flat.node_at(cur));
         }
         path.reverse();
         Some(path)
@@ -119,8 +161,18 @@ impl BfsTree {
     /// The first hop from the source towards `target`, or `None` if the target is the
     /// source itself or unreachable.
     pub fn first_hop(&self, target: NodeId) -> Option<NodeId> {
-        let path = self.path_to(target)?;
-        path.get(1).copied()
+        let mut idx = self.flat.index_of(target)?;
+        if idx == self.source_idx || self.dist[idx as usize] == NO_INDEX {
+            return None;
+        }
+        // Walk the parent chain until one step below the source.
+        while self.parent[idx as usize] != self.source_idx {
+            idx = self.parent[idx as usize];
+            if idx == NO_INDEX {
+                return None;
+            }
+        }
+        Some(self.flat.node_at(idx))
     }
 }
 
@@ -136,24 +188,30 @@ pub fn distance(graph: &Graph, from: NodeId, to: NodeId) -> Option<u32> {
 
 /// Computes the diameter of the graph: the largest finite pairwise distance.
 ///
-/// Disconnected node pairs are ignored; an empty graph has diameter 0.
+/// Disconnected node pairs are ignored; an empty graph has diameter 0. One snapshot,
+/// one scratch, `n` allocation-free searches.
 pub fn diameter(graph: &Graph) -> u32 {
-    graph
-        .nodes()
-        .map(|n| BfsTree::compute(graph, n).eccentricity())
-        .max()
-        .unwrap_or(0)
+    let flat = FlatGraph::from_graph(graph);
+    let mut scratch = BfsScratch::new();
+    let mut best = 0u32;
+    for idx in 0..flat.node_count() as u32 {
+        flat.bfs(idx, &mut scratch);
+        best = best.max(scratch.max_distance());
+    }
+    best
 }
 
 /// Returns a pair of nodes realizing the diameter, useful for placing the iperf hosts of
 /// the throughput experiments "at maximal distance from each other" (paper, Section 6.3).
 pub fn farthest_pair(graph: &Graph) -> Option<(NodeId, NodeId, u32)> {
+    let flat = FlatGraph::from_graph(graph);
+    let mut scratch = BfsScratch::new();
     let mut best: Option<(NodeId, NodeId, u32)> = None;
-    for n in graph.nodes() {
-        let tree = BfsTree::compute(graph, n);
-        for (m, d) in tree.reachable() {
-            if best.map(|(_, _, bd)| d > bd).unwrap_or(true) {
-                best = Some((n, m, d));
+    for idx in 0..flat.node_count() as u32 {
+        flat.bfs(idx, &mut scratch);
+        for (j, &d) in scratch.distances().iter().enumerate() {
+            if d != NO_INDEX && best.map(|(_, _, bd)| d > bd).unwrap_or(true) {
+                best = Some((flat.node_at(idx), flat.node_at(j as u32), d));
             }
         }
     }
@@ -162,18 +220,32 @@ pub fn farthest_pair(graph: &Graph) -> Option<(NodeId, NodeId, u32)> {
 
 /// Returns `true` if every node can reach every other node.
 pub fn is_connected(graph: &Graph) -> bool {
-    match graph.nodes().next() {
-        None => true,
-        Some(start) => BfsTree::compute(graph, start).reachable_count() == graph.node_count(),
+    let flat = FlatGraph::from_graph(graph);
+    if flat.is_empty() {
+        return true;
     }
+    let mut scratch = BfsScratch::new();
+    flat.bfs(0, &mut scratch) == flat.node_count()
 }
 
 /// Returns the set of nodes reachable from `source` (including `source`), in order.
+///
+/// A source outside the graph reaches only itself — mirroring [`BfsTree::compute`]'s
+/// missing-source behavior.
 pub fn reachable_set(graph: &Graph, source: NodeId) -> Vec<NodeId> {
-    BfsTree::compute(graph, source)
-        .reachable()
-        .map(|(n, _)| n)
-        .collect()
+    let flat = FlatGraph::from_graph(graph);
+    let Some(source_idx) = flat.index_of(source) else {
+        return vec![source];
+    };
+    let mut scratch = BfsScratch::new();
+    let reached = flat.bfs(source_idx, &mut scratch);
+    let mut out = Vec::with_capacity(reached);
+    for (j, &d) in scratch.distances().iter().enumerate() {
+        if d != NO_INDEX {
+            out.push(flat.node_at(j as u32));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -219,8 +291,11 @@ mod tests {
         let tree = BfsTree::compute(&g, n(0));
         assert_eq!(tree.distance(n(9)), None);
         assert!(tree.path_to(n(9)).is_none());
+        assert!(tree.first_hop(n(9)).is_none());
         assert!(!is_connected(&g));
         assert_eq!(reachable_set(&g, n(0)).len(), 4);
+        // A missing source reaches only itself, like BfsTree::compute.
+        assert_eq!(reachable_set(&g, n(77)), vec![n(77)]);
     }
 
     #[test]
@@ -264,5 +339,15 @@ mod tests {
         let g = ring4();
         assert_eq!(distance(&g, n(0), n(2)), Some(2));
         assert_eq!(distance(&g, n(0), n(99)), None);
+    }
+
+    #[test]
+    fn reachable_iterates_in_ascending_order() {
+        let g = Graph::from_links([(n(5), n(2)), (n(2), n(9))]);
+        let tree = BfsTree::compute(&g, n(5));
+        let order: Vec<NodeId> = tree.reachable().map(|(node, _)| node).collect();
+        assert_eq!(order, vec![n(2), n(5), n(9)]);
+        assert_eq!(tree.parent(n(9)), Some(n(2)));
+        assert_eq!(tree.parent(n(5)), None);
     }
 }

@@ -172,7 +172,7 @@ pub fn run_throughput_experiment(
 /// The data-plane path currently taken by packets from `src` to `dst`, or `None`.
 fn current_path(sdn: &SdnNetwork, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
     let operational = sdn.sim().operational_graph();
-    legitimacy::route_in_band(sdn, &operational, src, dst)
+    legitimacy::route_in_band(sdn, operational, src, dst)
 }
 
 /// The iperf experiment as a scenario [`Workload`].

@@ -49,8 +49,8 @@ fn clos_bootstrap_installs_bidirectional_inband_paths() {
                 continue;
             }
             let forward =
-                renaissance::legitimacy::route_in_band(&sdn, &operational, controller, node);
-            let back = renaissance::legitimacy::route_in_band(&sdn, &operational, node, controller);
+                renaissance::legitimacy::route_in_band(&sdn, operational, controller, node);
+            let back = renaissance::legitimacy::route_in_band(&sdn, operational, node, controller);
             assert!(forward.is_some(), "no path {controller} -> {node}");
             assert!(back.is_some(), "no path {node} -> {controller}");
         }

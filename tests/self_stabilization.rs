@@ -95,7 +95,7 @@ fn non_adaptive_variant_also_bootstraps_and_survives_controller_failure() {
     for controller in sdn.live_controller_ids() {
         for switch in sdn.live_switch_ids() {
             assert!(
-                renaissance::legitimacy::route_in_band(&sdn, &operational, controller, switch)
+                renaissance::legitimacy::route_in_band(&sdn, operational, controller, switch)
                     .is_some(),
                 "no path {controller} -> {switch} under the non-adaptive variant"
             );
