@@ -185,7 +185,9 @@ pub fn gate_campaign(current: &Json, baseline: &Json, gate_pct: f64) -> Result<G
             continue;
         };
         matched_baselines[index] = true;
-        let (spec, scenario) = cell.split_once('/').expect("cell contains a separator");
+        let (spec, scenario) = cell
+            .split_once('/')
+            .ok_or_else(|| format!("malformed cell id `{cell}` (expected `spec/scenario`)"))?;
         for ((metric, current), &(_, base)) in
             current_means.into_iter().zip(&baseline_by_cell[index].1)
         {

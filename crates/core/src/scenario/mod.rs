@@ -381,6 +381,7 @@ impl ScenarioBuilder {
     pub fn build(self) -> Scenario {
         let topology = self
             .topology
+            // stancheck: allow(unwrap-expect) — documented builder contract (see `# Panics`): a scenario without a topology is a programming error, and the fluent builder API has no Result channel
             .expect("Scenario requires a topology: call .network(name) or .topology(t)");
         Scenario {
             name: self.name,

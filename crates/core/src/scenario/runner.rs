@@ -16,7 +16,7 @@ use crate::config::ControllerConfig;
 use crate::harness::SdnNetwork;
 use sdn_netsim::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 // The parallel path shares one `&Scenario` across scoped worker threads and sends each
 // worker's `RunReport` back to the caller; these compile-time assertions are the audit
@@ -84,6 +84,10 @@ impl<'a> ScenarioRunner<'a> {
         {
             return threads;
         }
+        // Host core count sizes the worker pool only: every seed is an independent
+        // run and reports merge back in seed order, so the count never reaches
+        // simulation state.
+        // stancheck: allow(thread-identity) — worker-pool sizing only; bit-identity is enforced by the parallel==sequential property test
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -103,7 +107,9 @@ impl<'a> ScenarioRunner<'a> {
                         break;
                     }
                     let run = self.run_seed(base + i as u64);
-                    *slots[i].lock().expect("run slot poisoned") = Some(run);
+                    // A poisoned slot means another worker panicked mid-run; this
+                    // slot's own report is still valid, so recover the guard.
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(run);
                 });
             }
         });
@@ -111,7 +117,8 @@ impl<'a> ScenarioRunner<'a> {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("run slot poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    // stancheck: allow(unwrap-expect) — infallible by construction: thread::scope re-raises worker panics before this drain runs, so every claimed slot was filled
                     .expect("worker completed every claimed seed")
             })
             .collect()
@@ -236,21 +243,22 @@ impl<'a> SingleRun<'a> {
         let mut next_check = SimTime::ZERO;
         loop {
             let agenda_at = agenda.get(idx).map(|item| origin + item.offset);
+            // A check step carries the fault instant it is measuring recovery for, so
+            // no later lookup into `awaiting` is needed (or can be wrong).
             let check_at = if live {
-                awaiting.map(|_| next_check)
+                awaiting.map(|since| (next_check, since))
             } else {
                 None
             };
             let step = match (agenda_at, check_at) {
                 (None, None) => break,
-                (Some(a), Some(c)) if c <= a => Step::Check(c),
+                (Some(a), Some((c, since))) if c <= a => Step::Check(c, since),
                 (Some(a), _) => Step::Agenda(a),
-                (None, Some(c)) => Step::Check(c),
+                (None, Some((c, since))) => Step::Check(c, since),
             };
             match step {
-                Step::Check(at) => {
+                Step::Check(at, since) => {
                     self.advance_to(at, live);
-                    let since = awaiting.expect("check scheduled while not awaiting");
                     if self.net.is_legitimate() {
                         self.report.recoveries.push(RecoveryRecord {
                             fault_at_s: (since - origin).as_secs_f64(),
@@ -406,7 +414,8 @@ impl<'a> SingleRun<'a> {
 
 enum Step {
     Agenda(SimTime),
-    Check(SimTime),
+    /// Legitimacy check at `.0`, measuring recovery from the fault at `.1`.
+    Check(SimTime, SimTime),
 }
 
 #[cfg(test)]

@@ -135,11 +135,11 @@ impl Digest {
     }
 
     /// Halves the sketch: sort by value, then merge each adjacent pair into its lower
-    /// member with the pair's combined weight. Deterministic (stable sort, fixed
-    /// pairing), which keeps [`merge`](Self::merge) deterministic too.
+    /// member with the pair's combined weight. Deterministic (stable sort via the
+    /// IEEE total order, fixed pairing), which keeps [`merge`](Self::merge)
+    /// deterministic too.
     fn compact(&mut self) {
-        self.entries
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+        self.entries.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut compacted = Vec::with_capacity(self.entries.len() / 2 + 1);
         let mut pairs = self.entries.chunks_exact(2);
         for pair in &mut pairs {
@@ -218,7 +218,7 @@ impl Digest {
             return vec![0.0; qs.len()];
         }
         let mut sorted = self.entries.clone();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
         let total: u64 = sorted.iter().map(|&(_, w)| w).sum();
         qs.iter()
             .map(|&q| {

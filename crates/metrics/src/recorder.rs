@@ -113,12 +113,18 @@ fn json_escape(s: &str, out: &mut String) {
 #[derive(Debug)]
 pub struct JsonLinesSink<W: Write> {
     out: W,
+    /// First write failure, surfaced by the next [`flush`](Recorder::flush):
+    /// `record` itself stays infallible so the hot path never unwinds mid-run.
+    deferred: Option<io::Error>,
 }
 
 impl<W: Write> JsonLinesSink<W> {
     /// Wraps a writer.
     pub fn new(out: W) -> Self {
-        JsonLinesSink { out }
+        JsonLinesSink {
+            out,
+            deferred: None,
+        }
     }
 }
 
@@ -138,13 +144,16 @@ impl<W: Write> Recorder for JsonLinesSink<W> {
             line.push_str("null");
         }
         line.push_str("}\n");
-        self.out
-            .write_all(line.as_bytes())
-            .expect("metric sink write failed");
+        if self.deferred.is_none() {
+            self.deferred = self.out.write_all(line.as_bytes()).err();
+        }
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        self.out.flush()
+        match self.deferred.take() {
+            Some(err) => Err(err),
+            None => self.out.flush(),
+        }
     }
 }
 
@@ -177,6 +186,9 @@ pub fn csv_field(s: &str) -> String {
 pub struct CsvSink<W: Write> {
     out: W,
     wrote_header: bool,
+    /// First write failure, surfaced by the next [`flush`](Recorder::flush), same
+    /// contract as [`JsonLinesSink`].
+    deferred: Option<io::Error>,
 }
 
 impl<W: Write> CsvSink<W> {
@@ -185,6 +197,7 @@ impl<W: Write> CsvSink<W> {
         CsvSink {
             out,
             wrote_header: false,
+            deferred: None,
         }
     }
 }
@@ -203,13 +216,16 @@ impl<W: Write> Recorder for CsvSink<W> {
         row.push_str(&csv_field(key.unit().symbol()));
         row.push(',');
         row.push_str(&format!("{value}\n"));
-        self.out
-            .write_all(row.as_bytes())
-            .expect("metric sink write failed");
+        if self.deferred.is_none() {
+            self.deferred = self.out.write_all(row.as_bytes()).err();
+        }
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        self.out.flush()
+        match self.deferred.take() {
+            Some(err) => Err(err),
+            None => self.out.flush(),
+        }
     }
 }
 

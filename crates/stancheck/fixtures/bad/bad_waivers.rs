@@ -1,0 +1,17 @@
+// stancheck-fixture: crate=core kind=lib
+//! Known-bad: the waiver channel abused in every way the analyzer rejects.
+
+// A waiver with no written justification suppresses nothing:
+pub fn no_reason(map: std::collections::HashMap<u32, u32>) -> usize {
+    // stancheck: allow(hash-collections)
+    map.len()
+}
+
+// stancheck: allow(definitely-not-a-rule) — the rule id is made up
+pub fn unknown_rule() {}
+
+// stancheck: allow(wall-clock) — nothing on the next line uses a clock
+pub fn stale_waiver() {}
+
+// stancheck: allow
+pub fn malformed() {}

@@ -1,0 +1,14 @@
+// stancheck-fixture: crate=core kind=lib
+//! Known-bad: hash collections in a simulation crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(edges: &[(u32, u32)]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut degree: HashMap<u32, usize> = HashMap::new();
+    for (a, b) in edges {
+        seen.insert(*a);
+        *degree.entry(*b).or_insert(0) += 1;
+    }
+    seen.len() + degree.len()
+}

@@ -1,0 +1,8 @@
+// stancheck-fixture: crate=core kind=lib
+//! Known-bad: host thread identity steering simulation behavior.
+
+pub fn shard_for_current_thread(shards: usize) -> usize {
+    let id = format!("{:?}", std::thread::current().id());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    (id.len() * cores) % shards
+}

@@ -1,0 +1,6 @@
+// stancheck-fixture: crate=topology kind=lib
+//! Known-bad: unordered parallel reduction (results depend on thread scheduling).
+
+pub fn sum_costs(costs: &[f64]) -> f64 {
+    costs.par_iter().cloned().reduce(|| 0.0, |a, b| a + b)
+}

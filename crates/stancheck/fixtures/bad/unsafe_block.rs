@@ -1,0 +1,6 @@
+// stancheck-fixture: crate=switch kind=lib
+//! Known-bad: unsafe code in a workspace that forbids it.
+
+pub fn transmute_id(raw: u64) -> u32 {
+    unsafe { std::mem::transmute::<u32, u32>(raw as u32) }
+}

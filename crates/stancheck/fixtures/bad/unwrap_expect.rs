@@ -1,0 +1,10 @@
+// stancheck-fixture: crate=metrics kind=lib
+//! Known-bad: panicking extractors in library code.
+
+pub fn first_sample(samples: &[f64]) -> f64 {
+    *samples.first().unwrap()
+}
+
+pub fn parse_count(raw: &str) -> usize {
+    raw.parse().expect("count must be numeric")
+}

@@ -1,0 +1,9 @@
+// stancheck-fixture: crate=netsim kind=lib
+//! Known-bad: wall-clock reads inside the simulator.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> f64 {
+    let started = Instant::now();
+    let _epoch = SystemTime::now();
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,35 @@
+// stancheck-fixture: crate=core kind=lib
+//! A clean simulation-crate file: deterministic structures, no clocks, no panics.
+//! Mentions of HashMap, Instant::now, and unsafe appear only in strings and
+//! comments, which the literal-aware lexer must ignore.
+
+use std::collections::BTreeMap;
+
+/// Not a hazard: "HashMap" and "unsafe" inside a string literal.
+pub const DOC_BLURB: &str = "prefer BTreeMap over HashMap; never unsafe";
+
+pub fn degree_table(edges: &[(u32, u32)]) -> BTreeMap<u32, usize> {
+    let mut degree = BTreeMap::new();
+    for (a, b) in edges {
+        *degree.entry(*a).or_insert(0) += 1;
+        *degree.entry(*b).or_insert(0) += 1;
+    }
+    degree
+}
+
+pub fn first_or_zero(samples: &[f64]) -> f64 {
+    samples.first().copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap_and_hash() {
+        // Inside #[cfg(test)] the library rules stand down.
+        let mut set = std::collections::HashSet::new();
+        set.insert(1u32);
+        assert_eq!(degree_table(&[(1, 2)]).get(&1).copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,22 @@
+// stancheck-fixture: crate=core kind=lib
+//! Every hazard here carries a justified waiver: the analyzer must report zero
+//! unwaived findings and record each waiver as used.
+
+// stancheck: allow(hash-collections) — scratch map, drained into a sorted Vec before any iteration escapes
+use std::collections::HashMap;
+
+pub fn sorted_degrees(edges: &[(u32, u32)]) -> Vec<(u32, usize)> {
+    // stancheck: allow(hash-collections) — same scratch map; output is sorted below
+    let mut degree: HashMap<u32, usize> = HashMap::new();
+    for (a, _) in edges {
+        *degree.entry(*a).or_insert(0) += 1;
+    }
+    let mut out: Vec<(u32, usize)> = degree.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn must_first(samples: &[f64]) -> f64 {
+    // stancheck: allow(unwrap-expect) — callers are required to pass non-empty slices; checked by the scenario builder
+    *samples.first().unwrap()
+}

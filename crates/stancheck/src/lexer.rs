@@ -1,0 +1,385 @@
+//! A minimal hand-rolled Rust lexer, just deep enough for hazard scanning.
+//!
+//! The analyzer only needs identifiers and punctuation with accurate line numbers,
+//! plus the comment stream (waivers live in comments). Everything that could hide a
+//! false positive — string literals, raw strings, char literals, lifetimes, nested
+//! block comments — is recognized and skipped, so `"HashMap"` inside a string or a
+//! doc comment never reaches the rule engine.
+
+/// What a [`Token`] is: a word or a single punctuation character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword: `[A-Za-z_][A-Za-z0-9_]*`.
+    Ident,
+    /// A single punctuation character (`.`, `:`, `{`, `#`, ...).
+    Punct,
+}
+
+/// One lexed token, borrowing its text from the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// The token text (one char for punctuation).
+    pub text: &'a str,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Word or punctuation.
+    pub kind: TokenKind,
+}
+
+/// One comment (line or block, doc or plain), borrowing from the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    /// The full comment text including the `//` / `/*` introducer.
+    pub text: &'a str,
+    /// 1-based line the comment starts on.
+    pub start_line: u32,
+    /// 1-based line the comment ends on (differs from `start_line` for blocks).
+    pub end_line: u32,
+}
+
+/// The lexer output: the code token stream and the comment stream, separately.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// Comments in source order.
+    pub comments: Vec<Comment<'a>>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated constructs are
+/// consumed to end-of-file, which is the forgiving behavior a linter wants.
+pub fn lex(src: &str) -> Lexed<'_> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed<'a>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed<'a> {
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    self.pos += 1;
+                    self.string_body();
+                }
+                b'\'' => self.quote(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                _ if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let start = self.pos;
+                    // Multi-byte UTF-8 punctuation (em dashes in comments never get
+                    // here, but source text may contain them in odd places): consume
+                    // the full code point so we never split a character.
+                    let width = utf8_width(c);
+                    self.pos += width;
+                    self.out.tokens.push(Token {
+                        text: &self.src[start..self.pos],
+                        line: self.line,
+                        kind: TokenKind::Punct,
+                    });
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            text: &self.src[start..self.pos],
+            start_line: self.line,
+            end_line: self.line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.comments.push(Comment {
+            text: &self.src[start..self.pos],
+            start_line,
+            end_line: self.line,
+        });
+    }
+
+    /// Consumes a (non-raw) string body; `pos` is just past the opening quote.
+    fn string_body(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// A `'` is either a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+    fn quote(&mut self) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(c) if c.is_ascii_alphabetic() || c == b'_') && after != Some(b'\'');
+        self.pos += 1;
+        if is_lifetime {
+            while self.pos < self.bytes.len() {
+                let c = self.bytes[self.pos];
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            return;
+        }
+        // Char literal: consume to the closing quote, honoring escapes.
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => return, // stray quote; bail at end of line
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`. Returns false if
+    /// the `r`/`b` starts a plain identifier instead (caller then lexes the ident).
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut j = self.pos;
+        // Optional second prefix letter: rb / br.
+        let first = self.bytes[j];
+        j += 1;
+        if let Some(&second) = self.bytes.get(j) {
+            if (first == b'b' && second == b'r') || (first == b'r' && second == b'b') {
+                j += 1;
+            }
+        }
+        let raw = self.src[self.pos..j].contains('r');
+        if first == b'b' && !raw {
+            // b"..." or b'x'
+            match self.bytes.get(j) {
+                Some(b'"') => {
+                    self.pos = j + 1;
+                    self.string_body();
+                    return true;
+                }
+                Some(b'\'') => {
+                    self.pos = j;
+                    self.quote();
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        // Raw form: count hashes then require a quote.
+        let mut hashes = 0usize;
+        while self.bytes.get(j + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        if self.bytes.get(j + hashes) != Some(&b'"') {
+            return false;
+        }
+        self.pos = j + hashes + 1;
+        // Scan for `"` followed by `hashes` hash marks.
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    let mut k = 0usize;
+                    while k < hashes && self.peek(1 + k) == Some(b'#') {
+                        k += 1;
+                    }
+                    self.pos += 1 + k;
+                    if k == hashes {
+                        return true;
+                    }
+                }
+                _ => self.pos += 1,
+            }
+        }
+        true
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.out.tokens.push(Token {
+            text: &self.src[start..self.pos],
+            line: self.line,
+            kind: TokenKind::Ident,
+        });
+    }
+
+    /// Numbers are skipped entirely; the only subtlety is not swallowing the `..` of
+    /// a range expression (`0..10`) as a float's decimal point.
+    fn number(&mut self) {
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            let decimal_point = c == b'.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit());
+            if c.is_ascii_alphanumeric() || c == b'_' || decimal_point {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap in /* a nested */ block comment */
+            let b = r#"HashMap in a raw string"#;
+            let c = b"HashMap in bytes";
+        "##;
+        let words = idents(src);
+        assert!(
+            !words.contains(&"HashMap"),
+            "leaked from literal: {words:?}"
+        );
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let words = idents(src);
+        assert!(words.contains(&"str"));
+        // The lifetime's `a` must not appear as a standalone identifier, and the
+        // char literal body must be skipped.
+        assert!(!words.contains(&"x") || words.iter().filter(|w| **w == "x").count() == 1);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "first\nsecond\n\nfourth";
+        let toks = lex(src).tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let src = "let s = \"one\ntwo\nthree\";\nafter";
+        let toks = lex(src);
+        let after = toks.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let src = "for i in 0..10 { touch(i) }";
+        let words = idents(src);
+        assert_eq!(words, vec!["for", "i", "in", "touch", "i"]);
+    }
+
+    #[test]
+    fn block_comment_spans_are_recorded() {
+        let src = "a\n/* one\ntwo */\nb";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].start_line, 2);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        assert_eq!(lexed.tokens[1].line, 4);
+    }
+
+    #[test]
+    fn raw_identifier_prefixes_do_not_eat_code() {
+        // `r` and `b` as plain identifiers must lex as identifiers.
+        let src = "let r = b + r2;";
+        let words = idents(src);
+        assert_eq!(words, vec!["let", "r", "b", "r2"]);
+    }
+}

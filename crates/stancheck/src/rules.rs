@@ -1,0 +1,425 @@
+//! The determinism-hazard rule set.
+//!
+//! Each rule is a token-level pattern plus an applicability predicate over the file's
+//! crate and kind. Rules are deliberately conservative: they key on identifiers the
+//! lexer guarantees are real code (not strings or comments), and scoping mistakes are
+//! resolved toward *flagging* — a human then either fixes the hazard or writes a
+//! justified waiver.
+
+use crate::lexer::{Token, TokenKind};
+
+/// How bad an unwaived finding is. Both severities fail the build; the split exists
+/// so reports can rank determinism breakers above robustness smells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Breaks seeded bit-identical reproduction (hash iteration, wall clock, ...).
+    Error,
+    /// Robustness hazard in library code (`unwrap`/`expect`).
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// What kind of source file this is, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: `src/**` excluding binaries.
+    Lib,
+    /// A binary target (`src/bin/**` or `src/main.rs`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Benchmarks (`benches/**`).
+    Bench,
+    /// Examples (`examples/**`).
+    Example,
+    /// `build.rs`.
+    Build,
+}
+
+impl FileKind {
+    /// Label used in reports and fixture directives.
+    pub fn label(self) -> &'static str {
+        match self {
+            FileKind::Lib => "lib",
+            FileKind::Bin => "bin",
+            FileKind::Test => "test",
+            FileKind::Bench => "bench",
+            FileKind::Example => "example",
+            FileKind::Build => "build",
+        }
+    }
+
+    /// Parses a fixture-directive label.
+    pub fn from_label(label: &str) -> Option<FileKind> {
+        Some(match label {
+            "lib" => FileKind::Lib,
+            "bin" => FileKind::Bin,
+            "test" => FileKind::Test,
+            "bench" => FileKind::Bench,
+            "example" => FileKind::Example,
+            "build" => FileKind::Build,
+            _ => return None,
+        })
+    }
+}
+
+/// The crates whose code runs *inside* the simulation: a nondeterministic data
+/// structure or clock here corrupts seeded results directly.
+pub const SIMULATION_CRATES: [&str; 6] =
+    ["core", "switch", "channel", "topology", "netsim", "traffic"];
+
+/// Per-file analysis context: which crate the file belongs to and what kind it is.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Crate directory name (`core`, `bench`, ...) or `workspace` for the root facade.
+    pub crate_name: String,
+    /// Target kind.
+    pub kind: FileKind,
+}
+
+impl FileContext {
+    /// True when the file belongs to a simulation crate.
+    pub fn is_simulation(&self) -> bool {
+        SIMULATION_CRATES.contains(&self.crate_name.as_str())
+    }
+}
+
+/// One rule's static metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable id, used in reports and waiver comments.
+    pub id: &'static str,
+    /// Severity of findings.
+    pub severity: Severity,
+    /// One-line description for `--list-rules` and docs.
+    pub summary: &'static str,
+}
+
+/// Every rule the analyzer knows, in report order.
+pub const RULES: [Rule; 6] = [
+    Rule {
+        id: "hash-collections",
+        severity: Severity::Error,
+        summary: "HashMap/HashSet in a simulation crate: iteration order is \
+                  nondeterministic; use BTreeMap/BTreeSet or a sorted Vec",
+    },
+    Rule {
+        id: "wall-clock",
+        severity: Severity::Error,
+        summary: "SystemTime/Instant::now outside the bench crate: wall-clock reads \
+                  leak host timing into simulated results",
+    },
+    Rule {
+        id: "thread-identity",
+        severity: Severity::Error,
+        summary: "thread::current/ThreadId/available_parallelism in a simulation \
+                  crate: thread identity or host core count feeding simulation logic \
+                  breaks seed determinism",
+    },
+    Rule {
+        id: "unordered-merge",
+        severity: Severity::Error,
+        summary: "par-style iteration (rayon et al.): parallel merges must be \
+                  explicitly ordered; unordered reduction reorders floating-point \
+                  and sequence results",
+    },
+    Rule {
+        id: "unsafe-block",
+        severity: Severity::Error,
+        summary: "unsafe code: every crate in this workspace forbids it; any use \
+                  needs an explicit audit trail",
+    },
+    Rule {
+        id: "unwrap-expect",
+        severity: Severity::Warning,
+        summary: "unwrap/expect in library (non-test, non-binary) code: panics in \
+                  library paths abort whole campaigns; return errors or justify \
+                  infallibility with a waiver",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One raw finding (before waiver resolution).
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// The rule that fired.
+    pub rule: &'static Rule,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-oriented message naming the exact token that triggered.
+    pub message: String,
+}
+
+/// Identifiers whose presence alone constitutes an unordered-merge hazard.
+const PAR_IDENTS: [&str; 6] = [
+    "rayon",
+    "par_iter",
+    "into_par_iter",
+    "par_bridge",
+    "par_chunks",
+    "par_extend",
+];
+
+/// Runs every rule over a lexed token stream.
+///
+/// `mask[i]` marks tokens inside test-only scopes (see [`crate::scope::test_mask`]);
+/// most rules skip those.
+pub fn scan(tokens: &[Token<'_>], mask: &[bool], ctx: &FileContext) -> Vec<RawFinding> {
+    let mut findings = Vec::new();
+    let in_test_target = matches!(
+        ctx.kind,
+        FileKind::Test | FileKind::Bench | FileKind::Example
+    );
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        let in_test = mask[i] || in_test_target;
+        match token.text {
+            "HashMap" | "HashSet" if ctx.is_simulation() && !in_test => {
+                findings.push(finding(
+                    "hash-collections",
+                    token.line,
+                    format!(
+                        "`{}` in simulation crate `{}`: iteration order varies per \
+                         process; use BTreeMap/BTreeSet or a Vec sorted on a stable key",
+                        token.text, ctx.crate_name
+                    ),
+                ));
+            }
+            "SystemTime" if ctx.crate_name != "bench" && !in_test => {
+                findings.push(finding(
+                    "wall-clock",
+                    token.line,
+                    format!(
+                        "`SystemTime` in crate `{}`: simulated code must derive time \
+                         from the simulator clock, not the host",
+                        ctx.crate_name
+                    ),
+                ));
+            }
+            "Instant"
+                if ctx.crate_name != "bench"
+                    && !in_test
+                    && next_is(tokens, i, &[":", ":", "now"]) =>
+            {
+                findings.push(finding(
+                    "wall-clock",
+                    token.line,
+                    format!(
+                        "`Instant::now` in crate `{}`: wall-clock timing belongs in \
+                         the bench crate",
+                        ctx.crate_name
+                    ),
+                ));
+            }
+            "available_parallelism" | "ThreadId" if ctx.is_simulation() && !in_test => {
+                findings.push(finding(
+                    "thread-identity",
+                    token.line,
+                    format!(
+                        "`{}` in simulation crate `{}`: host core count / thread \
+                         identity must never influence simulated behavior",
+                        token.text, ctx.crate_name
+                    ),
+                ));
+            }
+            "thread"
+                if ctx.is_simulation()
+                    && !in_test
+                    && next_is(tokens, i, &[":", ":", "current"]) =>
+            {
+                findings.push(finding(
+                    "thread-identity",
+                    token.line,
+                    format!(
+                        "`thread::current` in simulation crate `{}`: thread identity \
+                         feeding simulation logic breaks seed determinism",
+                        ctx.crate_name
+                    ),
+                ));
+            }
+            t if PAR_IDENTS.contains(&t) && !in_test => {
+                findings.push(finding(
+                    "unordered-merge",
+                    token.line,
+                    format!(
+                        "`{t}`: parallel iteration merges must be explicitly ordered \
+                         (merge in seed/index order like the scenario runner does)"
+                    ),
+                ));
+            }
+            "unsafe" => {
+                findings.push(finding(
+                    "unsafe-block",
+                    token.line,
+                    "`unsafe` is forbidden across the workspace".to_string(),
+                ));
+            }
+            "unwrap" | "expect"
+                if ctx.kind == FileKind::Lib
+                    && !mask[i]
+                    && i > 0
+                    && tokens[i - 1].text == "."
+                    && next_is(tokens, i, &["("]) =>
+            {
+                findings.push(finding(
+                    "unwrap-expect",
+                    token.line,
+                    format!(
+                        "`.{}(...)` in library code: a panic here aborts the whole \
+                         campaign; bubble an error or waive with the reason it cannot \
+                         fail",
+                        token.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+fn finding(id: &str, line: u32, message: String) -> RawFinding {
+    RawFinding {
+        rule: rule_by_id(id).unwrap_or(&RULES[0]),
+        line,
+        message,
+    }
+}
+
+/// True when the tokens after `i` match `expected` texts exactly.
+fn next_is(tokens: &[Token<'_>], i: usize, expected: &[&str]) -> bool {
+    expected
+        .iter()
+        .enumerate()
+        .all(|(k, want)| matches!(tokens.get(i + 1 + k), Some(t) if t.text == *want))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::test_mask;
+
+    fn scan_str(src: &str, crate_name: &str, kind: FileKind) -> Vec<RawFinding> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        scan(
+            &lexed.tokens,
+            &mask,
+            &FileContext {
+                crate_name: crate_name.to_string(),
+                kind,
+            },
+        )
+    }
+
+    fn ids(findings: &[RawFinding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule.id).collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_simulation_crates() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        assert_eq!(scan_str(src, "core", FileKind::Lib).len(), 3);
+        assert!(scan_str(src, "bench", FileKind::Lib).is_empty());
+        assert!(scan_str(src, "metrics", FileKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_test_module_is_fine() {
+        let src = "#[cfg(test)]\nmod tests { use std::collections::HashMap; fn f() { HashMap::<u8, u8>::new(); } }";
+        assert!(scan_str(src, "core", FileKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_allows_bench_crate() {
+        let src = "fn t() { let s = std::time::Instant::now(); }";
+        assert_eq!(ids(&scan_str(src, "netsim", FileKind::Lib)), ["wall-clock"]);
+        assert!(scan_str(src, "bench", FileKind::Lib).is_empty());
+        // `Instant` as a type alone (stored, compared) is not flagged — only `::now`.
+        let stored = "struct S { at: Instant }";
+        assert!(scan_str(stored, "netsim", FileKind::Lib).is_empty());
+        // SystemTime is flagged on sight: there is no deterministic use for it.
+        let sys = "fn t() -> SystemTime { unreachable!() }";
+        assert_eq!(
+            ids(&scan_str(sys, "metrics", FileKind::Lib)),
+            ["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn thread_identity_rules() {
+        let src = "fn n() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }";
+        assert_eq!(
+            ids(&scan_str(src, "core", FileKind::Lib)),
+            ["thread-identity"]
+        );
+        assert!(scan_str(src, "metrics", FileKind::Lib).is_empty());
+        let cur = "fn id() { let t = thread::current().id(); }";
+        assert_eq!(
+            ids(&scan_str(cur, "core", FileKind::Lib)),
+            ["thread-identity"]
+        );
+        // thread::scope / spawn are the *sanctioned* primitives.
+        let scoped = "fn s() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert!(scan_str(scoped, "core", FileKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn par_idents_flagged_everywhere_outside_tests() {
+        let src = "fn f(v: &[u32]) { v.par_iter().for_each(|_| {}); }";
+        assert_eq!(
+            ids(&scan_str(src, "metrics", FileKind::Lib)),
+            ["unordered-merge"]
+        );
+    }
+
+    #[test]
+    fn unsafe_flagged_even_in_tests() {
+        let src =
+            "#[cfg(test)]\nmod tests { fn f() { unsafe { core::hint::unreachable_unchecked() } } }";
+        assert_eq!(ids(&scan_str(src, "tags", FileKind::Lib)), ["unsafe-block"]);
+    }
+
+    #[test]
+    fn unwrap_expect_only_in_lib_non_test() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\nfn g(r: Result<u32, ()>) -> u32 { r.expect(\"msg\") }";
+        assert_eq!(
+            ids(&scan_str(src, "metrics", FileKind::Lib)),
+            ["unwrap-expect", "unwrap-expect"]
+        );
+        assert!(scan_str(src, "metrics", FileKind::Bin).is_empty());
+        assert!(scan_str(src, "metrics", FileKind::Test).is_empty());
+        // unwrap_or and friends are fine.
+        let or = "fn f(o: Option<u32>) -> u32 { o.unwrap_or(1) }";
+        assert!(scan_str(or, "metrics", FileKind::Lib).is_empty());
+        // A method *named* unwrap on a path (Self::unwrap) is not a `.unwrap()` call.
+        let path = "fn f() { Wrapper::unwrap(w); }";
+        assert!(scan_str(path, "metrics", FileKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = r#"
+            // HashMap SystemTime unsafe unwrap
+            fn f() -> &'static str { "HashMap unsafe par_iter" }
+        "#;
+        assert!(scan_str(src, "core", FileKind::Lib).is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Waiver comments: auditable, per-line suppression with a mandatory justification.
+//!
+//! Syntax (in a line or block comment):
+//!
+//! ```text
+//! // stancheck: allow(rule-id) — justification for why this is safe
+//! // stancheck: allow(rule-a, rule-b) - shared justification
+//! ```
+//!
+//! A waiver suppresses findings of the named rule(s) on the comment's own line and on
+//! the line immediately after it (so it can trail the offending expression or sit on
+//! its own line above it). The justification — everything after the closing paren,
+//! minus a leading separator (`—`, `-`, `:`) — must be non-empty: a waiver without a
+//! written reason is itself reported as a finding, as is a waiver naming an unknown
+//! rule or one that suppresses nothing.
+//!
+//! Waivers are only recognized in *plain* comments (`//`, `/* */`). Doc comments
+//! (`///`, `//!`, `/**`, `/*!`) are rendered documentation — they cite waiver syntax
+//! as prose (this very module does) and must never act as suppressions.
+
+use crate::lexer::Comment;
+
+/// One parsed waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule ids this waiver suppresses.
+    pub rules: Vec<String>,
+    /// Line the waiver comment starts on.
+    pub line: u32,
+    /// Last line the waiver covers (`end_line + 1` of the comment).
+    pub covers_through: u32,
+    /// The written justification (may be empty — reported as a finding downstream).
+    pub reason: String,
+}
+
+/// A malformed waiver: mentions `stancheck:` but does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverSyntaxError {
+    /// Line of the malformed comment.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Scans the comment stream for waivers. Returns parsed waivers and syntax errors.
+pub fn parse_waivers(comments: &[Comment<'_>]) -> (Vec<Waiver>, Vec<WaiverSyntaxError>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for comment in comments {
+        if is_doc_comment(comment.text) {
+            continue;
+        }
+        let Some(at) = comment.text.find("stancheck:") else {
+            continue;
+        };
+        let rest = comment.text[at + "stancheck:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            errors.push(WaiverSyntaxError {
+                line: comment.start_line,
+                message: "expected `allow(<rule>)` after `stancheck:`".to_string(),
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            errors.push(WaiverSyntaxError {
+                line: comment.start_line,
+                message: "expected `(` after `stancheck: allow`".to_string(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            errors.push(WaiverSyntaxError {
+                line: comment.start_line,
+                message: "unclosed `(` in `stancheck: allow(...)`".to_string(),
+            });
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            errors.push(WaiverSyntaxError {
+                line: comment.start_line,
+                message: "`stancheck: allow()` names no rules".to_string(),
+            });
+            continue;
+        }
+        let reason = strip_separator(&rest[close + 1..]);
+        waivers.push(Waiver {
+            rules,
+            line: comment.start_line,
+            covers_through: comment.end_line + 1,
+            reason,
+        });
+    }
+    (waivers, errors)
+}
+
+/// True for `///`, `//!`, `/**`, `/*!` (but not the empty block comment `/**/`).
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && !text.starts_with("/**/"))
+        || text.starts_with("/*!")
+}
+
+/// Trims the justification: drop a leading `—` / `–` / `-` / `:` separator, trailing
+/// block-comment terminator, and whitespace.
+fn strip_separator(raw: &str) -> String {
+    let mut s = raw.trim();
+    for sep in ["—", "–", "-", ":"] {
+        if let Some(stripped) = s.strip_prefix(sep) {
+            s = stripped.trim_start();
+            break;
+        }
+    }
+    s.trim_end_matches("*/").trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Waiver>, Vec<WaiverSyntaxError>) {
+        parse_waivers(&lex(src).comments)
+    }
+
+    #[test]
+    fn waiver_with_justification_round_trips() {
+        let (waivers, errors) = parse(
+            "// stancheck: allow(unwrap-expect) — mutex poisoning is unreachable here\nlet x = 1;",
+        );
+        assert!(errors.is_empty());
+        assert_eq!(waivers.len(), 1);
+        assert_eq!(waivers[0].rules, vec!["unwrap-expect"]);
+        assert_eq!(waivers[0].line, 1);
+        assert_eq!(waivers[0].covers_through, 2);
+        assert_eq!(waivers[0].reason, "mutex poisoning is unreachable here");
+    }
+
+    #[test]
+    fn multiple_rules_and_ascii_separator() {
+        let (waivers, _) = parse("// stancheck: allow(wall-clock, unwrap-expect) - timing shim");
+        assert_eq!(waivers[0].rules, vec!["wall-clock", "unwrap-expect"]);
+        assert_eq!(waivers[0].reason, "timing shim");
+    }
+
+    #[test]
+    fn missing_reason_parses_with_empty_reason() {
+        let (waivers, errors) = parse("// stancheck: allow(unsafe-block)");
+        assert!(errors.is_empty());
+        assert_eq!(waivers[0].reason, "");
+    }
+
+    #[test]
+    fn malformed_waivers_are_reported() {
+        let (_, errors) = parse("// stancheck: allogw(unwrap-expect) oops");
+        assert_eq!(errors.len(), 1);
+        let (_, errors) = parse("// stancheck: allow[unwrap-expect]");
+        assert_eq!(errors.len(), 1);
+        let (_, errors) = parse("// stancheck: allow(unwrap-expect — drifted paren");
+        assert_eq!(errors.len(), 1);
+        let (_, errors) = parse("// stancheck: allow()");
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn block_comment_waiver_covers_next_line() {
+        let (waivers, _) =
+            parse("/* stancheck: allow(hash-collections) — keyed output\nis sorted */\nuse x;");
+        assert_eq!(waivers[0].line, 1);
+        assert_eq!(waivers[0].covers_through, 3);
+        assert_eq!(waivers[0].reason, "keyed output\nis sorted");
+    }
+
+    #[test]
+    fn doc_comments_never_waive() {
+        let (waivers, errors) =
+            parse("/// // stancheck: allow(unwrap-expect) — doc example\nfn f() {}");
+        assert!(waivers.is_empty() && errors.is_empty());
+        let (waivers, errors) =
+            parse("//! ```text\n//! // stancheck: allow(wall-clock) — cited syntax\n//! ```");
+        assert!(waivers.is_empty() && errors.is_empty());
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (waivers, errors) =
+            parse("// this mentions stancheck in prose, no directive\n// stancheck is neat");
+        assert!(waivers.is_empty());
+        // Prose starting with `stancheck ` (no colon) must not error either.
+        assert!(errors.is_empty());
+    }
+}

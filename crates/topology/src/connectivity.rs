@@ -43,6 +43,7 @@ impl FlowNetwork {
                 let j = flat
                     .neighbor_indices(v)
                     .binary_search(&u)
+                    // stancheck: allow(unwrap-expect) — infallible by construction: FlatGraph rows are built from an undirected Graph, so every arc u→v has its mirror v→u; a miss is a snapshot bug worth a loud stop
                     .expect("undirected link must appear in both rows");
                 reverse_arc[start + k] = flat.offsets()[v as usize] + j as u32;
             }

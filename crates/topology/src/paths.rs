@@ -71,6 +71,7 @@ impl BfsTree {
     pub fn compute_flat(flat: FlatGraph, source: NodeId, scratch: &mut BfsScratch) -> Self {
         let source_idx = flat
             .index_of(source)
+            // stancheck: allow(unwrap-expect) — documented contract (see `# Panics`): callers pass sources drawn from the same snapshot they hand in
             .expect("BFS source must be part of the snapshot");
         let reached = flat.bfs(source_idx, scratch);
         BfsTree {

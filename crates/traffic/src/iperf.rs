@@ -273,6 +273,7 @@ impl Workload for IperfWorkload {
         let (src, dst) = self
             .endpoints
             .resolve(net)
+            // stancheck: allow(unwrap-expect) — scenario configuration error: failing loudly at workload start beats silently simulating a run with no traffic
             .expect("iperf workload endpoints must resolve");
         self.flow = Some(IperfFlow::new(net, src, dst, self.reno));
     }
@@ -280,11 +281,13 @@ impl Workload for IperfWorkload {
     fn tick(&mut self, net: &mut SdnNetwork, _tick: WorkloadTick) {
         self.flow
             .as_mut()
+            // stancheck: allow(unwrap-expect) — Workload trait contract: the ScenarioRunner always calls start() before the first tick()
             .expect("tick before start")
             .observe_second(net);
     }
 
     fn finish(&mut self, _net: &mut SdnNetwork) -> WorkloadReport {
+        // stancheck: allow(unwrap-expect) — Workload trait contract: finish() only runs after start() on the same agenda
         let flow = self.flow.take().expect("finish before start");
         let run = flow.run;
         let mut report = WorkloadReport::new(self.label());
