@@ -15,8 +15,9 @@ pub fn iterations() -> usize {
         .unwrap_or(3)
 }
 
-/// Times `f` over the configured number of iterations and prints a one-line summary.
-pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+/// Times `f` over the configured number of iterations, prints a one-line summary,
+/// and returns the mean seconds per iteration (for derived throughput figures).
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
     let iters = iterations();
     black_box(f()); // warm-up
     let mut samples = Vec::with_capacity(iters);
@@ -34,4 +35,5 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
         min * 1e3,
         max * 1e3
     );
+    mean
 }

@@ -12,7 +12,9 @@
 
 use renaissance::{ControllerConfig, HarnessConfig, SdnNetwork};
 use sdn_metrics::{MemorySink, MetricKey, Recorder};
-use sdn_netsim::SimDuration;
+use sdn_netsim::calendar::{CalendarQueue, EventRef};
+use sdn_netsim::{SimDuration, SimTime};
+use sdn_rng::Rng;
 use sdn_topology::{builders, BfsScratch, Graph, NodeId};
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
@@ -54,6 +56,83 @@ fn btreemap_bfs(graph: &Graph, source: NodeId) -> usize {
         }
     }
     distance.len()
+}
+
+/// An agenda workload shaped like a campaign run: per-arc delivery bursts at
+/// jittered link latencies plus periodic per-node timers, grouped into `rounds`
+/// task-delay periods. Each round's events are pushed as simulated time reaches the
+/// round — the interleaved push/pop pattern the simulator actually drives, where
+/// scheduled times sit within a task delay of the clock.
+fn agenda_schedule(graph: &Graph, rounds: u64) -> Vec<Vec<EventRef>> {
+    let mut rng = Rng::seed_from_u64(0xA6E0DA);
+    let mut schedule = Vec::new();
+    let mut seq = 0u64;
+    for round in 0..rounds {
+        let base = round * 200_000;
+        let mut burst = Vec::new();
+        for link in graph.links() {
+            burst.push(EventRef {
+                at: SimTime::from_micros(base + 50 + rng.next_u64() % 500),
+                seq,
+                slot: link.a.index(),
+            });
+            seq += 1;
+        }
+        for (i, _) in graph.nodes().enumerate() {
+            burst.push(EventRef {
+                at: SimTime::from_micros(base + 200_000 + (i as u64 * 7) % 1_000),
+                seq,
+                slot: i as u32,
+            });
+            seq += 1;
+        }
+        schedule.push(burst);
+    }
+    schedule
+}
+
+/// Runs the round-interleaved workload through the pre-calendar reference agenda
+/// (an ordered `BTreeMap` keyed by `(at, seq)`), recording every pop into `out`.
+fn agenda_drain_btreemap(schedule: &[Vec<EventRef>], out: &mut Vec<(SimTime, u64)>) {
+    out.clear();
+    let mut agenda: BTreeMap<(SimTime, u64), u32> = BTreeMap::new();
+    for (round, burst) in schedule.iter().enumerate() {
+        let round_end = SimTime::from_micros((round as u64 + 1) * 200_000);
+        for ev in burst {
+            agenda.insert((ev.at, ev.seq), ev.slot);
+        }
+        while let Some((&key, _)) = agenda.iter().next() {
+            if key.0 >= round_end {
+                break;
+            }
+            agenda.remove(&key);
+            out.push(key);
+        }
+    }
+    while let Some((&key, _)) = agenda.iter().next() {
+        agenda.remove(&key);
+        out.push(key);
+    }
+}
+
+/// Runs the same round-interleaved workload through the indexed calendar queue.
+fn agenda_drain_calendar(schedule: &[Vec<EventRef>], out: &mut Vec<(SimTime, u64)>) {
+    out.clear();
+    let mut agenda = CalendarQueue::new();
+    for (round, burst) in schedule.iter().enumerate() {
+        let round_end = SimTime::from_micros((round as u64 + 1) * 200_000);
+        for &ev in burst {
+            agenda.push(ev);
+        }
+        while agenda.peek().is_some_and(|ev| ev.at < round_end) {
+            if let Some(ev) = agenda.pop() {
+                out.push((ev.at, ev.seq));
+            }
+        }
+    }
+    while let Some(ev) = agenda.pop() {
+        out.push((ev.at, ev.seq));
+    }
 }
 
 /// Builds a converged deployment, or a partially-run one when bootstrap would take
@@ -104,6 +183,39 @@ fn main() {
             let mut scratch = BfsScratch::new();
             flat.bfs(source_idx, &mut scratch)
         });
+    }
+
+    // --- Event agenda: BTreeMap reference vs the indexed calendar queue ----------
+    // The agenda workload of a campaign run: per-arc delivery bursts plus periodic
+    // timers, pushed and popped in simulation order. Both agendas produce the exact
+    // same pop sequence (asserted below and in netsim's calendar_order tests); the
+    // cells measure agenda events/second, the figure the event-core rewrite targets.
+    for name in NETWORKS {
+        let net = named(name);
+        let schedule = agenda_schedule(&net.graph, 40);
+        let ops = schedule.iter().map(Vec::len).sum::<usize>() * 2; // push + pop each
+        let mut reference_order = Vec::new();
+        agenda_drain_btreemap(&schedule, &mut reference_order);
+        let mut calendar_order = Vec::new();
+        agenda_drain_calendar(&schedule, &mut calendar_order);
+        assert_eq!(reference_order, calendar_order, "agenda order diverged");
+        let mut scratch = Vec::new();
+        let spent = timing::bench(&format!("agenda/btreemap/{name}"), || {
+            agenda_drain_btreemap(&schedule, &mut scratch)
+        });
+        sink.record(
+            &format!("agenda/btreemap/{name}"),
+            &MetricKey::EVENTS_PER_SEC,
+            ops as f64 / spent.max(1e-9),
+        );
+        let spent = timing::bench(&format!("agenda/calendar/{name}"), || {
+            agenda_drain_calendar(&schedule, &mut scratch)
+        });
+        sink.record(
+            &format!("agenda/calendar/{name}"),
+            &MetricKey::EVENTS_PER_SEC,
+            ops as f64 / spent.max(1e-9),
+        );
     }
 
     // --- Operational graph: incremental maintenance vs from-scratch rebuild -----

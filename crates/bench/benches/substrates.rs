@@ -78,5 +78,5 @@ fn main() {
             }
         }
         delivered
-    })
+    });
 }

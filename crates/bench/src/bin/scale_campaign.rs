@@ -44,6 +44,17 @@ const EXTRA_FLAGS: &[Flag] = &[
         help: "tiny sizes, 1 seed: the CI smoke configuration",
     },
     Flag {
+        name: "--large",
+        value_name: None,
+        help: "scale-large tier: fat_tree(16) and jellyfish(1024, 8, 1), 1 seed",
+    },
+    Flag {
+        name: "--stable-output",
+        value_name: None,
+        help: "zero host-dependent fields (wall clock, events/sec, threads) so \
+               artifacts from equal seeds byte-compare across runs",
+    },
+    Flag {
         name: "--baseline",
         value_name: Some("PATH"),
         help: "committed BENCH_scale.json to gate against; exits nonzero on regression",
@@ -73,17 +84,31 @@ const FULL_NETWORKS: [&str; 9] = [
     "grid(14, 20)",
 ];
 
-/// The smoke sweep: one small instance per family.
-const SMOKE_NETWORKS: [&str; 3] = ["fat_tree(4)", "jellyfish(20, 3, 1)", "grid(4, 5)"];
+/// The smoke sweep: one small instance per family, plus the fat_tree(8) cells the
+/// event-core throughput work is tracked on.
+const SMOKE_NETWORKS: [&str; 4] = [
+    "fat_tree(4)",
+    "fat_tree(8)",
+    "jellyfish(20, 3, 1)",
+    "grid(4, 5)",
+];
+
+/// The scale-large tier: the 10k-switch-class topologies that are too slow for the
+/// PR gate and run on the nightly schedule instead.
+const LARGE_NETWORKS: [&str; 2] = ["fat_tree(16)", "jellyfish(1024, 8, 1)"];
 
 fn main() {
     let args = cli::parse(ABOUT, EXTRA_FLAGS);
     let smoke = args.switch("--smoke");
+    let large = args.switch("--large");
+    let stable = args.switch("--stable-output");
     let out = args
         .value("--out")
         .unwrap_or(if smoke {
             // Keep casual smoke runs from overwriting the committed full baseline.
             "BENCH_scale_smoke.json"
+        } else if large {
+            "BENCH_scale_large.json"
         } else {
             "BENCH_scale.json"
         })
@@ -97,6 +122,8 @@ fn main() {
     if std::env::var("RENAISSANCE_NETWORKS").is_err() {
         scale.networks = if smoke {
             &SMOKE_NETWORKS[..]
+        } else if large {
+            &LARGE_NETWORKS[..]
         } else {
             &FULL_NETWORKS[..]
         }
@@ -104,7 +131,7 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
     }
-    if smoke {
+    if smoke || large {
         scale.runs = 1;
         scale.task_delay = SimDuration::from_millis(200);
     }
@@ -175,8 +202,16 @@ fn main() {
                 ("runs", Json::num(report.runs.len() as f64)),
                 ("seed", Json::str(seed.to_string())),
                 ("converged", Json::Bool(converged)),
-                ("wall_clock_ms", Json::num(wall_ms)),
-                ("events_per_sec", Json::num(events_per_sec)),
+                // Host-dependent fields; zeroed under --stable-output so equal-seed
+                // artifacts can be compared byte for byte (the determinism CI job).
+                (
+                    "wall_clock_ms",
+                    Json::num(if stable { 0.0 } else { wall_ms }),
+                ),
+                (
+                    "events_per_sec",
+                    Json::num(if stable { 0.0 } else { events_per_sec }),
+                ),
                 ("bootstrap_s", Json::samples(&bootstrap)),
                 ("recovery_s", Json::samples(&recovery)),
                 ("sim_end_s", Json::samples(&digest(&MetricKey::SIM_END))),
@@ -193,6 +228,16 @@ fn main() {
         ("version", Json::num(2.0)),
         ("smoke", Json::Bool(smoke)),
         (
+            "tier",
+            Json::str(if smoke {
+                "smoke"
+            } else if large {
+                "large"
+            } else {
+                "full"
+            }),
+        ),
+        (
             "config",
             Json::obj([
                 ("runs", Json::num(scale.runs as f64)),
@@ -203,10 +248,14 @@ fn main() {
                 ),
                 (
                     "threads",
-                    scale
-                        .threads
-                        .map(|t| Json::num(t as f64))
-                        .unwrap_or(Json::Null),
+                    if stable {
+                        Json::Null
+                    } else {
+                        scale
+                            .threads
+                            .map(|t| Json::num(t as f64))
+                            .unwrap_or(Json::Null)
+                    },
                 ),
             ]),
         ),
@@ -222,7 +271,13 @@ fn main() {
     print_table(
         &format!(
             "Scale campaign ({} mode) — medians over {} run(s), artifact: {out}",
-            if smoke { "smoke" } else { "full" },
+            if smoke {
+                "smoke"
+            } else if large {
+                "large"
+            } else {
+                "full"
+            },
             scale.runs
         ),
         &["switches", "boot med s", "recov med s", "wall ms", "conv"],

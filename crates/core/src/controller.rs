@@ -51,6 +51,11 @@ pub struct Controller {
     /// the controller's own outgoing packets. Shared (`Arc`) because the plan of each
     /// round is identical to the rule plan — one computation, no clone.
     plan: Arc<FlowPlan>,
+    /// The reference graph `plan` was computed over. Once the view converges the
+    /// graph stops changing, and every subsequent iteration reuses the plan instead
+    /// of re-running the all-pairs planner — the steady state costs one graph
+    /// comparison instead of `n` BFS traversals. `None` until the first plan.
+    planned_graph: Option<Graph>,
     stats: ControllerStats,
     /// Bumped whenever state a legitimacy check reads (`replyDB`, round tags, the
     /// routing plan) may have changed; the harness dirty-tracks on it.
@@ -74,6 +79,7 @@ impl Controller {
             rounds,
             tag_gen,
             plan: Arc::new(FlowPlan::default()),
+            planned_graph: None,
             stats: ControllerStats::default(),
             state_version: 0,
         }
@@ -138,6 +144,16 @@ impl Controller {
             .unwrap_or_default()
     }
 
+    /// The first plan candidate towards `dst` that is currently an observed
+    /// neighbor — the allocation-free routing decision
+    /// [`first_hop_candidates`](Controller::first_hop_candidates) is collected from.
+    pub fn first_hop(&self, dst: NodeId, neighbors: &[NodeId]) -> Option<NodeId> {
+        self.plan
+            .next_hops(self.id, dst)?
+            .iter()
+            .find(|h| neighbors.contains(h))
+    }
+
     /// One iteration of the do-forever loop (Algorithm 2 lines 7–19).
     ///
     /// `neighbors` is the controller's currently observed neighborhood `Nc(i)`.
@@ -151,7 +167,11 @@ impl Controller {
         // that nextTag() stays ahead of anything in the system.
         let live_tags = [self.rounds.curr(), self.rounds.prev()];
         self.reply_db.prune(self.id, neighbors, &live_tags);
-        self.tag_gen.observe_all(self.reply_db.observed_tags());
+        // The generator only keeps the running max, so one representative tag is
+        // equivalent to observing every tag in the database (`observed_tags`).
+        if let Some(tag) = self.reply_db.max_observed_tag() {
+            self.tag_gen.observe(tag);
+        }
 
         // Lines 10–12: finish the round when every reachable node has answered it.
         let mut new_round = false;
@@ -184,14 +204,21 @@ impl Controller {
             .nodes()
             .filter(|n| n.is_controller(self.config.n_controllers))
             .collect();
-        let mut planner = FlowPlanner::new(self.config.kappa);
-        if let Some(limit) = self.config.max_priorities {
-            planner = planner.with_max_candidates(limit);
-        }
         // The reference graph always equals the fusion view (`use_prev` means the two
         // coincide), so the rule plan doubles as the controller's own routing plan:
-        // one computation, shared through the `Arc`.
-        let rule_plan = Arc::new(planner.plan_restricted(refer_graph, &non_transit));
+        // one computation, shared through the `Arc`. The plan is a pure function of
+        // the reference graph (the planner config is fixed and `non_transit` is
+        // derived from the graph), so an unchanged graph reuses the previous plan.
+        let rule_plan = if self.planned_graph.as_ref() == Some(refer_graph) {
+            Arc::clone(&self.plan)
+        } else {
+            let mut planner = FlowPlanner::new(self.config.kappa);
+            if let Some(limit) = self.config.max_priorities {
+                planner = planner.with_max_candidates(limit);
+            }
+            self.planned_graph = Some(refer_graph.clone());
+            Arc::new(planner.plan_restricted(refer_graph, &non_transit))
+        };
         self.plan = Arc::clone(&rule_plan);
 
         // Reachability in the *previous* round's view decides which controllers are
@@ -235,7 +262,7 @@ impl Controller {
                     });
                 }
                 commands.push(SwitchCommand::UpdateRules {
-                    rules: self.my_rules(&rule_plan, refer_graph, dst, curr),
+                    rules: self.my_rules(&rule_plan, dst, curr),
                     keep_tags: keep_tags.clone(),
                 });
                 self.stats.rule_updates_sent += 1;
@@ -251,15 +278,13 @@ impl Controller {
     /// current view `G` (paper, Sections 2.2.2 and 3.3). One wildcard-source rule per
     /// destination and priority level, encoding the kappa-fault-resilient flow towards
     /// that destination.
-    fn my_rules(&self, plan: &FlowPlan, graph: &Graph, switch: NodeId, tag: Tag) -> Vec<Rule> {
+    fn my_rules(&self, plan: &FlowPlan, switch: NodeId, tag: Tag) -> Vec<Rule> {
         let mut rules = Vec::new();
-        for dst in graph.nodes() {
-            if dst == switch {
-                continue;
-            }
-            let Some(hops) = plan.next_hops(switch, dst) else {
-                continue;
-            };
+        // One ordered range scan over the plan: the plan only stores pairs of its
+        // own reference graph with a non-empty hop set and never an `(s, s)` pair,
+        // so this visits exactly the destinations the per-node lookup loop did, in
+        // the same ascending order.
+        for (dst, hops) in plan.next_hops_from(switch) {
             for (level, fwd) in hops.iter().enumerate() {
                 rules.push(Rule {
                     cid: self.id,

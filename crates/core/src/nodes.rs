@@ -51,9 +51,7 @@ impl ControllerNode {
         let neighbors = ctx.neighbors();
         let first_hop = self
             .controller
-            .first_hop_candidates(dst)
-            .into_iter()
-            .find(|h| neighbors.contains(h))
+            .first_hop(dst, neighbors)
             .or_else(|| neighbors.contains(&dst).then_some(dst))
             .or_else(|| hint.filter(|h| neighbors.contains(h)));
         match first_hop {

@@ -12,6 +12,17 @@ use sdn_tags::Tag;
 use sdn_topology::{paths, Graph, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// The largest-valued tag carried by the rules reported in `reply`, if any.
+fn max_rule_tag(reply: &QueryReply) -> Option<Tag> {
+    let mut best: Option<Tag> = None;
+    for rule in &reply.rules {
+        if best.is_none_or(|b| rule.tag.value() > b.value()) {
+            best = Some(rule.tag);
+        }
+    }
+    best
+}
+
 /// Outcome of inserting a reply into the database.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InsertOutcome {
@@ -24,11 +35,25 @@ pub enum InsertOutcome {
 }
 
 /// Bounded store of query replies keyed by `(responder, round tag)`.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct ReplyDb {
     max_replies: usize,
     records: BTreeMap<(NodeId, Tag), QueryReply>,
+    /// Largest rule tag per stored reply (`None` for replies without rules),
+    /// precomputed at insert so the per-iterate tag observation is O(#replies)
+    /// instead of O(#rules). Maintained alongside `records`; replies injected
+    /// behind the database's back (tests) fall back to an on-the-fly scan.
+    rule_tag_ceiling: BTreeMap<(NodeId, Tag), Option<Tag>>,
     c_resets: u64,
+}
+
+impl PartialEq for ReplyDb {
+    fn eq(&self, other: &Self) -> bool {
+        // The ceiling cache is derived data: databases with equal records are equal.
+        self.max_replies == other.max_replies
+            && self.records == other.records
+            && self.c_resets == other.c_resets
+    }
 }
 
 impl ReplyDb {
@@ -42,6 +67,7 @@ impl ReplyDb {
         ReplyDb {
             max_replies,
             records: BTreeMap::new(),
+            rule_tag_ceiling: BTreeMap::new(),
             c_resets: 0,
         }
     }
@@ -77,11 +103,13 @@ impl ReplyDb {
         let mut outcome = InsertOutcome::Stored;
         if !replaces_existing && self.records.len() + 1 > self.max_replies {
             self.records.clear();
+            self.rule_tag_ceiling.clear();
             self.c_resets += 1;
             outcome = InsertOutcome::StoredAfterReset;
         }
         // Remove any other response from the same node carrying a different tag for the
         // current round bucket (line 22 replaces "the previous response from pj").
+        self.rule_tag_ceiling.insert(key, max_rule_tag(&reply));
         self.records.insert(key, reply);
         outcome
     }
@@ -108,16 +136,21 @@ impl ReplyDb {
                 .map(|reachable| reachable.contains(node))
                 .unwrap_or(false)
         });
+        let records = &self.records;
+        self.rule_tag_ceiling
+            .retain(|key, _| records.contains_key(key));
     }
 
     /// Removes every reply carrying `tag` (Algorithm 2 line 12).
     pub fn drop_tag(&mut self, tag: Tag) {
         self.records.retain(|(_, t), _| *t != tag);
+        self.rule_tag_ceiling.retain(|(_, t), _| *t != tag);
     }
 
     /// Performs an explicit C-reset, forgetting everything.
     pub fn c_reset(&mut self) {
         self.records.clear();
+        self.rule_tag_ceiling.clear();
         self.c_resets += 1;
     }
 
@@ -149,6 +182,30 @@ impl ReplyDb {
             tags.extend(reply.rules.iter().map(|r| r.tag));
         }
         tags
+    }
+
+    /// The tag with the largest value present anywhere in the stored replies (including
+    /// tags inside rules). The tag generator folds observations with `max`, so this is
+    /// all it needs — without walking every rule of every reply each iteration.
+    pub fn max_observed_tag(&self) -> Option<Tag> {
+        let mut best: Option<Tag> = None;
+        for ((node, tag), reply) in &self.records {
+            for t in [
+                Some(*tag),
+                self.rule_tag_ceiling
+                    .get(&(*node, *tag))
+                    .copied()
+                    .unwrap_or_else(|| max_rule_tag(reply)),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if best.is_none_or(|b| t.value() > b.value()) {
+                    best = Some(t);
+                }
+            }
+        }
+        best
     }
 
     /// `G(res(tag))`: the topology derivable from the replies of round `tag` plus the

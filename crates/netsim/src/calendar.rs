@@ -1,0 +1,305 @@
+//! An indexed calendar queue: the event agenda behind [`crate::sim::Simulator`].
+//!
+//! The simulator used to order events through a `BinaryHeap` keyed on `(at, seq)`.
+//! A binary heap pays `O(log n)` pointer-chasing comparisons on every push and pop;
+//! at datacenter sizes (fat_tree(16), jellyfish(1024)) the agenda holds tens of
+//! thousands of in-flight deliveries and the heap becomes a measurable fraction of
+//! the hot loop. This module applies the FlatGraph trick of PR 4 to *time*: the
+//! agenda is a calendar (bucket queue) indexed by the simulated tick, so the common
+//! operations are `O(1)` array pushes plus a single sort of each day's small bucket.
+//!
+//! Layout:
+//!
+//! - Time is divided into fixed-width **days** of `2^DAY_SHIFT` microseconds.
+//! - `near` holds the events of the current day, sorted *descending* by `(at, seq)`
+//!   so the next event is popped off the back in `O(1)`.
+//! - `wheel` is a ring of `NBUCKETS` unsorted buckets; bucket `d & MASK` holds the
+//!   events of day `d` for every `d` in `(cur_day, cur_day + NBUCKETS)`. Each day in
+//!   that window maps to a distinct bucket, and a bucket is fully drained into
+//!   `near` when its day arrives, so a bucket never mixes two days.
+//! - `overflow` holds events beyond the wheel horizon (≈ `NBUCKETS * 2^DAY_SHIFT`
+//!   microseconds, about one simulated second at the default geometry), sorted
+//!   descending; events migrate into the wheel as the horizon slides past them.
+//!
+//! Pops are strictly ordered by `(at, seq)` — bit-identical to the reference
+//! `BTreeMap`/`BinaryHeap` agenda order, which the property tests in
+//! `tests/calendar_order.rs` assert over randomized and topology-derived schedules.
+//!
+//! The queue stores lightweight [`EventRef`]s (a time, a tie-breaking sequence
+//! number, and a slot index into the simulator's event arena); payloads never move
+//! through the calendar.
+
+use crate::time::SimTime;
+
+/// Log2 of the day width in microseconds: 256 µs per day.
+const DAY_SHIFT: u32 = 8;
+/// Number of wheel buckets (must be a power of two): horizon ≈ 1.05 simulated
+/// seconds, which covers every control-plane delay in the repo (link latencies in
+/// the hundreds of microseconds, detection delays of tens of milliseconds, task
+/// timers of hundreds of milliseconds) without touching the overflow list.
+const NBUCKETS: usize = 4096;
+const MASK: u64 = (NBUCKETS as u64) - 1;
+
+/// A queue entry: the schedule key plus the arena slot holding the event body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRef {
+    /// Scheduled delivery time.
+    pub at: SimTime,
+    /// Global tie-breaker: events at equal `at` pop in ascending `seq` order.
+    pub seq: u64,
+    /// Index into the owner's event arena.
+    pub slot: u32,
+}
+
+impl EventRef {
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+
+    fn day(&self) -> u64 {
+        self.at.as_micros() >> DAY_SHIFT
+    }
+}
+
+/// The indexed calendar queue. See the module docs for the layout.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// Current day's events, sorted descending by `(at, seq)`; popped off the back.
+    near: Vec<EventRef>,
+    /// Ring of future days within the horizon; buckets are unsorted.
+    wheel: Vec<Vec<EventRef>>,
+    /// Number of events currently stored in `wheel` (cheap all-empty test).
+    wheel_len: usize,
+    /// Events beyond the horizon, sorted descending by `(at, seq)`.
+    overflow: Vec<EventRef>,
+    /// The day `near` belongs to; every event in the wheel or overflow is later.
+    cur_day: u64,
+    len: usize,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CalendarQueue {
+    /// Creates an empty queue anchored at time zero.
+    pub fn new() -> Self {
+        CalendarQueue {
+            near: Vec::new(),
+            wheel: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            overflow: Vec::new(),
+            cur_day: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no event is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an event reference.
+    ///
+    /// Events may carry any time: entries at or before the current day go straight
+    /// into the sorted near list (this happens when the clock was advanced past a
+    /// quiet stretch by `run_until` and a fault handler then schedules work "now").
+    pub fn push(&mut self, ev: EventRef) {
+        self.len += 1;
+        let day = ev.day();
+        if day <= self.cur_day {
+            let idx = self.near.partition_point(|e| e.key() > ev.key());
+            self.near.insert(idx, ev);
+        } else if day - self.cur_day < NBUCKETS as u64 {
+            self.wheel[(day & MASK) as usize].push(ev);
+            self.wheel_len += 1;
+        } else {
+            let idx = self.overflow.partition_point(|e| e.key() > ev.key());
+            self.overflow.insert(idx, ev);
+        }
+    }
+
+    /// Removes and returns the earliest event (smallest `(at, seq)`).
+    pub fn pop(&mut self) -> Option<EventRef> {
+        if self.near.is_empty() {
+            self.advance();
+        }
+        let ev = self.near.pop()?;
+        self.len -= 1;
+        Some(ev)
+    }
+
+    /// The earliest queued event without removing it.
+    ///
+    /// Takes `&mut self` because peeking may advance the internal day cursor to the
+    /// next non-empty bucket; the observable queue content is unchanged.
+    pub fn peek(&mut self) -> Option<&EventRef> {
+        if self.near.is_empty() {
+            self.advance();
+        }
+        self.near.last()
+    }
+
+    /// Moves the day cursor forward until `near` holds the next day's events.
+    fn advance(&mut self) {
+        debug_assert!(self.near.is_empty());
+        if self.len == 0 {
+            return;
+        }
+        while self.near.is_empty() {
+            if self.wheel_len == 0 {
+                // Everything lives beyond the horizon: jump straight to the day of
+                // the earliest overflow event, then re-partition the overflow tail
+                // into the freshly positioned wheel window.
+                debug_assert!(!self.overflow.is_empty());
+                self.cur_day = self.overflow[self.overflow.len() - 1].day();
+            } else {
+                self.cur_day += 1;
+            }
+            self.migrate_overflow();
+            let bucket = &mut self.wheel[(self.cur_day & MASK) as usize];
+            if !bucket.is_empty() {
+                self.wheel_len -= bucket.len();
+                self.near.append(bucket);
+                // Descending sort: pops come off the back in ascending order.
+                // Re-sorting also folds in anything `migrate_overflow` put into
+                // `near` for this same day.
+                self.near
+                    .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+            }
+        }
+    }
+
+    /// Pulls overflow events that the sliding horizon now covers into the wheel
+    /// (or straight into `near` when they belong to the current day).
+    fn migrate_overflow(&mut self) {
+        let horizon = self.cur_day + NBUCKETS as u64;
+        while let Some(last) = self.overflow.last() {
+            let day = last.day();
+            if day >= horizon {
+                break;
+            }
+            let ev = match self.overflow.pop() {
+                Some(ev) => ev,
+                None => break,
+            };
+            if day <= self.cur_day {
+                // Overflow is sorted descending, so these arrive in ascending
+                // order and append to the (empty or ascending-from-back) near
+                // list in the right place.
+                let idx = self.near.partition_point(|e| e.key() > ev.key());
+                self.near.insert(idx, ev);
+            } else {
+                self.wheel[(day & MASK) as usize].push(ev);
+                self.wheel_len += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_micros: u64, seq: u64) -> EventRef {
+        EventRef {
+            at: SimTime::from_micros(at_micros),
+            seq,
+            slot: seq as u32,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(ev(500, 2));
+        q.push(ev(100, 1));
+        q.push(ev(500, 0));
+        q.push(ev(100, 3));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.at.as_micros(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(100, 1), (100, 3), (500, 0), (500, 2)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_cross_the_horizon() {
+        let mut q = CalendarQueue::new();
+        // Way beyond the wheel horizon (≈ 1.05 s): lands in overflow.
+        q.push(ev(3_000_000_000, 0));
+        q.push(ev(5, 1));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.peek().unwrap().seq, 0);
+        assert_eq!(q.pop().unwrap().at.as_micros(), 3_000_000_000);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_behind_cursor_still_pops_first() {
+        let mut q = CalendarQueue::new();
+        q.push(ev(10_000_000, 0));
+        // Peek advances the cursor to the 10 s day...
+        assert_eq!(q.peek().unwrap().seq, 0);
+        // ...but a later push at an earlier time must still pop first.
+        q.push(ev(2_000_000, 1));
+        q.push(ev(1_000, 2));
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_revolutions() {
+        let mut q = CalendarQueue::new();
+        let mut expect = Vec::new();
+        // Spread events over ~8 wheel revolutions with colliding residues.
+        for i in 0..2_000u64 {
+            let at = (i * 7919) % 8_388_608; // < 2^23 µs ≈ 8.4 s
+            q.push(ev(at, i));
+            expect.push((SimTime::from_micros(at), i));
+        }
+        expect.sort();
+        let got: Vec<(SimTime, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.at, e.seq))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = CalendarQueue::new();
+        let mut clock = 0u64;
+        let mut seq = 0u64;
+        let mut popped = Vec::new();
+        for round in 0..500u64 {
+            // Push a burst relative to the current clock, mimicking callbacks.
+            for k in 0..3 {
+                let at = clock + (round * 37 + k * 251) % 600_000;
+                q.push(ev(at, seq));
+                seq += 1;
+            }
+            if let Some(e) = q.pop() {
+                assert!(e.at.as_micros() >= clock, "time went backwards");
+                clock = e.at.as_micros();
+                popped.push((e.at, e.seq));
+            }
+        }
+        while let Some(e) = q.pop() {
+            assert!(e.at.as_micros() >= clock);
+            clock = e.at.as_micros();
+            popped.push((e.at, e.seq));
+        }
+        let mut sorted = popped.clone();
+        sorted.sort();
+        assert_eq!(popped, sorted, "pops must come out in (at, seq) order");
+        assert_eq!(popped.len(), 1500);
+    }
+}

@@ -76,14 +76,30 @@ pub struct Context<M: Payload> {
 }
 
 impl<M: Payload> Context<M> {
+    #[cfg(test)]
     pub(crate) fn new(node: NodeId, now: SimTime, neighbors: Vec<NodeId>, random: u64) -> Self {
+        Context::with_buffers(node, now, neighbors, random, Vec::new(), Vec::new())
+    }
+
+    /// Like [`Context::new`], but the effect buffers are lent by the caller (the
+    /// simulator recycles one outbox/timer pair across all callbacks of a run, so
+    /// the hot loop allocates nothing per event).
+    pub(crate) fn with_buffers(
+        node: NodeId,
+        now: SimTime,
+        neighbors: Vec<NodeId>,
+        random: u64,
+        outbox: Vec<(NodeId, M)>,
+        timers: Vec<(SimDuration, TimerId)>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty() && timers.is_empty());
         Context {
             node,
             now,
             neighbors,
             random,
-            outbox: Vec::new(),
-            timers: Vec::new(),
+            outbox,
+            timers,
         }
     }
 

@@ -4,7 +4,32 @@
 //! of every link and node, the event queue, and the node state machines. The harness in
 //! the `renaissance` crate drives it: run for a while, inject faults, check the
 //! legitimacy predicate, repeat.
+//!
+//! # Performance architecture
+//!
+//! The hot loop is pop-event → run-callback → push-effects, millions of times per
+//! campaign cell, so every structure on that path is indexed by dense ids instead of
+//! tree-ordered maps:
+//!
+//! - the agenda is a [`CalendarQueue`] (bucket queue over the simulated tick) holding
+//!   lightweight [`EventRef`]s, not a `BinaryHeap` of whole events;
+//! - event bodies live in a slab (`slots` + LIFO free list) so pushing and popping
+//!   never moves payloads;
+//! - deliveries on the same link at the same tick are batched into one contiguous
+//!   buffer drawn from a per-run pool, so a controller's fan-out of command batches
+//!   costs one agenda entry per (link, tick) instead of one per message, and a
+//!   payload is only cloned when the medium duplicates it;
+//! - node state machines, fail/start flags, and observed neighborhoods are dense
+//!   `Vec`s indexed by the `u32` inside [`NodeId`] — the hot loop never touches a
+//!   `NodeId`-keyed map.
+//!
+//! All of this is bit-identity-preserving: events still pop in exactly `(at, seq)`
+//! order, every delivered message still draws the same RNG values in the same order,
+//! and the metrics counters advance in the same sequence as the unbatched reference
+//! semantics (the property tests in `tests/calendar_order.rs` and the BENCH baselines
+//! both pin this down).
 
+use crate::calendar::{CalendarQueue, EventRef};
 use crate::link::{LinkConfig, LinkStatus, TransmissionOutcome};
 use crate::metrics::NetworkMetrics;
 use crate::node::{Context, Node, Payload, TimerId};
@@ -12,48 +37,30 @@ use crate::time::{SimDuration, SimTime};
 use sdn_rng::Rng;
 use sdn_topology::ids::Link;
 use sdn_topology::{Graph, NodeId};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::BTreeMap;
 
-/// Internal event kinds.
+/// One message scheduled inside a batched delivery event.
+#[derive(Debug)]
+struct BatchedMsg<M> {
+    msg: M,
+    bytes: usize,
+    duplicate: bool,
+}
+
+/// Internal event kinds, stored out-of-line in the event slab.
 #[derive(Debug)]
 enum EventKind<M> {
+    /// Every message crossing the link `from -> to` at one tick, in send order.
     Deliver {
         from: NodeId,
         to: NodeId,
-        msg: M,
-        bytes: usize,
-        duplicate: bool,
+        batch: Vec<BatchedMsg<M>>,
     },
     Timer {
         node: NodeId,
         timer: TimerId,
     },
     RefreshObservations,
-}
-
-#[derive(Debug)]
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Configuration of a [`Simulator`].
@@ -117,10 +124,22 @@ impl Default for SimConfig {
 pub struct Simulator<M: Payload, N: Node<M>> {
     now: SimTime,
     seq: u64,
-    events: BinaryHeap<Reverse<Event<M>>>,
-    nodes: BTreeMap<NodeId, N>,
-    started: BTreeSet<NodeId>,
-    failed_nodes: BTreeSet<NodeId>,
+    /// The agenda: `(at, seq)`-ordered references into the event slab.
+    events: CalendarQueue,
+    /// Event slab: bodies stay put while their references travel the calendar.
+    slots: Vec<Option<EventKind<M>>>,
+    /// Free slab slots, reused LIFO (deterministic).
+    free: Vec<u32>,
+    /// Recycled batch buffers for delivery events.
+    batch_pool: Vec<Vec<BatchedMsg<M>>>,
+    /// The most recent open delivery batch: `(at, from, to, slot)`. A push that
+    /// matches it appends to that batch; any other push or any pop closes it,
+    /// which keeps batched messages contiguous in the original `(at, seq)` order.
+    open_batch: Option<(SimTime, NodeId, NodeId, u32)>,
+    /// Node state machines, dense by `NodeId` index; `None` = not registered.
+    nodes: Vec<Option<N>>,
+    started: Vec<bool>,
+    failed: Vec<bool>,
     topology: Graph,
     /// The operational topology `Go`, maintained incrementally under every
     /// link/node status transition instead of being rebuilt per query.
@@ -129,10 +148,20 @@ pub struct Simulator<M: Payload, N: Node<M>> {
     /// stable across no-op events. Consumers key caches on this.
     generation: u64,
     /// Total events processed by [`Simulator::step`] — the throughput numerator.
+    /// Batched deliveries count one per message, like the unbatched reference.
     events_processed: u64,
     link_status: BTreeMap<Link, LinkStatus>,
     link_overrides: BTreeMap<Link, LinkConfig>,
-    observed: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Observed neighborhoods, dense by `NodeId` index; `observed_present`
+    /// distinguishes "observes nothing" from "not a topology node".
+    observed: Vec<Vec<NodeId>>,
+    observed_present: Vec<bool>,
+    /// Double buffer for [`Simulator::refresh_observations`].
+    observed_scratch: Vec<Vec<NodeId>>,
+    scratch_present: Vec<bool>,
+    /// Reusable effect buffers lent to callbacks through [`Context`].
+    outbox_buf: Vec<(NodeId, M)>,
+    timers_buf: Vec<(SimDuration, TimerId)>,
     config: SimConfig,
     rng: Rng,
     metrics: NetworkMetrics,
@@ -145,23 +174,53 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
         let mut sim = Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            events: BinaryHeap::new(),
-            nodes: BTreeMap::new(),
-            started: BTreeSet::new(),
-            failed_nodes: BTreeSet::new(),
+            events: CalendarQueue::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            batch_pool: Vec::new(),
+            open_batch: None,
+            nodes: Vec::new(),
+            started: Vec::new(),
+            failed: Vec::new(),
             topology: topology.clone(),
             operational: topology.clone(),
             generation: 0,
             events_processed: 0,
             link_status: BTreeMap::new(),
             link_overrides: BTreeMap::new(),
-            observed: BTreeMap::new(),
+            observed: Vec::new(),
+            observed_present: Vec::new(),
+            observed_scratch: Vec::new(),
+            scratch_present: Vec::new(),
+            outbox_buf: Vec::new(),
+            timers_buf: Vec::new(),
             config,
             rng,
             metrics: NetworkMetrics::default(),
         };
         sim.refresh_observations();
         sim
+    }
+
+    /// Grows the dense per-node vectors to cover index `i`.
+    fn grow_node_tables(&mut self, i: usize) {
+        if self.nodes.len() <= i {
+            self.nodes.resize_with(i + 1, || None);
+            self.started.resize(i + 1, false);
+            self.failed.resize(i + 1, false);
+        }
+        if self.observed.len() <= i {
+            self.observed.resize_with(i + 1, Vec::new);
+            self.observed_present.resize(i + 1, false);
+            self.observed_scratch.resize_with(i + 1, Vec::new);
+            self.scratch_present.resize(i + 1, false);
+        }
+    }
+
+    fn has_state_machine(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.as_usize())
+            .is_some_and(|slot| slot.is_some())
     }
 
     /// Registers the state machine for `id`.
@@ -174,18 +233,19 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
             self.topology.contains_node(id),
             "node {id} is not part of the topology"
         );
-        assert!(
-            self.nodes.insert(id, node).is_none(),
-            "node {id} registered twice"
-        );
+        let i = id.as_usize();
+        self.grow_node_tables(i);
+        assert!(self.nodes[i].is_none(), "node {id} registered twice");
+        self.nodes[i] = Some(node);
     }
 
     /// Calls [`Node::on_start`] on every registered node that has not started yet.
     pub fn start(&mut self) {
-        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
-        for id in ids {
-            if self.started.insert(id) {
-                self.run_callback(id, |node, ctx| node.on_start(ctx));
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].is_some() && !self.started[i] {
+                self.started[i] = true;
+                // The dense index always fits: nodes are registered through NodeId.
+                self.run_callback(NodeId::new(i as u32), |node, ctx| node.on_start(ctx));
             }
         }
     }
@@ -216,7 +276,7 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     pub fn rebuild_operational_graph(&self) -> Graph {
         let mut g = Graph::new();
         for node in self.topology.nodes() {
-            if !self.failed_nodes.contains(&node) {
+            if !self.is_node_failed(node) {
                 g.add_node(node);
             }
         }
@@ -245,18 +305,21 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
 
     /// Immutable access to a node's state machine.
     pub fn node(&self, id: NodeId) -> Option<&N> {
-        self.nodes.get(&id)
+        self.nodes.get(id.as_usize()).and_then(Option::as_ref)
     }
 
     /// Mutable access to a node's state machine — this is how the harness injects
     /// *transient state corruption* (the paper's rare transient faults).
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut N> {
-        self.nodes.get_mut(&id)
+        self.nodes.get_mut(id.as_usize()).and_then(Option::as_mut)
     }
 
-    /// Iterates over all registered nodes.
+    /// Iterates over all registered nodes in ascending identifier order.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> + '_ {
-        self.nodes.iter().map(|(&id, n)| (id, n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|n| (NodeId::new(i as u32), n)))
     }
 
     /// The network-wide message metrics.
@@ -271,7 +334,7 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
 
     /// Returns `true` when `id` has fail-stopped.
     pub fn is_node_failed(&self, id: NodeId) -> bool {
-        self.failed_nodes.contains(&id)
+        self.failed.get(id.as_usize()).copied().unwrap_or(false)
     }
 
     /// Returns `true` when the link exists in `Gc`, is administratively up, and both
@@ -280,7 +343,7 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
         if !self.topology.has_link(a, b) {
             return false;
         }
-        if self.failed_nodes.contains(&a) || self.failed_nodes.contains(&b) {
+        if self.is_node_failed(a) || self.is_node_failed(b) {
             return false;
         }
         self.link_status
@@ -292,13 +355,18 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
 
     /// The neighbors node `id` currently *observes* through local topology discovery.
     pub fn observed_neighbors(&self, id: NodeId) -> Vec<NodeId> {
-        self.observed.get(&id).cloned().unwrap_or_default()
+        self.observed(id).to_vec()
     }
 
     /// Borrowed view of the observed neighborhood — the allocation-free variant of
     /// [`Simulator::observed_neighbors`].
     pub fn observed(&self, id: NodeId) -> &[NodeId] {
-        self.observed.get(&id).map(Vec::as_slice).unwrap_or(&[])
+        let i = id.as_usize();
+        if self.observed_present.get(i).copied().unwrap_or(false) {
+            &self.observed[i]
+        } else {
+            &[]
+        }
     }
 
     /// Overrides the link behaviour of one specific link.
@@ -345,7 +413,8 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
         self.link_status.insert(Link::new(a, b), LinkStatus::Up);
         // `Gc` may have gained brand-new endpoints; live ones join `Go` too.
         for node in [a, b] {
-            if !self.failed_nodes.contains(&node) && !self.operational.contains_node(node) {
+            self.grow_node_tables(node.as_usize());
+            if !self.is_node_failed(node) && !self.operational.contains_node(node) {
                 self.operational.add_node(node);
                 self.generation += 1;
             }
@@ -357,7 +426,11 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     /// Fail-stops a node: it no longer receives messages or timer callbacks, and its
     /// links become non-operational.
     pub fn fail_node(&mut self, id: NodeId) {
-        if self.failed_nodes.insert(id) && self.operational.remove_node(id) {
+        let i = id.as_usize();
+        self.grow_node_tables(i);
+        let newly_failed = !self.failed[i];
+        self.failed[i] = true;
+        if newly_failed && self.operational.remove_node(id) {
             self.generation += 1;
         }
         self.schedule_observation_refresh();
@@ -366,7 +439,12 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     /// Revives a previously fail-stopped node (its state machine is kept as-is; callers
     /// that want a fresh node should replace it via [`Simulator::replace_node`]).
     pub fn revive_node(&mut self, id: NodeId) {
-        if self.failed_nodes.remove(&id) && self.topology.contains_node(id) {
+        let i = id.as_usize();
+        let was_failed = self.failed.get(i).copied().unwrap_or(false);
+        if was_failed {
+            self.failed[i] = false;
+        }
+        if was_failed && self.topology.contains_node(id) {
             self.operational.add_node(id);
             let peers: Vec<NodeId> = self.topology.neighbors(id).collect();
             for peer in peers {
@@ -385,8 +463,10 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     /// Bumps the generation: a fresh state machine invalidates anything cached about
     /// the node even though `Go` itself is unchanged.
     pub fn replace_node(&mut self, id: NodeId, node: N) -> Option<N> {
-        let prev = self.nodes.insert(id, node);
-        self.started.remove(&id);
+        let i = id.as_usize();
+        self.grow_node_tables(i);
+        let prev = self.nodes[i].replace(node);
+        self.started[i] = false;
         self.generation += 1;
         prev
     }
@@ -394,13 +474,15 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     /// Adds a brand new node to the topology together with its links and state machine.
     pub fn add_node_with_links(&mut self, id: NodeId, links: &[NodeId], node: N) {
         self.topology.add_node(id);
-        if !self.failed_nodes.contains(&id) && !self.operational.contains_node(id) {
+        self.grow_node_tables(id.as_usize());
+        if !self.is_node_failed(id) && !self.operational.contains_node(id) {
             self.operational.add_node(id);
             self.generation += 1;
         }
         for &peer in links {
             self.topology.add_link(id, peer);
-            if !self.failed_nodes.contains(&peer) && !self.operational.contains_node(peer) {
+            self.grow_node_tables(peer.as_usize());
+            if !self.is_node_failed(peer) && !self.operational.contains_node(peer) {
                 self.operational.add_node(peer);
                 self.generation += 1;
             }
@@ -416,9 +498,12 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
         if self.operational.remove_node(id) {
             self.generation += 1;
         }
-        self.nodes.remove(&id);
-        self.failed_nodes.remove(&id);
-        self.started.remove(&id);
+        let i = id.as_usize();
+        if i < self.nodes.len() {
+            self.nodes[i] = None;
+            self.failed[i] = false;
+            self.started[i] = false;
+        }
         self.schedule_observation_refresh();
     }
 
@@ -433,40 +518,52 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
 
     /// Processes a single event, if any, and returns `true` if one was processed.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(event)) = self.events.pop() else {
+        let Some(ev) = self.events.pop() else {
             return false;
         };
-        debug_assert!(event.at >= self.now, "event from the past");
-        self.now = event.at.max(self.now);
-        self.events_processed += 1;
-        match event.kind {
+        // Popping closes the open batch: nothing may append to an event that is
+        // being (or has been) delivered.
+        self.open_batch = None;
+        debug_assert!(ev.at >= self.now, "event from the past");
+        self.now = ev.at.max(self.now);
+        let Some(kind) = self.slots.get_mut(ev.slot as usize).and_then(Option::take) else {
+            debug_assert!(false, "event reference to a vacant slot");
+            return true;
+        };
+        self.free.push(ev.slot);
+        match kind {
             EventKind::Deliver {
                 from,
                 to,
-                msg,
-                bytes,
-                duplicate,
+                mut batch,
             } => {
-                // The destination must still be alive; links that failed while the
-                // packet was in flight do not retroactively destroy it.
-                if self.failed_nodes.contains(&to) || !self.nodes.contains_key(&to) {
-                    // The in-flight message is lost: charged to its sender.
-                    self.metrics.record_undeliverable(from);
-                    return true;
+                for entry in batch.drain(..) {
+                    self.events_processed += 1;
+                    // The destination must still be alive; links that failed while
+                    // the packet was in flight do not retroactively destroy it.
+                    if self.is_node_failed(to) || !self.has_state_machine(to) {
+                        // The in-flight message is lost: charged to its sender.
+                        self.metrics.record_undeliverable(from);
+                        continue;
+                    }
+                    self.metrics.record_delivery(to, entry.bytes);
+                    if entry.duplicate {
+                        self.metrics.record_duplicate(to);
+                    }
+                    let msg = entry.msg;
+                    self.run_callback(to, |node, ctx| node.on_message(from, msg, ctx));
                 }
-                self.metrics.record_delivery(to, bytes);
-                if duplicate {
-                    self.metrics.record_duplicate(to);
-                }
-                self.run_callback(to, |node, ctx| node.on_message(from, msg, ctx));
+                self.batch_pool.push(batch);
             }
             EventKind::Timer { node, timer } => {
-                if self.failed_nodes.contains(&node) || !self.nodes.contains_key(&node) {
+                self.events_processed += 1;
+                if self.is_node_failed(node) || !self.has_state_machine(node) {
                     return true;
                 }
                 self.run_callback(node, |n, ctx| n.on_timer(timer, ctx));
             }
             EventKind::RefreshObservations => {
+                self.events_processed += 1;
                 self.refresh_observations();
             }
         }
@@ -476,8 +573,8 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     /// Runs until the simulated clock reaches `deadline` (events scheduled after the
     /// deadline stay queued) and sets the clock to exactly `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(event)) = self.events.peek() {
-            if event.at > deadline {
+        while let Some(ev) = self.events.peek() {
+            if ev.at > deadline {
                 break;
             }
             self.step();
@@ -499,7 +596,7 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
         loop {
             match self.events.peek() {
                 None => return true,
-                Some(Reverse(event)) if event.at > max_time => return false,
+                Some(ev) if ev.at > max_time => return false,
                 Some(_) => {
                     self.step();
                 }
@@ -511,10 +608,52 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     // Internals
     // ------------------------------------------------------------------
 
+    fn alloc_slot(&mut self, kind: EventKind<M>) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = Some(kind);
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Some(kind));
+            slot
+        }
+    }
+
+    /// Pushes a non-delivery event; closes any open delivery batch so batched
+    /// messages stay contiguous in the global `(at, seq)` order.
     fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
+        self.open_batch = None;
+        let slot = self.alloc_slot(kind);
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { at, seq, kind }));
+        self.events.push(EventRef { at, seq, slot });
+    }
+
+    /// Schedules one message for delivery, merging it into the open batch when it
+    /// targets the same link at the same tick.
+    ///
+    /// Merged messages do not consume a sequence number; because the open batch is
+    /// closed by any non-matching push and by any pop, the messages of one batch
+    /// correspond to a gap-free run of the reference (unbatched) event order, so
+    /// delivering them back-to-back is bit-identical to the old agenda.
+    fn push_deliver(&mut self, at: SimTime, from: NodeId, to: NodeId, entry: BatchedMsg<M>) {
+        if let Some((bat, bfrom, bto, slot)) = self.open_batch {
+            if bat == at && bfrom == from && bto == to {
+                if let Some(EventKind::Deliver { batch, .. }) =
+                    self.slots.get_mut(slot as usize).and_then(Option::as_mut)
+                {
+                    batch.push(entry);
+                    return;
+                }
+            }
+        }
+        let mut batch = self.batch_pool.pop().unwrap_or_default();
+        batch.push(entry);
+        let slot = self.alloc_slot(EventKind::Deliver { from, to, batch });
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(EventRef { at, seq, slot });
+        self.open_batch = Some((at, from, to, slot));
     }
 
     /// Re-derives the operational status of the link `(a, b)` and applies the delta
@@ -542,21 +681,51 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     }
 
     fn refresh_observations(&mut self) {
-        let mut observed = BTreeMap::new();
+        // Build the new neighborhoods into the scratch double buffer (reusing its
+        // allocations), then swap only if anything actually changed: a refresh that
+        // observes nothing new (e.g. scheduled by a no-op fault) must not
+        // invalidate caches keyed on the generation.
+        let mut scratch = std::mem::take(&mut self.observed_scratch);
+        let mut scratch_present = std::mem::take(&mut self.scratch_present);
+        scratch_present.iter_mut().for_each(|p| *p = false);
+        let mut changed = false;
         for node in self.topology.nodes() {
-            let neighbors: Vec<NodeId> = self
-                .topology
-                .neighbors(node)
-                .filter(|&peer| self.link_is_operational(node, peer))
-                .collect();
-            observed.insert(node, neighbors);
+            let i = node.as_usize();
+            if scratch.len() <= i {
+                scratch.resize_with(i + 1, Vec::new);
+                scratch_present.resize(i + 1, false);
+            }
+            let buf = &mut scratch[i];
+            buf.clear();
+            buf.extend(
+                self.topology
+                    .neighbors(node)
+                    .filter(|&peer| self.link_is_operational(node, peer)),
+            );
+            scratch_present[i] = true;
+            if !self.observed_present.get(i).copied().unwrap_or(false) || self.observed[i] != *buf {
+                changed = true;
+            }
         }
-        // A refresh that observes nothing new (e.g. scheduled by a no-op fault)
-        // must not invalidate caches keyed on the generation.
-        if observed != self.observed {
-            self.observed = observed;
+        if !changed {
+            // A node that vanished from the topology is also a change.
+            changed = self
+                .observed_present
+                .iter()
+                .enumerate()
+                .any(|(i, &present)| present && !scratch_present.get(i).copied().unwrap_or(false));
+        }
+        if changed {
+            if self.observed.len() < scratch.len() {
+                self.observed.resize_with(scratch.len(), Vec::new);
+                self.observed_present.resize(scratch_present.len(), false);
+            }
+            std::mem::swap(&mut self.observed, &mut scratch);
+            std::mem::swap(&mut self.observed_present, &mut scratch_present);
             self.generation += 1;
         }
+        self.observed_scratch = scratch;
+        self.scratch_present = scratch_present;
     }
 
     fn link_config(&self, a: NodeId, b: NodeId) -> LinkConfig {
@@ -570,47 +739,52 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     where
         F: FnOnce(&mut N, &mut Context<M>),
     {
-        let Some(mut node) = self.nodes.remove(&id) else {
+        let i = id.as_usize();
+        let Some(mut node) = self.nodes.get_mut(i).and_then(Option::take) else {
             return;
         };
         // Lend the observed-neighbor vector to the callback instead of cloning it:
         // nothing can touch `observed` while the callback runs (effects are applied
         // only after it returns), so the vector is moved out and moved back.
-        let neighbors = self
-            .observed
-            .get_mut(&id)
-            .map(std::mem::take)
-            .unwrap_or_default();
+        let lent = self.observed_present.get(i).copied().unwrap_or(false);
+        let neighbors = if lent {
+            std::mem::take(&mut self.observed[i])
+        } else {
+            Vec::new()
+        };
         let random = self.rng.next_u64();
-        let mut ctx = Context::new(id, self.now, neighbors, random);
+        let outbox = std::mem::take(&mut self.outbox_buf);
+        let timers = std::mem::take(&mut self.timers_buf);
+        let mut ctx = Context::with_buffers(id, self.now, neighbors, random, outbox, timers);
         f(&mut node, &mut ctx);
-        self.nodes.insert(id, node);
+        self.nodes[i] = Some(node);
         let Context {
             neighbors,
-            outbox,
-            timers,
+            mut outbox,
+            mut timers,
             ..
         } = ctx;
-        if let Some(slot) = self.observed.get_mut(&id) {
-            *slot = neighbors;
+        if lent {
+            self.observed[i] = neighbors;
         }
-        for (delay, timer) in timers {
+        for (delay, timer) in timers.drain(..) {
             let at = self.now + delay;
             self.push_event(at, EventKind::Timer { node: id, timer });
         }
-        for (to, msg) in outbox {
+        self.timers_buf = timers;
+        for (to, msg) in outbox.drain(..) {
             self.transmit(id, to, msg);
         }
+        self.outbox_buf = outbox;
     }
 
     fn transmit(&mut self, from: NodeId, to: NodeId, msg: M) {
         let bytes = msg.wire_size();
         self.metrics.record_send(from, bytes);
-        if from == to
-            || !self.link_is_operational(from, to)
-            || self.failed_nodes.contains(&to)
-            || !self.nodes.contains_key(&to)
-        {
+        // The incrementally maintained `Go` answers the operational-link question in
+        // one dense lookup; a live link implies both endpoints are alive, so the
+        // only extra check is that the destination has a registered state machine.
+        if from == to || !self.operational.has_link(from, to) || !self.has_state_machine(to) {
             self.metrics.record_undeliverable(from);
             return;
         }
@@ -627,11 +801,11 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
                 // (non-duplicate first, duplicates after) event order is preserved.
                 let mut copy = 0;
                 while copy + 1 < copies {
-                    self.push_event(
+                    self.push_deliver(
                         at,
-                        EventKind::Deliver {
-                            from,
-                            to,
+                        from,
+                        to,
+                        BatchedMsg {
                             msg: msg.clone(),
                             bytes,
                             duplicate: copy > 0,
@@ -639,11 +813,11 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
                     );
                     copy += 1;
                 }
-                self.push_event(
+                self.push_deliver(
                     at,
-                    EventKind::Deliver {
-                        from,
-                        to,
+                    from,
+                    to,
+                    BatchedMsg {
                         msg,
                         bytes,
                         duplicate: copy > 0,
@@ -967,6 +1141,38 @@ mod tests {
         // A real fault bumps.
         sim.fail_link(n(0), n(1));
         assert!(sim.topology_generation() > gen);
+    }
+
+    /// Deliveries that share a link and a tick are batched into one agenda entry;
+    /// this must be invisible to nodes and metrics alike.
+    #[test]
+    fn batched_deliveries_preserve_message_order_and_counts() {
+        struct Burst {
+            received: Vec<u64>,
+        }
+        impl Node<u64> for Burst {
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                if ctx.id() == n(0) {
+                    // Same destination, same payload size => same tick: one batch.
+                    for v in 0..5 {
+                        ctx.send(n(1), v);
+                    }
+                }
+            }
+            fn on_message(&mut self, _: NodeId, msg: u64, _: &mut Context<u64>) {
+                self.received.push(msg);
+            }
+        }
+        let g = Graph::from_links([(n(0), n(1))]);
+        let mut sim: Simulator<u64, Burst> = Simulator::new(&g, SimConfig::default());
+        sim.add_node(n(0), Burst { received: vec![] });
+        sim.add_node(n(1), Burst { received: vec![] });
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.node(n(1)).unwrap().received, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.metrics().total_received(), 5);
+        // One message, one processed event — batching must not deflate the count.
+        assert_eq!(sim.events_processed(), 5);
     }
 
     /// Randomized interleavings of every fault primitive: after each step the

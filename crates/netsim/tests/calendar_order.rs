@@ -1,0 +1,140 @@
+//! Property tests for the calendar queue: every pop sequence must be identical to
+//! the reference ordered agenda (a `BTreeMap` keyed by `(at, seq)`), including under
+//! interleaved pushes, ties broken by `seq`, and schedules derived from real
+//! topologies (`ring(64)`, `fat_tree(8)`).
+
+use sdn_netsim::calendar::{CalendarQueue, EventRef};
+use sdn_netsim::SimTime;
+use sdn_rng::Rng;
+use sdn_topology::builders;
+use std::collections::BTreeMap;
+
+/// The reference agenda the simulator's ordering contract is defined against: a
+/// totally ordered map from `(at, seq)` to the arena slot.
+#[derive(Default)]
+struct ReferenceAgenda {
+    map: BTreeMap<(SimTime, u64), u32>,
+}
+
+impl ReferenceAgenda {
+    fn push(&mut self, ev: EventRef) {
+        let previous = self.map.insert((ev.at, ev.seq), ev.slot);
+        assert!(previous.is_none(), "duplicate (at, seq) key in schedule");
+    }
+
+    fn pop(&mut self) -> Option<EventRef> {
+        let (&(at, seq), &slot) = self.map.iter().next()?;
+        self.map.remove(&(at, seq));
+        Some(EventRef { at, seq, slot })
+    }
+}
+
+/// Drives both agendas through the same push/pop script and asserts every popped
+/// event matches, field for field.
+fn assert_equivalent(schedule: &[EventRef], interleave_pops_every: usize) {
+    let mut calendar = CalendarQueue::new();
+    let mut reference = ReferenceAgenda::default();
+    for (i, &ev) in schedule.iter().enumerate() {
+        calendar.push(ev);
+        reference.push(ev);
+        if interleave_pops_every > 0 && i % interleave_pops_every == interleave_pops_every - 1 {
+            assert_eq!(calendar.pop(), reference.pop(), "interleaved pop {i}");
+        }
+    }
+    loop {
+        let got = calendar.pop();
+        let want = reference.pop();
+        assert_eq!(got, want, "drain order diverged");
+        if want.is_none() {
+            break;
+        }
+    }
+    assert!(calendar.is_empty());
+}
+
+#[test]
+fn randomized_schedules_match_reference_order() {
+    let mut rng = Rng::seed_from_u64(0xCA1E_17DA);
+    for case in 0..40u64 {
+        let n = 1 + (rng.next_u64() % 800) as usize;
+        // Mix the three calendar regimes: same-day bursts, wheel-range spreads, and
+        // beyond-horizon outliers (the wheel horizon is ~1.05 simulated seconds).
+        let span = match case % 3 {
+            0 => 1_000,
+            1 => 800_000,
+            _ => 20_000_000,
+        };
+        let schedule: Vec<EventRef> = (0..n)
+            .map(|seq| EventRef {
+                at: SimTime::from_micros(rng.next_u64() % span),
+                seq: seq as u64,
+                slot: seq as u32,
+            })
+            .collect();
+        assert_equivalent(&schedule, (case % 5) as usize);
+    }
+}
+
+#[test]
+fn tied_ticks_pop_in_seq_order() {
+    // Many events on few distinct ticks: ordering is decided by `seq` alone.
+    let mut rng = Rng::seed_from_u64(7);
+    let schedule: Vec<EventRef> = (0..500)
+        .map(|seq| EventRef {
+            at: SimTime::from_micros((rng.next_u64() % 4) * 250),
+            seq,
+            slot: seq as u32,
+        })
+        .collect();
+    assert_equivalent(&schedule, 0);
+    assert_equivalent(&schedule, 3);
+}
+
+/// Builds a schedule shaped like the simulator's: for every arc of the topology a
+/// burst of deliveries at `base + latency`, plus periodic per-node timers — the
+/// actual key distribution the calendar sees during a campaign run.
+fn topology_schedule(name: &str, rounds: u64) -> Vec<EventRef> {
+    let topology = if name == "ring(64)" {
+        builders::ring(64, 3)
+    } else {
+        builders::by_name(name, 3)
+    };
+    let mut rng = Rng::seed_from_u64(0xD15C);
+    let mut schedule = Vec::new();
+    let mut seq = 0u64;
+    for round in 0..rounds {
+        let base = round * 200_000; // one 200 ms task-delay period per round
+        for link in topology.graph.links() {
+            let latency = 50 + rng.next_u64() % 500;
+            schedule.push(EventRef {
+                at: SimTime::from_micros(base + latency),
+                seq,
+                slot: link.a.index(),
+            });
+            seq += 1;
+        }
+        for (i, _) in topology.graph.nodes().enumerate() {
+            schedule.push(EventRef {
+                at: SimTime::from_micros(base + 200_000 + (i as u64 * 7) % 1_000),
+                seq,
+                slot: i as u32,
+            });
+            seq += 1;
+        }
+    }
+    schedule
+}
+
+#[test]
+fn ring64_derived_schedule_matches_reference_order() {
+    let schedule = topology_schedule("ring(64)", 12);
+    assert_equivalent(&schedule, 0);
+    assert_equivalent(&schedule, 2);
+}
+
+#[test]
+fn fat_tree8_derived_schedule_matches_reference_order() {
+    let schedule = topology_schedule("fat_tree(8)", 6);
+    assert_equivalent(&schedule, 0);
+    assert_equivalent(&schedule, 4);
+}

@@ -1,0 +1,16 @@
+// stancheck-fixture: crate=netsim kind=lib
+//! Known-bad: per-event heap allocation in the simulator's dispatch path. Payloads
+//! belong in the slab arena and pooled delivery buffers; boxing them reintroduces a
+//! malloc/free pair per simulated message.
+
+pub struct Delivery {
+    pub at_micros: u64,
+    pub payload: Box<[u8]>,
+}
+
+pub fn enqueue(bytes: &[u8]) -> Delivery {
+    Delivery {
+        at_micros: 0,
+        payload: Box::from(bytes),
+    }
+}

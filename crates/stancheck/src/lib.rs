@@ -13,6 +13,7 @@
 //! | `thread-identity` | `thread::current` / `ThreadId` / `available_parallelism` in simulation crates |
 //! | `unordered-merge` | `rayon`-style `par_*` iteration anywhere outside tests |
 //! | `unsafe-block` | `unsafe` anywhere (the workspace forbids it) |
+//! | `boxed-event-payload` | `Box` in netsim library code (per-event heap allocation in the dispatch path) |
 //! | `unwrap-expect` | `.unwrap()` / `.expect(...)` in library, non-test code |
 //!
 //! The tool is hand-rolled and dependency-free, in the same offline idiom as

@@ -105,7 +105,7 @@ pub struct Rule {
 }
 
 /// Every rule the analyzer knows, in report order.
-pub const RULES: [Rule; 6] = [
+pub const RULES: [Rule; 7] = [
     Rule {
         id: "hash-collections",
         severity: Severity::Error,
@@ -137,6 +137,14 @@ pub const RULES: [Rule; 6] = [
         severity: Severity::Error,
         summary: "unsafe code: every crate in this workspace forbids it; any use \
                   needs an explicit audit trail",
+    },
+    Rule {
+        id: "boxed-event-payload",
+        severity: Severity::Error,
+        summary: "Box in netsim library code: the event-dispatch path stores \
+                  payloads in the slab arena and pooled buffers; a per-event heap \
+                  allocation reintroduces the malloc traffic the calendar rewrite \
+                  removed",
     },
     Rule {
         id: "unwrap-expect",
@@ -267,6 +275,16 @@ pub fn scan(tokens: &[Token<'_>], mask: &[bool], ctx: &FileContext) -> Vec<RawFi
                     "unsafe-block",
                     token.line,
                     "`unsafe` is forbidden across the workspace".to_string(),
+                ));
+            }
+            "Box" if ctx.crate_name == "netsim" && ctx.kind == FileKind::Lib && !in_test => {
+                findings.push(finding(
+                    "boxed-event-payload",
+                    token.line,
+                    "`Box` in the netsim event-dispatch path: payloads live in the \
+                     simulator's slab arena and pooled delivery buffers; allocate \
+                     from the pool (or justify the indirection with a waiver)"
+                        .to_string(),
                 ));
             }
             "unwrap" | "expect"
@@ -412,6 +430,20 @@ mod tests {
         // A method *named* unwrap on a path (Self::unwrap) is not a `.unwrap()` call.
         let path = "fn f() { Wrapper::unwrap(w); }";
         assert!(scan_str(path, "metrics", FileKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn boxed_payload_only_in_netsim_lib() {
+        let src = "pub struct Ev { body: Box<[u8]> }\nfn f() { let _ = Box::new(7u32); }";
+        assert_eq!(
+            ids(&scan_str(src, "netsim", FileKind::Lib)),
+            ["boxed-event-payload", "boxed-event-payload"]
+        );
+        // Other crates and netsim's own tests/benches may box freely.
+        assert!(scan_str(src, "core", FileKind::Lib).is_empty());
+        assert!(scan_str(src, "netsim", FileKind::Test).is_empty());
+        let in_test_mod = "#[cfg(test)]\nmod tests { fn f() { let _ = Box::new(1u8); } }";
+        assert!(scan_str(in_test_mod, "netsim", FileKind::Lib).is_empty());
     }
 
     #[test]

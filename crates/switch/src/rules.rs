@@ -8,7 +8,6 @@
 
 use sdn_tags::Tag;
 use sdn_topology::NodeId;
-use std::collections::BTreeMap;
 
 /// A single match-action packet-forwarding rule.
 ///
@@ -75,11 +74,16 @@ struct StoredRule {
     stamp: u64,
 }
 
-/// Key identifying a rule slot: one slot per (destination, source, priority, installer).
-type RuleKey = (NodeId, Option<NodeId>, u8, NodeId);
+/// Key identifying a rule slot: one slot per (installer, destination, source, priority).
+///
+/// The installer comes first so that one controller's rules form a single contiguous
+/// block (the per-round `updateRule` replacement is a splice of that block), and the
+/// priority is reversed so that `myRules()` — which emits destinations ascending with
+/// priorities descending — produces rule lists already in key order.
+type RuleKey = (NodeId, NodeId, Option<NodeId>, std::cmp::Reverse<u8>);
 
 fn key_of(rule: &Rule) -> RuleKey {
-    (rule.dst, rule.src, rule.prt, rule.cid)
+    (rule.cid, rule.dst, rule.src, std::cmp::Reverse(rule.prt))
 }
 
 /// The bounded rule table of an abstract switch.
@@ -88,13 +92,35 @@ fn key_of(rule: &Rule) -> RuleKey {
 /// updated rule (the paper's clogged-memory policy). Re-installing an existing rule
 /// refreshes its stamp, so the rules of live controllers — which refresh every round —
 /// are never evicted in favour of stale ones.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Rules are stored as a flat vector sorted by [`RuleKey`], which keeps the
+/// per-round `updateRule` command (a wholesale replacement of one controller's
+/// rules) a splice of one contiguous block instead of per-rule tree operations —
+/// the dominant cost of the simulation's recovery phases.
+#[derive(Clone, Debug)]
 pub struct RuleTable {
     max_rules: usize,
-    rules: BTreeMap<RuleKey, StoredRule>,
+    /// Sorted by `key_of`, one entry per key.
+    rules: Vec<StoredRule>,
     next_stamp: u64,
     evictions: u64,
+    /// Reusable buffers for `replace_controller_rules` (never observable).
+    staged: Vec<StoredRule>,
+    scratch: Vec<StoredRule>,
 }
+
+impl PartialEq for RuleTable {
+    fn eq(&self, other: &Self) -> bool {
+        // The merge buffers are scratch space: two tables with the same rules,
+        // stamps, and counters are equal regardless of buffer capacity.
+        self.max_rules == other.max_rules
+            && self.rules == other.rules
+            && self.next_stamp == other.next_stamp
+            && self.evictions == other.evictions
+    }
+}
+
+impl Eq for RuleTable {}
 
 impl RuleTable {
     /// Creates an empty table with capacity `max_rules`.
@@ -106,9 +132,11 @@ impl RuleTable {
         assert!(max_rules > 0, "a switch needs room for at least one rule");
         RuleTable {
             max_rules,
-            rules: BTreeMap::new(),
+            rules: Vec::new(),
             next_stamp: 0,
             evictions: 0,
+            staged: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -132,31 +160,54 @@ impl RuleTable {
         self.evictions
     }
 
+    /// Index of `key` in the sorted rule vector, or the insertion point.
+    fn position(&self, key: &RuleKey) -> Result<usize, usize> {
+        self.rules.binary_search_by(|s| key_of(&s.rule).cmp(key))
+    }
+
     /// Inserts (or refreshes) a rule, evicting the least-recently-updated rule if the
     /// table is full. Returns `true` if an eviction happened.
     pub fn insert(&mut self, rule: Rule) -> bool {
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        let key = key_of(&rule);
-        let is_new = !self.rules.contains_key(&key);
-        let mut evicted = false;
-        if is_new && self.rules.len() >= self.max_rules {
-            // Evict the least recently updated rule.
-            if let Some((&victim, _)) = self.rules.iter().min_by_key(|(_, s)| s.stamp) {
-                self.rules.remove(&victim);
-                self.evictions += 1;
-                evicted = true;
+        match self.position(&key_of(&rule)) {
+            Ok(at) => {
+                self.rules[at] = StoredRule { rule, stamp };
+                false
+            }
+            Err(mut at) => {
+                let mut evicted = false;
+                if self.rules.len() >= self.max_rules {
+                    // Evict the least recently updated rule (stamps are unique,
+                    // so the victim is unambiguous).
+                    if let Some(victim) = (0..self.rules.len()).min_by_key(|&i| self.rules[i].stamp)
+                    {
+                        self.rules.remove(victim);
+                        self.evictions += 1;
+                        evicted = true;
+                        if victim < at {
+                            at -= 1;
+                        }
+                    }
+                }
+                self.rules.insert(at, StoredRule { rule, stamp });
+                evicted
             }
         }
-        self.rules.insert(key, StoredRule { rule, stamp });
-        evicted
+    }
+
+    /// The contiguous index range holding `controller`'s rules.
+    fn controller_range(&self, controller: NodeId) -> (usize, usize) {
+        let lo = self.rules.partition_point(|s| s.rule.cid < controller);
+        let hi = lo + self.rules[lo..].partition_point(|s| s.rule.cid <= controller);
+        (lo, hi)
     }
 
     /// Removes every rule installed by `controller`. Returns how many were removed.
     pub fn delete_controller(&mut self, controller: NodeId) -> usize {
-        let before = self.rules.len();
-        self.rules.retain(|_, s| s.rule.cid != controller);
-        before - self.rules.len()
+        let (lo, hi) = self.controller_range(controller);
+        self.rules.drain(lo..hi);
+        hi - lo
     }
 
     /// Replaces the rules of `controller`: existing rules of that controller whose tag
@@ -173,27 +224,115 @@ impl RuleTable {
         new_rules: impl IntoIterator<Item = Rule>,
         keep_tags: &[Tag],
     ) -> usize {
-        let before = self.rules.len();
-        self.rules
-            .retain(|_, s| s.rule.cid != controller || keep_tags.contains(&s.rule.tag));
-        let removed = before - self.rules.len();
-        for rule in new_rules {
-            self.insert(rule);
+        // Stamp the incoming rules in arrival order — one stamp per rule, exactly as
+        // repeated `insert` calls would consume them (including overwritten duplicates).
+        let mut all_same_cid = true;
+        let mut staged = std::mem::take(&mut self.staged);
+        staged.clear();
+        staged.extend(new_rules.into_iter().map(|rule| {
+            let stamp = self.next_stamp;
+            self.next_stamp += 1;
+            all_same_cid &= rule.cid == controller;
+            StoredRule { rule, stamp }
+        }));
+
+        let (lo, hi) = self.controller_range(controller);
+        let keep = |s: &StoredRule| keep_tags.contains(&s.rule.tag);
+        let removed = self.rules[lo..hi].iter().filter(|s| !keep(s)).count();
+
+        if !all_same_cid || self.rules.len() - removed + staged.len() > self.max_rules {
+            // Rules for foreign controllers land outside the block, and near capacity
+            // evictions may interleave with the insertions — fall back to the
+            // one-at-a-time path to keep the sequence exact. The stamps were already
+            // consumed above, so bypass `insert`'s stamp counter.
+            self.rules
+                .retain(|s| s.rule.cid != controller || keep_tags.contains(&s.rule.tag));
+            for s in staged.drain(..) {
+                self.insert_stamped(s);
+            }
+            self.staged = staged;
+            return removed;
         }
+
+        // Fast path: every incoming rule lands inside the controller's block and the
+        // table cannot reach capacity mid-way, so no eviction can happen and sequential
+        // insertion reduces to a sorted merge of the block. `myRules()` already emits
+        // in key order; arbitrary callers pay a stable sort plus a keep-last dedup
+        // (matching the overwrite-on-reinsert semantics of `insert`).
+        if !staged.is_sorted_by(|a, b| key_of(&a.rule) <= key_of(&b.rule)) {
+            staged.sort_by_key(|s| key_of(&s.rule));
+        }
+        staged.dedup_by(|later, kept| {
+            if key_of(&later.rule) == key_of(&kept.rule) {
+                *kept = *later;
+                true
+            } else {
+                false
+            }
+        });
+        let mut block = std::mem::take(&mut self.scratch);
+        block.clear();
+        let mut old = lo;
+        for s in staged.drain(..) {
+            let key = key_of(&s.rule);
+            while old < hi && key_of(&self.rules[old].rule) < key {
+                if keep(&self.rules[old]) {
+                    block.push(self.rules[old]);
+                }
+                old += 1;
+            }
+            if old < hi && key_of(&self.rules[old].rule) == key {
+                old += 1; // overwritten by the incoming rule
+            }
+            block.push(s);
+        }
+        while old < hi {
+            if keep(&self.rules[old]) {
+                block.push(self.rules[old]);
+            }
+            old += 1;
+        }
+        if block.len() == hi - lo {
+            self.rules[lo..hi].copy_from_slice(&block);
+        } else {
+            self.rules.splice(lo..hi, block.iter().copied());
+        }
+        block.clear();
+        self.scratch = block;
+        self.staged = staged;
         removed
+    }
+
+    /// Inserts a rule whose stamp was already drawn from the counter; shares the
+    /// eviction logic with [`RuleTable::insert`].
+    fn insert_stamped(&mut self, stored: StoredRule) {
+        match self.position(&key_of(&stored.rule)) {
+            Ok(at) => self.rules[at] = stored,
+            Err(mut at) => {
+                if self.rules.len() >= self.max_rules {
+                    if let Some(victim) = (0..self.rules.len()).min_by_key(|&i| self.rules[i].stamp)
+                    {
+                        self.rules.remove(victim);
+                        self.evictions += 1;
+                        if victim < at {
+                            at -= 1;
+                        }
+                    }
+                }
+                self.rules.insert(at, stored);
+            }
+        }
     }
 
     /// All stored rules, in key order.
     pub fn iter(&self) -> impl Iterator<Item = &Rule> + '_ {
-        self.rules.values().map(|s| &s.rule)
+        self.rules.iter().map(|s| &s.rule)
     }
 
     /// All rules installed by `controller`.
     pub fn rules_of(&self, controller: NodeId) -> Vec<Rule> {
-        self.iter()
-            .filter(|r| r.cid == controller)
-            .copied()
-            .collect()
+        let (lo, hi) = self.controller_range(controller);
+        self.rules[lo..hi].iter().map(|s| s.rule).collect()
     }
 
     /// The set of controllers that currently have at least one rule in the table.
@@ -206,19 +345,24 @@ impl RuleTable {
 
     /// The rules matching a packet `(src, dst)`, sorted by decreasing priority.
     pub fn matching(&self, src: NodeId, dst: NodeId) -> Vec<Rule> {
-        let lo: RuleKey = (dst, None, 0, NodeId::new(0));
-        let hi: RuleKey = (
-            dst,
-            Some(NodeId::new(u32::MAX)),
-            u8::MAX,
-            NodeId::new(u32::MAX),
-        );
-        let mut out: Vec<Rule> = self
-            .rules
-            .range(lo..=hi)
-            .map(|(_, s)| s.rule)
-            .filter(|r| r.matches(src, dst))
-            .collect();
+        // One contiguous sub-block per installing controller: walk the controller
+        // blocks (a handful at most) and binary-search the destination inside each.
+        let mut out: Vec<Rule> = Vec::new();
+        let mut i = 0;
+        while i < self.rules.len() {
+            let cid = self.rules[i].rule.cid;
+            let run_end = i + self.rules[i..].partition_point(|s| s.rule.cid <= cid);
+            let run = &self.rules[i..run_end];
+            let lo = i + run.partition_point(|s| s.rule.dst < dst);
+            let hi = i + run.partition_point(|s| s.rule.dst <= dst);
+            out.extend(
+                self.rules[lo..hi]
+                    .iter()
+                    .map(|s| s.rule)
+                    .filter(|r| r.matches(src, dst)),
+            );
+            i = run_end;
+        }
         out.sort_by(|a, b| b.prt.cmp(&a.prt).then(a.fwd.cmp(&b.fwd)));
         out
     }

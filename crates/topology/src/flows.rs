@@ -118,6 +118,15 @@ impl FlowPlan {
         self.next_hops.iter().map(|(&(a, t), s)| (a, t, s))
     }
 
+    /// Iterates over the next-hop sets stored for packets at `at`, in ascending
+    /// destination order — one ordered range scan instead of a tree lookup per
+    /// destination, which is what makes `myRules()` linear in the rule count.
+    pub fn next_hops_from(&self, at: NodeId) -> impl Iterator<Item = (NodeId, &NextHopSet)> + '_ {
+        self.next_hops
+            .range((at, NodeId::new(0))..=(at, NodeId::new(u32::MAX)))
+            .map(|(&(_, t), s)| (t, s))
+    }
+
     /// Number of `(at, towards)` entries in the plan.
     pub fn len(&self) -> usize {
         self.next_hops.len()
@@ -273,8 +282,6 @@ impl FlowPlanner {
         non_transit: &std::collections::BTreeSet<NodeId>,
     ) -> FlowPlan {
         let limit = self.max_candidates.unwrap_or(usize::MAX);
-        let mut next_hops = BTreeMap::new();
-        let mut distances = BTreeMap::new();
         // Distances towards a target are computed over the graph without the other
         // non-transit nodes: paths may start or end at a non-transit node but never
         // pass through one. That search graph is *identical* for every
@@ -282,63 +289,109 @@ impl FlowPlanner {
         // non-transit targets (the controllers) need a per-target variant that keeps
         // the target itself. One scratch serves every BFS.
         let mut scratch = BfsScratch::new();
+        let full = graph.snapshot();
+        let n = full.node_count();
         let base: FlatGraph = if non_transit.is_empty() {
             graph.snapshot()
         } else {
             graph.without_nodes(non_transit.iter()).snapshot()
         };
-        let mut per_target: FlatGraph;
-        for target in graph.nodes() {
-            let flat: &FlatGraph = if non_transit.contains(&target) {
+        // Everything below works on dense indices of the full snapshot: per-node
+        // translation tables and one distance matrix replace the per-neighbor
+        // binary searches and set probes of the naive formulation.
+        let to_base: Vec<Option<u32>> = full
+            .node_ids()
+            .iter()
+            .map(|&id| base.index_of(id))
+            .collect();
+        let endpoint_only: Vec<bool> = full
+            .node_ids()
+            .iter()
+            .map(|id| non_transit.contains(id))
+            .collect();
+        let mut dist: Vec<u32> = vec![u32::MAX; n * n];
+        for ti in 0..n {
+            let row = &mut dist[ti * n..(ti + 1) * n];
+            if endpoint_only[ti] {
+                let target = full.node_at(ti as u32);
                 let restricted: Vec<NodeId> = non_transit
                     .iter()
                     .copied()
-                    .filter(|&n| n != target)
+                    .filter(|&x| x != target)
                     .collect();
-                per_target = graph.without_nodes(restricted.iter()).snapshot();
-                &per_target
+                let per_target = graph.without_nodes(restricted.iter()).snapshot();
+                let Some(target_idx) = per_target.index_of(target) else {
+                    continue;
+                };
+                per_target.bfs(target_idx, &mut scratch);
+                for (fi, slot) in row.iter_mut().enumerate() {
+                    if let Some(pi) = per_target.index_of(full.node_at(fi as u32)) {
+                        if let Some(d) = scratch.distance(pi) {
+                            *slot = d;
+                        }
+                    }
+                }
             } else {
-                &base
-            };
-            let Some(target_idx) = flat.index_of(target) else {
-                continue;
-            };
-            flat.bfs(target_idx, &mut scratch);
-            let dist_to_target =
-                |node: NodeId| flat.index_of(node).and_then(|idx| scratch.distance(idx));
-            for at in graph.nodes() {
-                if at == target {
+                let Some(target_idx) = to_base[ti] else {
+                    continue;
+                };
+                base.bfs(target_idx, &mut scratch);
+                for (fi, slot) in row.iter_mut().enumerate() {
+                    if let Some(bi) = to_base[fi] {
+                        if let Some(d) = scratch.distance(bi) {
+                            *slot = d;
+                        }
+                    }
+                }
+            }
+        }
+        // Assemble with `at` as the outer loop so both maps build from key-sorted
+        // pairs (one bulk construction each instead of per-pair tree inserts).
+        let mut next_hops_v: Vec<((NodeId, NodeId), NextHopSet)> = Vec::new();
+        let mut distances_v: Vec<((NodeId, NodeId), u32)> = Vec::new();
+        let mut candidates: Vec<(u32, NodeId)> = Vec::new();
+        for ai in 0..n {
+            let at = full.node_at(ai as u32);
+            for ti in 0..n {
+                if ti == ai {
                     continue;
                 }
-                let is_endpoint_only = non_transit.contains(&at);
-                // For transit-capable nodes the distance comes from the restricted BFS;
-                // endpoint-only nodes sit one hop above their best transit neighbor.
-                let mut candidates: Vec<(u32, NodeId)> = graph
-                    .neighbors(at)
-                    .filter(|h| !non_transit.contains(h) || *h == target)
-                    .filter_map(|h| dist_to_target(h).map(|d| (d, h)))
-                    .collect();
+                let target = full.node_at(ti as u32);
+                candidates.clear();
+                for &hi in full.neighbor_indices(ai as u32) {
+                    if endpoint_only[hi as usize] && hi as usize != ti {
+                        continue;
+                    }
+                    let d = dist[ti * n + hi as usize];
+                    if d != u32::MAX {
+                        candidates.push((d, full.node_at(hi)));
+                    }
+                }
                 candidates.sort();
-                let d_at = if is_endpoint_only {
+                // For transit-capable nodes the distance comes from the restricted
+                // BFS; endpoint-only nodes sit one hop above their best transit
+                // neighbor.
+                let d_at = if endpoint_only[ai] {
                     candidates.first().map(|&(d, _)| d + 1)
                 } else {
-                    dist_to_target(at)
+                    let d = dist[ti * n + ai];
+                    (d != u32::MAX).then_some(d)
                 };
                 let Some(d_at) = d_at else {
                     continue; // disconnected pair under the transit restriction
                 };
-                distances.insert((at, target), d_at);
-                let hops: Vec<NodeId> =
-                    candidates.into_iter().take(limit).map(|(_, h)| h).collect();
-                if !hops.is_empty() {
-                    next_hops.insert((at, target), NextHopSet::new(hops));
+                distances_v.push(((at, target), d_at));
+                if !candidates.is_empty() {
+                    let hops: Vec<NodeId> =
+                        candidates.iter().take(limit).map(|&(_, h)| h).collect();
+                    next_hops_v.push(((at, target), NextHopSet::new(hops)));
                 }
             }
         }
         FlowPlan {
             kappa: self.kappa,
-            next_hops,
-            distances,
+            next_hops: next_hops_v.into_iter().collect(),
+            distances: distances_v.into_iter().collect(),
         }
     }
 }
