@@ -16,10 +16,18 @@ pub const GATED_METRICS: &[&str] = &["bootstrap_s", "recovery_s", "messages_sent
 
 /// Per-cell metrics compared in the delta report but never gated: host-dependent
 /// wall-clock quantities whose drift is interesting context (is the simulator getting
-/// faster?) but would make the gate flake on runner noise. Schema-tolerant — cells
-/// missing one of these are simply not compared on it, so old baselines without
-/// `events_per_sec` still gate cleanly.
-pub const CONTEXT_METRICS: &[&str] = &["wall_clock_ms", "events_per_sec"];
+/// faster?) but would make the gate flake on runner noise, plus the flow-engine
+/// telemetry of the under-load cells. Schema-tolerant — cells missing one of these
+/// are simply not compared on it, so old baselines without `events_per_sec` (or
+/// without the under-load cells entirely) still gate cleanly.
+pub const CONTEXT_METRICS: &[&str] = &[
+    "wall_clock_ms",
+    "events_per_sec",
+    "fct_p50_s",
+    "fct_p99_s",
+    "achieved_mbps",
+    "flows_per_sec",
+];
 
 /// The change of one gated metric in one campaign cell.
 #[derive(Clone, Debug, PartialEq)]

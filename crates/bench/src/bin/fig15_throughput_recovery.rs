@@ -18,14 +18,17 @@ fn main() {
                 vec![
                     fmt2(r.run.mean_throughput()),
                     fmt2(r.run.min_throughput()),
+                    fmt2(r.fct.map(|f| f.p50_s).unwrap_or_default()),
+                    fmt2(r.fct.map(|f| f.p99_s).unwrap_or_default()),
                     r.failed_link.clone().unwrap_or_default(),
                 ],
             )
         })
         .collect();
     print_table(
-        "Figure 15 — throughput with recovery (Mbit/s): mean, dip, failed link",
-        &["mean", "dip", "failed link"],
+        "Figure 15 — throughput with recovery (Mbit/s): mean, dip, background-flow FCT \
+         p50/p99 (s), failed link",
+        &["mean", "dip", "fct p50", "fct p99", "failed link"],
         &rows,
         &results,
     );

@@ -15,13 +15,19 @@ fn main() {
         .map(|r| {
             Row::new(
                 r.network.clone(),
-                vec![fmt2(r.run.mean_throughput()), fmt2(r.run.min_throughput())],
+                vec![
+                    fmt2(r.run.mean_throughput()),
+                    fmt2(r.run.min_throughput()),
+                    fmt2(r.fct.map(|f| f.p50_s).unwrap_or_default()),
+                    fmt2(r.fct.map(|f| f.p99_s).unwrap_or_default()),
+                ],
             )
         })
         .collect();
     print_table(
-        "Figure 16 — throughput without recovery (Mbit/s): mean, dip",
-        &["mean", "dip"],
+        "Figure 16 — throughput without recovery (Mbit/s): mean, dip, background-flow \
+         FCT p50/p99 (s)",
+        &["mean", "dip", "fct p50", "fct p99"],
         &rows,
         &results,
     );

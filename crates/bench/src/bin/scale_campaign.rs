@@ -11,6 +11,19 @@
 //! * `midpath_link_failure` — removal of the link in the middle of the data-plane
 //!   path between the two farthest switches.
 //!
+//! On selected networks two *under-load* scenarios ride along, driving the
+//! heavy-traffic flow engine (up to a million concurrent flows) through the scenario
+//! workload API:
+//!
+//! * `bootstrap_under_load` — bootstrap, then a full traffic matrix on the stable
+//!   network: steady-state flow-completion-time (FCT) digests and achieved goodput,
+//! * `link_failure_under_load` — the same population with a mid-path link failure at
+//!   second 10 of the traffic window: what the flows experience while the control
+//!   plane repairs.
+//!
+//! Under-load cells report `fct_p50_s` / `fct_p99_s` / `achieved_mbps` digests plus
+//! completed-flow counts and (host-dependent, never gated) flows-per-second.
+//!
 //! `--smoke` shrinks the sweep to three tiny topologies with one seed each so the CI
 //! job finishes in seconds; the full campaign reaches several hundred switches.
 //!
@@ -31,6 +44,7 @@ use renaissance_bench::{ExperimentScale, MetricKey, MetricPipeline, Recorder};
 use sdn_metrics::{csv_field, Digest};
 use sdn_netsim::SimDuration;
 use sdn_topology::{builders, connectivity};
+use sdn_traffic::engine::{FlowEngineWorkload, FlowSetConfig};
 use std::time::Instant;
 
 const ABOUT: &str = "Scale campaign: topology family x size x fault scenario sweep, \
@@ -66,8 +80,32 @@ const EXTRA_FLAGS: &[Flag] = &[
     },
 ];
 
-/// The three fault scenarios of the campaign.
+/// The three fault scenarios every network runs.
 const SCENARIOS: [&str; 3] = ["bootstrap", "controller_failure", "midpath_link_failure"];
+
+/// The heavy-traffic scenarios; selected networks only (see [`under_load_pairs`]).
+const UNDER_LOAD_SCENARIOS: [&str; 2] = ["bootstrap_under_load", "link_failure_under_load"];
+
+/// The flow-population size (sampled src/dst pairs) of a network's under-load cells
+/// in the given tier, or `None` when the network skips them. The large tier carries
+/// the acceptance-scale population: one million concurrent flows per cell.
+fn under_load_pairs(network: &str, tier: &str) -> Option<u32> {
+    match (tier, network) {
+        ("smoke", "fat_tree(8)") => Some(100_000),
+        ("large", _) => Some(1_000_000),
+        ("full", "fat_tree(8)" | "fat_tree(12)") => Some(100_000),
+        _ => None,
+    }
+}
+
+/// Length of the under-load traffic window in service ticks (simulated seconds).
+fn under_load_ticks(tier: &str) -> u32 {
+    if tier == "large" {
+        60
+    } else {
+        30
+    }
+}
 
 /// The full sweep: every family from a paper-scale anchor up to several hundred
 /// switches. Jellyfish names pin the wiring seed so the topology (not just the run)
@@ -101,6 +139,13 @@ fn main() {
     let args = cli::parse(ABOUT, EXTRA_FLAGS);
     let smoke = args.switch("--smoke");
     let large = args.switch("--large");
+    let tier = if smoke {
+        "smoke"
+    } else if large {
+        "large"
+    } else {
+        "full"
+    };
     let stable = args.switch("--stable-output");
     let out = args
         .value("--out")
@@ -149,10 +194,22 @@ fn main() {
         let switches = topology.switch_count();
         let kappa_max = connectivity::max_supported_kappa(&topology.switch_graph);
         let diameter = topology.expected_diameter;
-        for scenario in SCENARIOS {
+        let load_pairs = under_load_pairs(network, tier);
+        let mut scenarios: Vec<&str> = SCENARIOS.to_vec();
+        if load_pairs.is_some() {
+            scenarios.extend(UNDER_LOAD_SCENARIOS);
+        }
+        for scenario in scenarios {
             let scope = format!("{network}/{scenario}");
             let started = Instant::now();
-            let report = run_scenario(&scale, network, scenario, seed);
+            let report = run_scenario(
+                &scale,
+                network,
+                scenario,
+                seed,
+                load_pairs,
+                under_load_ticks(tier),
+            );
             let wall_ms = started.elapsed().as_secs_f64() * 1e3;
             pipeline.record(&scope, &MetricKey::WALL_CLOCK, wall_ms);
             // The hot-path throughput observable: simulator events processed per
@@ -161,6 +218,8 @@ fn main() {
             let events: u64 = report.runs.iter().map(|r| r.events_processed).sum();
             let events_per_sec = events as f64 / (wall_ms / 1e3).max(1e-9);
             pipeline.record(&scope, &MetricKey::EVENTS_PER_SEC, events_per_sec);
+            let mut completed_flows = 0u64;
+            let mut peak_concurrent = 0u64;
             for run in &report.runs {
                 if let Some(s) = run.bootstrap_s {
                     pipeline.record(&scope, &MetricKey::BOOTSTRAP_TIME, s);
@@ -170,6 +229,33 @@ fn main() {
                 }
                 pipeline.record(&scope, &MetricKey::SIM_END, run.sim_end_s);
                 pipeline.record(&scope, &MetricKey::MESSAGES_SENT, run.messages_sent as f64);
+                // The under-load cells carry a flow-engine workload whose report has
+                // the FCT digest and achieved-goodput series.
+                if let Some(wl) = run.workload("flow_engine") {
+                    if let Some(fct) = wl.digest("fct_s") {
+                        if !fct.is_empty() {
+                            pipeline.record(&scope, &MetricKey::FCT_P50, fct.p50());
+                            pipeline.record(&scope, &MetricKey::FCT_P99, fct.p99());
+                        }
+                        completed_flows += fct.count();
+                    }
+                    if let Some(series) = wl.series("achieved_mbps") {
+                        if !series.is_empty() {
+                            let mean = series.iter().sum::<f64>() / series.len() as f64;
+                            pipeline.record(&scope, &MetricKey::ACHIEVED_THROUGHPUT, mean);
+                        }
+                    }
+                    if let Some(peak) = wl.note("peak_concurrent").and_then(|p| p.parse().ok()) {
+                        peak_concurrent = peak_concurrent.max(peak);
+                    }
+                }
+            }
+            // Completed flows per wall-clock second: the engine's headline rate.
+            // Host-dependent like events_per_sec, so reported but never gated.
+            let flows_per_sec = completed_flows as f64 / (wall_ms / 1e3).max(1e-9);
+            let under_load = scenario.ends_with("_under_load");
+            if under_load {
+                pipeline.record(&scope, &MetricKey::FLOWS_PER_SEC, flows_per_sec);
             }
             let converged = report.all_converged();
             let digest = |key: &MetricKey| -> Digest {
@@ -191,7 +277,7 @@ fn main() {
                     if converged { "yes" } else { "NO" }.to_string(),
                 ],
             ));
-            results.push(Json::obj([
+            let mut cell = vec![
                 ("family", Json::str(family_of(network))),
                 ("network", Json::str(topology.name.clone())),
                 ("spec", Json::str(network.clone())),
@@ -219,7 +305,25 @@ fn main() {
                     "messages_sent",
                     Json::samples(&digest(&MetricKey::MESSAGES_SENT)),
                 ),
-            ]));
+            ];
+            if under_load {
+                cell.extend([
+                    ("flows", Json::num(load_pairs.unwrap_or(0) as f64)),
+                    ("completed_flows", Json::num(completed_flows as f64)),
+                    ("peak_concurrent_flows", Json::num(peak_concurrent as f64)),
+                    ("fct_p50_s", Json::samples(&digest(&MetricKey::FCT_P50))),
+                    ("fct_p99_s", Json::samples(&digest(&MetricKey::FCT_P99))),
+                    (
+                        "achieved_mbps",
+                        Json::samples(&digest(&MetricKey::ACHIEVED_THROUGHPUT)),
+                    ),
+                    (
+                        "flows_per_sec",
+                        Json::num(if stable { 0.0 } else { flows_per_sec }),
+                    ),
+                ]);
+            }
+            results.push(Json::obj(cell));
         }
     }
 
@@ -227,16 +331,7 @@ fn main() {
         ("benchmark", Json::str("scale_campaign")),
         ("version", Json::num(2.0)),
         ("smoke", Json::Bool(smoke)),
-        (
-            "tier",
-            Json::str(if smoke {
-                "smoke"
-            } else if large {
-                "large"
-            } else {
-                "full"
-            }),
-        ),
+        ("tier", Json::str(tier)),
         (
             "config",
             Json::obj([
@@ -270,14 +365,7 @@ fn main() {
 
     print_table(
         &format!(
-            "Scale campaign ({} mode) — medians over {} run(s), artifact: {out}",
-            if smoke {
-                "smoke"
-            } else if large {
-                "large"
-            } else {
-                "full"
-            },
+            "Scale campaign ({tier} mode) — medians over {} run(s), artifact: {out}",
             scale.runs
         ),
         &["switches", "boot med s", "recov med s", "wall ms", "conv"],
@@ -380,6 +468,8 @@ fn run_scenario(
     network: &str,
     scenario: &str,
     seed: u64,
+    load_pairs: Option<u32>,
+    load_ticks: u32,
 ) -> ScenarioReport {
     let mut builder = renaissance_bench::experiments::experiment(
         scale,
@@ -390,6 +480,14 @@ fn run_scenario(
     )
     .runs(scale.runs)
     .seeds_from(seed);
+    // All flows up front: the cell measures peak concurrency and the completion
+    // curve, seeded per run from the harness seed.
+    let flow_workload = move || -> Box<dyn renaissance::scenario::Workload> {
+        Box::new(FlowEngineWorkload::new(
+            FlowSetConfig::stress(load_pairs.unwrap_or(0)),
+            load_ticks,
+        ))
+    };
     builder = match scenario {
         "bootstrap" => builder,
         "controller_failure" => builder.fault_at(
@@ -398,6 +496,11 @@ fn run_scenario(
         ),
         "midpath_link_failure" => builder.fault_at(
             SimDuration::ZERO,
+            FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
+        ),
+        "bootstrap_under_load" => builder.workload(flow_workload),
+        "link_failure_under_load" => builder.workload(flow_workload).fault_at(
+            SimDuration::from_secs(10),
             FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
         ),
         other => unreachable!("unknown campaign scenario {other}"),

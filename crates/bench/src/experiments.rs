@@ -15,6 +15,7 @@ use renaissance::{ControllerConfig, CorruptionPlan, SdnNetwork};
 use sdn_metrics::{MetricKey, Namespace, Polarity, Recorder, Unit};
 use sdn_netsim::SimDuration;
 use sdn_topology::builders;
+use sdn_traffic::engine::{FctSummary, FlowEngineWorkload, FlowSetConfig};
 use sdn_traffic::iperf::{IperfRun, IperfWorkload};
 
 /// Streaming summary statistics of repeated measurements (the numbers behind a violin
@@ -520,11 +521,26 @@ pub struct ThroughputResult {
     pub run: IperfRun,
     /// Description of the mid-path link that was failed, if any.
     pub failed_link: Option<String>,
+    /// Flow-completion-time summary of the background flow-engine population that
+    /// shared the run (present when the population completed any flows).
+    pub fct: Option<FctSummary>,
 }
+
+/// Flow-population size of the background flow engine the figure experiments run
+/// beside the iperf flow. Small enough to keep the figure binaries fast; large
+/// enough for stable FCT quantiles.
+const FIGURE_FLOW_PAIRS: u32 = 10_000;
 
 /// Figures 15/16: per-second TCP throughput with a mid-path link failure at second 10,
 /// with (`recovery = true`) or without (`recovery = false`) controller-driven repair.
 /// Every per-second sample of the run streams through the recorder.
+///
+/// Beside the single mechanistic iperf flow, the heavy-traffic flow engine runs a
+/// 10k-flow background population on the same agenda (both workloads tick at one
+/// simulated second, and workloads observe the simulator without perturbing it — so
+/// the iperf series are bit-identical to a run without the population). Its FCT
+/// digest lands in [`ThroughputResult::fct`] and on the recorder as `fct_p50_s` /
+/// `fct_p99_s`.
 pub fn throughput_under_failure(
     scale: &ExperimentScale,
     recovery: bool,
@@ -535,6 +551,12 @@ pub fn throughput_under_failure(
         let report = experiment(scale, "throughput", name, 3, scale.task_delay)
             .seeds_from(scale.seed_or(42))
             .workload(|| Box::new(IperfWorkload::farthest(30)))
+            .workload(|| {
+                Box::new(FlowEngineWorkload::new(
+                    FlowSetConfig::stress(FIGURE_FLOW_PAIRS),
+                    30,
+                ))
+            })
             .fault_at(
                 SimDuration::from_secs(10),
                 FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
@@ -573,10 +595,20 @@ pub fn throughput_under_failure(
                 rec.record(&scope, key, value);
             }
         }
+        let fct = run
+            .workload("flow_engine")
+            .and_then(|wl| wl.digest("fct_s"))
+            .filter(|d| !d.is_empty())
+            .map(|d| {
+                rec.record(&scope, &MetricKey::FCT_P50, d.p50());
+                rec.record(&scope, &MetricKey::FCT_P99, d.p99());
+                FctSummary::from_digest(d)
+            });
         out.push(ThroughputResult {
             network: name.clone(),
             run: typed,
             failed_link: run.injected.first().map(|f| f.description.clone()),
+            fct,
         });
     }
     out
@@ -767,6 +799,48 @@ mod tests {
         assert!(sink
             .digest("B4/c=3/links(1)", &MetricKey::RECOVERY_TIME)
             .is_some());
+    }
+
+    #[test]
+    fn background_flow_engine_leaves_iperf_numbers_unchanged() {
+        let scale = ExperimentScale {
+            runs: 1,
+            networks: vec!["B4".to_string()],
+            task_delay: SimDuration::from_millis(200),
+            ..ExperimentScale::default()
+        };
+        let mut sink = MemorySink::default();
+        let with_flows = throughput_under_failure(&scale, true, &mut sink);
+        assert_eq!(with_flows.len(), 1);
+        let fct = with_flows[0]
+            .fct
+            .expect("the background population must complete flows");
+        assert!(fct.count > 0);
+        assert!(fct.p50_s > 0.0 && fct.p50_s <= fct.p99_s);
+        assert!(sink
+            .digest("B4/with-recovery", &MetricKey::FCT_P50)
+            .is_some());
+
+        // The identical scenario minus the background population: the legacy iperf
+        // series must be bit-for-bit what the migrated experiment reports, because
+        // workloads observe the simulator without perturbing it.
+        let report = experiment(&scale, "throughput", "B4", 3, scale.task_delay)
+            .seeds_from(scale.seed_or(42))
+            .workload(|| Box::new(IperfWorkload::farthest(30)))
+            .fault_at(
+                SimDuration::from_secs(10),
+                FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
+            )
+            .run();
+        let iperf = report.runs[0].workload("iperf").expect("iperf report");
+        let legacy = IperfWorkload::run_from_report(iperf).expect("typed run");
+        assert_eq!(legacy.throughput_mbps, with_flows[0].run.throughput_mbps);
+        assert_eq!(
+            legacy.retransmission_pct,
+            with_flows[0].run.retransmission_pct
+        );
+        assert_eq!(legacy.bad_tcp_pct, with_flows[0].run.bad_tcp_pct);
+        assert_eq!(legacy.path_hops, with_flows[0].run.path_hops);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! scenario runner can drive any traffic model without a dependency cycle.
 
 use crate::harness::SdnNetwork;
+use sdn_metrics::Digest;
 use sdn_netsim::SimDuration;
 
 /// Context passed to [`Workload::tick`]: which tick this is and how much workload time
@@ -68,6 +69,11 @@ pub struct WorkloadReport {
     pub notes: Vec<(String, String)>,
     /// Named per-tick series.
     pub series: Vec<NamedSeries>,
+    /// Named streaming digests — for sample populations (per-flow completion
+    /// times, per-flow rates) that are too large to keep as a series but whose
+    /// quantiles are the result. Digests are deterministic summaries, so reports
+    /// carrying them still compare bit-identically across thread counts.
+    pub digests: Vec<(String, Digest)>,
 }
 
 impl WorkloadReport {
@@ -77,7 +83,18 @@ impl WorkloadReport {
             label: label.into(),
             notes: Vec::new(),
             series: Vec::new(),
+            digests: Vec::new(),
         }
+    }
+
+    /// Appends a named streaming digest (e.g. the FCT population of a traffic run).
+    pub fn push_digest(&mut self, name: impl Into<String>, digest: Digest) {
+        self.digests.push((name.into(), digest));
+    }
+
+    /// The named digest, if present.
+    pub fn digest(&self, name: &str) -> Option<&Digest> {
+        self.digests.iter().find(|(n, _)| n == name).map(|(_, d)| d)
     }
 
     /// Appends a named series.

@@ -184,6 +184,52 @@ impl MetricKey {
         Unit::Percent,
         Polarity::LowerIsBetter,
     );
+    /// Flow completion time of one finished flow of the heavy-traffic engine, in
+    /// simulated seconds. Record per-flow samples under this key and the digest's
+    /// quantiles are the paper-style FCT statistics.
+    pub const FCT: MetricKey = MetricKey::named(
+        Namespace::Workload,
+        "fct_s",
+        Unit::Seconds,
+        Polarity::LowerIsBetter,
+    );
+    /// Median flow completion time of a heavy-traffic run, in simulated seconds.
+    pub const FCT_P50: MetricKey = MetricKey::named(
+        Namespace::Workload,
+        "fct_p50_s",
+        Unit::Seconds,
+        Polarity::LowerIsBetter,
+    );
+    /// 99th-percentile flow completion time of a heavy-traffic run, in simulated
+    /// seconds — the tail-latency observable of datacenter traffic studies.
+    pub const FCT_P99: MetricKey = MetricKey::named(
+        Namespace::Workload,
+        "fct_p99_s",
+        Unit::Seconds,
+        Polarity::LowerIsBetter,
+    );
+    /// Aggregate achieved goodput of the flow batch over one service interval.
+    pub const ACHIEVED_THROUGHPUT: MetricKey = MetricKey::named(
+        Namespace::Workload,
+        "achieved_mbps",
+        Unit::MbitPerSec,
+        Polarity::HigherIsBetter,
+    );
+    /// Number of flows simultaneously in flight (sampled per service interval).
+    pub const CONCURRENT_FLOWS: MetricKey = MetricKey::named(
+        Namespace::Workload,
+        "concurrent_flows",
+        Unit::Count,
+        Polarity::Neutral,
+    );
+    /// Flow completions per wall-clock second of the batch engine — the heavy-traffic
+    /// counterpart of [`MetricKey::EVENTS_PER_SEC`] (host-dependent, never gated).
+    pub const FLOWS_PER_SEC: MetricKey = MetricKey::named(
+        Namespace::Bench,
+        "flows_per_sec",
+        Unit::Count,
+        Polarity::HigherIsBetter,
+    );
     /// Wall-clock time the host spent executing an experiment cell.
     pub const WALL_CLOCK: MetricKey = MetricKey::named(
         Namespace::Bench,

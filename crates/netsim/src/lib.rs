@@ -5,8 +5,10 @@
 //! simulator that models
 //!
 //! * the connected topology `Gc` and the operational topology `Go` (Section 2),
-//! * per-link behaviour — latency, jitter, bandwidth, packet omission and duplication
-//!   (the "not rare" transient failures of Section 3.4.1),
+//! * per-link behaviour — latency, jitter (a per-packet draw from the *closed*
+//!   interval `[0, jitter]`: the configured bound itself is attainable), bandwidth,
+//!   packet omission and duplication (the "not rare" transient failures of
+//!   Section 3.4.1),
 //! * fault injection: temporary and permanent link failures, node fail-stop, node and
 //!   link additions (the benign failures of Section 3.4.2),
 //! * local topology discovery with a configurable detection delay (the Theta failure

@@ -23,8 +23,10 @@ use sdn_rng::Rng;
 pub struct LinkConfig {
     /// One-way propagation latency applied to every packet.
     pub latency: SimDuration,
-    /// Extra random latency in `[0, jitter]` applied per packet (models reordering,
-    /// because two packets sent back-to-back may arrive out of order).
+    /// Extra random latency applied per packet, drawn uniformly from the *closed*
+    /// interval `[0, jitter]` — the sampling uses an inclusive range, so the
+    /// configured bound itself is attainable. Models reordering, because two packets
+    /// sent back-to-back may arrive out of order.
     pub jitter: SimDuration,
     /// Probability in `[0, 1]` that a packet is silently dropped (omission failure).
     pub loss_probability: f64,
@@ -77,7 +79,8 @@ impl LinkConfig {
         self
     }
 
-    /// Replaces the jitter bound.
+    /// Replaces the jitter bound. The bound is inclusive: per-packet jitter is drawn
+    /// from the closed interval `[0, jitter]`, so a draw of exactly `jitter` occurs.
     pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
         self.jitter = jitter;
         self
@@ -237,6 +240,31 @@ mod tests {
                 assert!(delay <= SimDuration::from_micros(150));
             }
         }
+    }
+
+    #[test]
+    fn jitter_bound_is_inclusive() {
+        // The jitter interval is closed: `gen_range(0..=jitter)` can return the bound
+        // itself. Pin that the documented maximum delay is actually attained (with a
+        // tiny bound, a few thousand draws hit every value of the support).
+        let cfg = LinkConfig::default()
+            .with_latency(SimDuration::from_micros(100))
+            .with_jitter(SimDuration::from_micros(3));
+        let mut rng = Rng::seed_from_u64(17);
+        let max_delay = SimDuration::from_micros(103);
+        let mut edge_hits = 0usize;
+        for _ in 0..5_000 {
+            if let TransmissionOutcome::Delivered { delay, .. } = cfg.sample(&mut rng) {
+                assert!(delay <= max_delay);
+                if delay == max_delay {
+                    edge_hits += 1;
+                }
+            }
+        }
+        assert!(
+            edge_hits > 0,
+            "the inclusive upper bound must be drawn at least once"
+        );
     }
 
     #[test]

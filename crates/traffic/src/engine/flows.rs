@@ -1,0 +1,262 @@
+//! Struct-of-arrays flow batches over dense flow identifiers.
+//!
+//! A [`FlowBatch`] holds every flow of a heavy-traffic run in parallel arrays —
+//! source, destination, size, bytes remaining, start tick — indexed by a dense
+//! [`FlowId`]. There is no per-flow object and no per-flow allocation: one batch of a
+//! million flows is six flat arrays, and the engine's per-tick work walks only the
+//! *live* slice of them.
+//!
+//! Flows are stored sorted by start tick, and an epoch bucket table maps each service
+//! tick to the contiguous range of flows that activate on it ([`FlowBatch::activating`]),
+//! so activation is a range append instead of a scan over the whole population.
+
+use sdn_topology::NodeId;
+
+/// Dense identifier of one flow within a [`FlowBatch`] — the index into the batch's
+/// parallel arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// The array index this identifier addresses.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One flow as produced by a generator, before batching.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowSpec {
+    /// Source endpoint (a switch the sending host attaches to).
+    pub src: NodeId,
+    /// Destination endpoint (a switch the receiving host attaches to).
+    pub dst: NodeId,
+    /// Transfer size in bytes.
+    pub bytes: f64,
+    /// Service tick at which the flow becomes active (0 = start of the workload).
+    pub start_tick: u32,
+}
+
+/// The struct-of-arrays batch of every flow in a heavy-traffic run.
+///
+/// # Example
+///
+/// ```
+/// use sdn_topology::NodeId;
+/// use sdn_traffic::engine::{FlowBatch, FlowSpec};
+///
+/// let batch = FlowBatch::from_specs(vec![
+///     FlowSpec { src: NodeId::new(3), dst: NodeId::new(4), bytes: 1e6, start_tick: 1 },
+///     FlowSpec { src: NodeId::new(4), dst: NodeId::new(5), bytes: 2e6, start_tick: 0 },
+/// ]);
+/// assert_eq!(batch.len(), 2);
+/// // Flows are re-ordered by start tick; epoch buckets address them by tick.
+/// assert_eq!(batch.activating(0), 0..1);
+/// assert_eq!(batch.activating(1), 1..2);
+/// assert_eq!(batch.activating(7), 2..2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlowBatch {
+    /// Source endpoint per flow.
+    src: Vec<NodeId>,
+    /// Destination endpoint per flow.
+    dst: Vec<NodeId>,
+    /// Slot of the flow's destination in [`FlowBatch::destinations`] — the engine
+    /// keys its per-destination route tables on this.
+    dst_slot: Vec<u32>,
+    /// Transfer size in bytes per flow.
+    bytes: Vec<f64>,
+    /// Bytes still to deliver per flow (equals `bytes` until the flow activates).
+    remaining: Vec<f64>,
+    /// Activation tick per flow (ascending across the batch).
+    start_tick: Vec<u32>,
+    /// Distinct destination endpoints, ascending; `dst_slot` indexes this.
+    destinations: Vec<NodeId>,
+    /// Epoch buckets: `buckets[t]..buckets[t + 1]` is the flow range activating at
+    /// tick `t`. Length `last_tick + 2`.
+    buckets: Vec<u32>,
+}
+
+impl FlowBatch {
+    /// Batches a set of generated flows: sorts them by start tick (stable, so
+    /// generation order breaks ties deterministically), extracts the distinct
+    /// destination set, and builds the epoch bucket table.
+    pub fn from_specs(mut specs: Vec<FlowSpec>) -> Self {
+        specs.sort_by_key(|f| f.start_tick);
+        let mut destinations: Vec<NodeId> = specs.iter().map(|f| f.dst).collect();
+        destinations.sort_unstable();
+        destinations.dedup();
+        let slot_of = |dst: NodeId| -> u32 {
+            // stancheck: allow(unwrap-expect) — `destinations` was just built from every spec's dst, so the lookup cannot miss
+            destinations.binary_search(&dst).unwrap() as u32
+        };
+        let last_tick = specs.last().map(|f| f.start_tick).unwrap_or(0);
+        let mut buckets = vec![0u32; last_tick as usize + 2];
+        let mut batch = FlowBatch {
+            src: Vec::with_capacity(specs.len()),
+            dst: Vec::with_capacity(specs.len()),
+            dst_slot: Vec::with_capacity(specs.len()),
+            bytes: Vec::with_capacity(specs.len()),
+            remaining: Vec::with_capacity(specs.len()),
+            start_tick: Vec::with_capacity(specs.len()),
+            destinations: Vec::new(),
+            buckets: Vec::new(),
+        };
+        for spec in &specs {
+            batch.src.push(spec.src);
+            batch.dst.push(spec.dst);
+            batch.dst_slot.push(slot_of(spec.dst));
+            batch.bytes.push(spec.bytes);
+            batch.remaining.push(spec.bytes);
+            batch.start_tick.push(spec.start_tick);
+            buckets[spec.start_tick as usize + 1] += 1;
+        }
+        for t in 1..buckets.len() {
+            buckets[t] += buckets[t - 1];
+        }
+        batch.destinations = destinations;
+        batch.buckets = buckets;
+        batch
+    }
+
+    /// Number of flows in the batch.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Returns `true` when the batch holds no flows.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// The distinct destination endpoints, ascending. The engine builds one route
+    /// table per entry.
+    pub fn destinations(&self) -> &[NodeId] {
+        &self.destinations
+    }
+
+    /// The contiguous range of flow indices that activate at `tick` (empty past the
+    /// last bucket).
+    pub fn activating(&self, tick: u32) -> std::ops::Range<usize> {
+        let t = tick as usize;
+        if t + 1 >= self.buckets.len() {
+            return self.len()..self.len();
+        }
+        self.buckets[t] as usize..self.buckets[t + 1] as usize
+    }
+
+    /// Source endpoint of flow `i`.
+    pub fn src(&self, i: usize) -> NodeId {
+        self.src[i]
+    }
+
+    /// Destination endpoint of flow `i`.
+    pub fn dst(&self, i: usize) -> NodeId {
+        self.dst[i]
+    }
+
+    /// Destination slot of flow `i` (index into [`FlowBatch::destinations`]).
+    pub fn dst_slot(&self, i: usize) -> u32 {
+        self.dst_slot[i]
+    }
+
+    /// Transfer size of flow `i` in bytes.
+    pub fn bytes(&self, i: usize) -> f64 {
+        self.bytes[i]
+    }
+
+    /// Bytes flow `i` still has to deliver.
+    pub fn remaining(&self, i: usize) -> f64 {
+        self.remaining[i]
+    }
+
+    /// Decrements flow `i`'s remaining bytes by `delivered`, returning the bytes that
+    /// actually counted (never below zero).
+    pub fn deliver(&mut self, i: usize, delivered: f64) -> f64 {
+        let counted = delivered.min(self.remaining[i]);
+        self.remaining[i] -= counted;
+        counted
+    }
+
+    /// Activation tick of flow `i`.
+    pub fn start_tick(&self, i: usize) -> u32 {
+        self.start_tick[i]
+    }
+
+    /// Total bytes across all flows of the batch.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(src: u32, dst: u32, bytes: f64, tick: u32) -> FlowSpec {
+        FlowSpec {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            bytes,
+            start_tick: tick,
+        }
+    }
+
+    #[test]
+    fn batching_sorts_by_tick_and_buckets_are_contiguous() {
+        let batch = FlowBatch::from_specs(vec![
+            spec(1, 2, 10.0, 3),
+            spec(2, 3, 20.0, 0),
+            spec(3, 4, 30.0, 3),
+            spec(4, 2, 40.0, 1),
+        ]);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.activating(0), 0..1);
+        assert_eq!(batch.activating(1), 1..2);
+        assert_eq!(batch.activating(2), 2..2);
+        assert_eq!(batch.activating(3), 2..4);
+        assert_eq!(batch.activating(4), 4..4);
+        // Ticks ascend across the reordered arrays.
+        for i in 1..batch.len() {
+            assert!(batch.start_tick(i - 1) <= batch.start_tick(i));
+        }
+        // Ties at tick 3 keep generation order (stable sort).
+        assert_eq!(batch.src(2), NodeId::new(1));
+        assert_eq!(batch.src(3), NodeId::new(3));
+    }
+
+    #[test]
+    fn destination_slots_index_the_distinct_sorted_destinations() {
+        let batch = FlowBatch::from_specs(vec![
+            spec(1, 9, 1.0, 0),
+            spec(2, 4, 1.0, 0),
+            spec(3, 9, 1.0, 0),
+        ]);
+        assert_eq!(batch.destinations(), &[NodeId::new(4), NodeId::new(9)]);
+        for i in 0..batch.len() {
+            assert_eq!(
+                batch.destinations()[batch.dst_slot(i) as usize],
+                batch.dst(i)
+            );
+        }
+    }
+
+    #[test]
+    fn delivery_clamps_at_zero_and_reports_counted_bytes() {
+        let mut batch = FlowBatch::from_specs(vec![spec(1, 2, 100.0, 0)]);
+        assert_eq!(batch.deliver(0, 60.0), 60.0);
+        assert_eq!(batch.remaining(0), 40.0);
+        assert_eq!(batch.deliver(0, 60.0), 40.0);
+        assert_eq!(batch.remaining(0), 0.0);
+        assert_eq!(batch.total_bytes(), 100.0);
+    }
+
+    #[test]
+    fn empty_batch_is_well_formed() {
+        let batch = FlowBatch::from_specs(Vec::new());
+        assert!(batch.is_empty());
+        assert!(batch.destinations().is_empty());
+        assert_eq!(batch.activating(0), 0..0);
+        assert_eq!(batch.total_bytes(), 0.0);
+    }
+}

@@ -9,7 +9,11 @@
 //!   BAD-TCP, and out-of-order series,
 //! * [`iperf`] — the experiment driver: host placement, mid-path link failure, and the
 //!   with-recovery (Figure 15) / without-recovery (Figure 16) modes,
-//! * [`stats`] — series extraction and the Table 17 correlation statistic.
+//! * [`stats`] — series extraction and the Table 17 correlation statistic,
+//! * [`engine`] — the heavy-traffic flow engine: struct-of-arrays flow batches,
+//!   seeded traffic-matrix generators, bottleneck fair-share progress charged per
+//!   coarse service tick, and flow-completion-time telemetry — millions of concurrent
+//!   flows with no per-packet state.
 //!
 //! # Example
 //!
@@ -37,10 +41,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod iperf;
 pub mod reno;
 pub mod stats;
 
+pub use engine::{
+    generate, Arrival, EngineConfig, FanOut, FctCollector, FctSummary, FlowBatch, FlowEngine,
+    FlowEngineWorkload, FlowId, FlowMix, FlowSetConfig, FlowSpec, TrafficMatrix,
+};
 pub use iperf::{
     farthest_switch_pair, run_throughput_experiment, IperfConfig, IperfRun, IperfWorkload,
 };
