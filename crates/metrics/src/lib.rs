@@ -36,7 +36,9 @@
 mod digest;
 mod key;
 mod recorder;
+mod ring;
 
 pub use digest::Digest;
 pub use key::{MetricKey, Namespace, Polarity, Unit};
 pub use recorder::{csv_field, CsvSink, Fanout, JsonLinesSink, MemorySink, Recorder};
+pub use ring::{RingPage, RingSink};

@@ -80,7 +80,7 @@ impl Recorder for MemorySink {
 }
 
 /// Escapes a string for embedding in a JSON document (quotes not included).
-fn json_escape(s: &str, out: &mut String) {
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -78,6 +78,19 @@ impl Rng {
         range.sample(self)
     }
 
+    /// An exponentially distributed `f64` with the given mean (inverse-transform
+    /// sampling over one uniform draw) — the inter-arrival law of a Poisson
+    /// process. Non-positive means consume a draw and return `0.0` so the stream
+    /// advances identically regardless of parameters.
+    pub fn gen_exp(&mut self, mean: f64) -> f64 {
+        let u = self.gen_f64();
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // `1 - u` is in (0, 1], so the log is finite.
+        -(1.0 - u).ln() * mean
+    }
+
     /// Shuffles `slice` in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
@@ -169,6 +182,25 @@ mod tests {
             let v = rng.gen_f64();
             assert!((0.0..1.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn gen_exp_has_the_requested_mean_and_is_reproducible() {
+        let mut rng = Rng::seed_from_u64(5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_exp(2.5)).sum();
+        let mean = sum / f64::from(n);
+        assert!((2.3..2.7).contains(&mean), "mean {mean}");
+        assert_eq!(
+            Rng::seed_from_u64(6).gen_exp(1.0),
+            Rng::seed_from_u64(6).gen_exp(1.0)
+        );
+        // Degenerate means still advance the stream.
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        assert_eq!(a.gen_exp(0.0), 0.0);
+        let _ = b.gen_f64();
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

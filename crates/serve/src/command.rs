@@ -1,0 +1,357 @@
+//! Typed session commands and their JSON wire form.
+//!
+//! Every mutation the service can perform is a [`Command`]: the transport layer
+//! parses HTTP bodies into commands and enqueues them, the driver stamps each onto
+//! the tick it was applied at and appends it to the command log, and replay
+//! re-executes the same commands at the same ticks. Keeping the wire form total
+//! (every command round-trips through [`Command::to_json`] / [`Command::from_json`])
+//! is what makes a recorded session a complete, self-contained artifact.
+
+use renaissance_bench::report::Json;
+
+/// One fault injection, addressed by concrete node indices (no random selectors:
+/// a logged command must mean the same victims on every replay).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Fail-stop the controller with this index.
+    FailController(u32),
+    /// Revive a failed controller with fresh (empty) state.
+    ReviveController(u32),
+    /// Fail-stop the switch with this index.
+    FailSwitch(u32),
+    /// Revive a failed switch with empty configuration.
+    ReviveSwitch(u32),
+    /// Temporarily fail the link between the two nodes (it stays part of `Gc`).
+    FailLink(u32, u32),
+    /// Restore a temporarily failed link.
+    RestoreLink(u32, u32),
+    /// Permanently remove the link from the topology.
+    RemoveLink(u32, u32),
+    /// Add a brand-new link to the topology.
+    AddLink(u32, u32),
+}
+
+impl FaultSpec {
+    /// The `kind` discriminant used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultSpec::FailController(_) => "fail_controller",
+            FaultSpec::ReviveController(_) => "revive_controller",
+            FaultSpec::FailSwitch(_) => "fail_switch",
+            FaultSpec::ReviveSwitch(_) => "revive_switch",
+            FaultSpec::FailLink(..) => "fail_link",
+            FaultSpec::RestoreLink(..) => "restore_link",
+            FaultSpec::RemoveLink(..) => "remove_link",
+            FaultSpec::AddLink(..) => "add_link",
+        }
+    }
+
+    /// Serializes to the wire object (`{"kind":...,"node":n}` or
+    /// `{"kind":...,"a":n,"b":m}`).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            FaultSpec::FailController(n)
+            | FaultSpec::ReviveController(n)
+            | FaultSpec::FailSwitch(n)
+            | FaultSpec::ReviveSwitch(n) => Json::obj([
+                ("kind", Json::str(self.kind())),
+                ("node", Json::num(f64::from(n))),
+            ]),
+            FaultSpec::FailLink(a, b)
+            | FaultSpec::RestoreLink(a, b)
+            | FaultSpec::RemoveLink(a, b)
+            | FaultSpec::AddLink(a, b) => Json::obj([
+                ("kind", Json::str(self.kind())),
+                ("a", Json::num(f64::from(a))),
+                ("b", Json::num(f64::from(b))),
+            ]),
+        }
+    }
+
+    /// Parses the wire object.
+    pub fn from_json(json: &Json) -> Result<FaultSpec, String> {
+        let kind = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("fault needs a string `kind`")?;
+        let node = || -> Result<u32, String> {
+            field_u32(json, "node").ok_or_else(|| format!("fault `{kind}` needs a `node` index"))
+        };
+        let link = || -> Result<(u32, u32), String> {
+            match (field_u32(json, "a"), field_u32(json, "b")) {
+                (Some(a), Some(b)) => Ok((a, b)),
+                _ => Err(format!("fault `{kind}` needs `a` and `b` node indices")),
+            }
+        };
+        Ok(match kind {
+            "fail_controller" => FaultSpec::FailController(node()?),
+            "revive_controller" => FaultSpec::ReviveController(node()?),
+            "fail_switch" => FaultSpec::FailSwitch(node()?),
+            "revive_switch" => FaultSpec::ReviveSwitch(node()?),
+            "fail_link" => {
+                let (a, b) = link()?;
+                FaultSpec::FailLink(a, b)
+            }
+            "restore_link" => {
+                let (a, b) = link()?;
+                FaultSpec::RestoreLink(a, b)
+            }
+            "remove_link" => {
+                let (a, b) = link()?;
+                FaultSpec::RemoveLink(a, b)
+            }
+            "add_link" => {
+                let (a, b) = link()?;
+                FaultSpec::AddLink(a, b)
+            }
+            other => return Err(format!("unknown fault kind `{other}`")),
+        })
+    }
+}
+
+/// A flow-engine workload attachment: which traffic shape to offer and for how many
+/// service ticks. The arrival process is the open-loop Poisson law when
+/// `rate_per_tick` is set, otherwise every flow starts up front.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowsSpec {
+    /// Number of sampled source/destination pairs.
+    pub pairs: u32,
+    /// Service ticks the workload runs for before reporting.
+    pub duration_ticks: u32,
+    /// Open-loop Poisson arrival rate in flows per service tick; `None` = up-front.
+    pub rate_per_tick: Option<f64>,
+    /// Traffic matrix label: `"uniform"` (default) or `"permutation"`.
+    pub permutation: bool,
+    /// Extra salt mixed into the workload seed, so repeated attachments offer
+    /// decorrelated flow populations; `None` = the engine default.
+    pub seed_salt: Option<u64>,
+}
+
+impl FlowsSpec {
+    /// Serializes to the wire object.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("pairs".to_string(), Json::num(f64::from(self.pairs))),
+            (
+                "duration_ticks".to_string(),
+                Json::num(f64::from(self.duration_ticks)),
+            ),
+        ];
+        if let Some(rate) = self.rate_per_tick {
+            members.push(("rate_per_tick".to_string(), Json::num(rate)));
+        }
+        if self.permutation {
+            members.push(("matrix".to_string(), Json::str("permutation")));
+        }
+        if let Some(salt) = self.seed_salt {
+            members.push(("seed_salt".to_string(), Json::num(salt as f64)));
+        }
+        Json::Obj(members)
+    }
+
+    /// Parses the wire object.
+    pub fn from_json(json: &Json) -> Result<FlowsSpec, String> {
+        let pairs = field_u32(json, "pairs").ok_or("flows need a `pairs` count")?;
+        let duration_ticks =
+            field_u32(json, "duration_ticks").ok_or("flows need a `duration_ticks` window")?;
+        if pairs == 0 || duration_ticks == 0 {
+            return Err("`pairs` and `duration_ticks` must be positive".to_string());
+        }
+        let rate_per_tick = json.get("rate_per_tick").and_then(Json::as_f64);
+        if let Some(rate) = rate_per_tick {
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err("`rate_per_tick` must be positive".to_string());
+            }
+        }
+        let permutation = match json.get("matrix").and_then(Json::as_str) {
+            None | Some("uniform") => false,
+            Some("permutation") => true,
+            Some(other) => return Err(format!("unknown matrix `{other}`")),
+        };
+        let seed_salt = json
+            .get("seed_salt")
+            .and_then(Json::as_f64)
+            .map(|s| s as u64);
+        Ok(FlowsSpec {
+            pairs,
+            duration_ticks,
+            rate_per_tick,
+            permutation,
+            seed_salt,
+        })
+    }
+}
+
+/// One command a client issued against the session.
+///
+/// Mutating commands ([`Command::Fault`], [`Command::Flows`]) change simulated
+/// state when applied; control commands ([`Command::Step`], [`Command::Run`],
+/// [`Command::Pause`], [`Command::Shutdown`]) steer the driver and are logged for
+/// audit but replayed as no-ops — the ticks they caused are already captured by the
+/// stamps of later entries and the log's final tick.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Command {
+    /// Inject one fault.
+    Fault(FaultSpec),
+    /// Attach one flow-engine workload.
+    Flows(FlowsSpec),
+    /// Advance the session by this many ticks.
+    Step {
+        /// Number of ticks to execute.
+        ticks: u32,
+    },
+    /// Enter free-running mode, optionally until the given simulated second.
+    Run {
+        /// Simulated-time deadline in seconds; `None` runs until paused.
+        until_s: Option<f64>,
+    },
+    /// Leave free-running mode.
+    Pause,
+    /// End the session: the driver finalizes the command log and returns.
+    Shutdown,
+}
+
+impl Command {
+    /// True for commands that change simulated state when applied.
+    pub fn is_mutating(&self) -> bool {
+        matches!(self, Command::Fault(_) | Command::Flows(_))
+    }
+
+    /// Serializes to the wire object (`{"op":...,...}`).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Command::Fault(spec) => with_op("fault", spec.to_json()),
+            Command::Flows(spec) => with_op("flows", spec.to_json()),
+            Command::Step { ticks } => Json::obj([
+                ("op", Json::str("step")),
+                ("ticks", Json::num(f64::from(*ticks))),
+            ]),
+            Command::Run { until_s } => match until_s {
+                Some(until) => {
+                    Json::obj([("op", Json::str("run")), ("until_s", Json::num(*until))])
+                }
+                None => Json::obj([("op", Json::str("run"))]),
+            },
+            Command::Pause => Json::obj([("op", Json::str("pause"))]),
+            Command::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
+        }
+    }
+
+    /// Parses the wire object.
+    pub fn from_json(json: &Json) -> Result<Command, String> {
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("command needs a string `op`")?;
+        Ok(match op {
+            "fault" => Command::Fault(FaultSpec::from_json(json)?),
+            "flows" => Command::Flows(FlowsSpec::from_json(json)?),
+            "step" => Command::Step {
+                ticks: field_u32(json, "ticks").unwrap_or(1).max(1),
+            },
+            "run" => Command::Run {
+                until_s: json.get("until_s").and_then(Json::as_f64),
+            },
+            "pause" => Command::Pause,
+            "shutdown" => Command::Shutdown,
+            other => return Err(format!("unknown command op `{other}`")),
+        })
+    }
+}
+
+/// Prepends the `op` member to a serialized payload object.
+fn with_op(op: &str, payload: Json) -> Json {
+    let mut members = vec![("op".to_string(), Json::str(op))];
+    if let Json::Obj(rest) = payload {
+        members.extend(rest);
+    }
+    Json::Obj(members)
+}
+
+fn field_u32(json: &Json, key: &str) -> Option<u32> {
+    let n = json.get(key)?.as_f64()?;
+    if n.is_finite() && n >= 0.0 && n <= f64::from(u32::MAX) && n.trunc() == n {
+        Some(n as u32)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_command_round_trips_through_json() {
+        let commands = [
+            Command::Fault(FaultSpec::FailController(1)),
+            Command::Fault(FaultSpec::ReviveController(1)),
+            Command::Fault(FaultSpec::FailSwitch(9)),
+            Command::Fault(FaultSpec::ReviveSwitch(9)),
+            Command::Fault(FaultSpec::FailLink(3, 4)),
+            Command::Fault(FaultSpec::RestoreLink(3, 4)),
+            Command::Fault(FaultSpec::RemoveLink(5, 6)),
+            Command::Fault(FaultSpec::AddLink(5, 6)),
+            Command::Flows(FlowsSpec {
+                pairs: 200,
+                duration_ticks: 30,
+                rate_per_tick: Some(12.5),
+                permutation: true,
+                seed_salt: Some(42),
+            }),
+            Command::Flows(FlowsSpec {
+                pairs: 10,
+                duration_ticks: 5,
+                rate_per_tick: None,
+                permutation: false,
+                seed_salt: None,
+            }),
+            Command::Step { ticks: 3 },
+            Command::Run {
+                until_s: Some(30.0),
+            },
+            Command::Run { until_s: None },
+            Command::Pause,
+            Command::Shutdown,
+        ];
+        for cmd in commands {
+            let wire = cmd.to_json().to_string();
+            let parsed = Command::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(parsed, cmd, "round-trip of {wire}");
+            // The wire form itself is stable under a second encode.
+            assert_eq!(parsed.to_json().to_string(), wire);
+        }
+    }
+
+    #[test]
+    fn malformed_commands_are_rejected_with_reasons() {
+        for (src, needle) in [
+            (r#"{"ticks":1}"#, "needs a string `op`"),
+            (r#"{"op":"warp"}"#, "unknown command op"),
+            (r#"{"op":"fault"}"#, "needs a string `kind`"),
+            (r#"{"op":"fault","kind":"melt"}"#, "unknown fault kind"),
+            (
+                r#"{"op":"fault","kind":"fail_link","a":1}"#,
+                "needs `a` and `b`",
+            ),
+            (r#"{"op":"flows","pairs":10}"#, "duration_ticks"),
+            (
+                r#"{"op":"flows","pairs":10,"duration_ticks":5,"rate_per_tick":0}"#,
+                "must be positive",
+            ),
+            (
+                r#"{"op":"flows","pairs":10,"duration_ticks":5,"matrix":"spiral"}"#,
+                "unknown matrix",
+            ),
+        ] {
+            let err = Command::from_json(&Json::parse(src).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{src}: got `{err}`");
+        }
+    }
+
+    #[test]
+    fn step_defaults_to_one_tick() {
+        let cmd = Command::from_json(&Json::parse(r#"{"op":"step"}"#).unwrap()).unwrap();
+        assert_eq!(cmd, Command::Step { ticks: 1 });
+    }
+}

@@ -1,0 +1,688 @@
+//! The deterministic session core: a simulated SDN advanced tick by tick.
+//!
+//! A [`Session`] owns the [`SdnNetwork`], the attached flow workloads, and a bounded
+//! ring of probe samples. It exposes exactly two mutations — [`Session::step`] (one
+//! simulated tick) and [`Session::apply`] (one [`Command`]) — and everything it
+//! computes derives from simulated state alone. No wall clock, no thread identity,
+//! no host entropy reaches this module (the `sdn-stancheck` scope rule enforces
+//! that statically), which is why a live interactive session and a single-threaded
+//! replay of its command log produce bit-identical final reports.
+
+use crate::command::{Command, FaultSpec, FlowsSpec};
+use renaissance::scenario::{Workload, WorkloadReport, WorkloadTick};
+use renaissance::{ControllerConfig, HarnessConfig, SdnNetwork};
+use renaissance_bench::report::Json;
+use sdn_metrics::{RingPage, RingSink};
+use sdn_netsim::SimDuration;
+use sdn_topology::{builders, NodeId};
+use sdn_traffic::{Arrival, FlowEngineWorkload, FlowMix, FlowSetConfig, TrafficMatrix};
+
+/// Everything needed to rebuild a session from scratch — the command log's header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Topology name understood by [`builders::by_name`] (`fat_tree(8)`, `B4`, ...).
+    pub topology: String,
+    /// Number of controllers.
+    pub controllers: usize,
+    /// Harness seed; every random draw in the session derives from it.
+    pub seed: u64,
+    /// Simulated milliseconds one tick advances the network by.
+    pub tick_millis: u64,
+    /// Probe samples retained by the telemetry ring.
+    pub ring_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            topology: "fat_tree(4)".to_string(),
+            controllers: 2,
+            seed: 7,
+            tick_millis: 1000,
+            ring_capacity: 4096,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Serializes to the command-log header object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("topology", Json::str(self.topology.as_str())),
+            ("controllers", Json::num(self.controllers as f64)),
+            ("seed", Json::num(self.seed as f64)),
+            ("tick_millis", Json::num(self.tick_millis as f64)),
+            ("ring_capacity", Json::num(self.ring_capacity as f64)),
+        ])
+    }
+
+    /// Parses the command-log header object.
+    pub fn from_json(json: &Json) -> Result<SessionConfig, String> {
+        let topology = json
+            .get("topology")
+            .and_then(Json::as_str)
+            .ok_or("session config needs a `topology` name")?
+            .to_string();
+        let int = |key: &str| -> Result<u64, String> {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .filter(|n| n.is_finite() && *n >= 0.0)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("session config needs a numeric `{key}`"))
+        };
+        Ok(SessionConfig {
+            topology,
+            controllers: int("controllers")? as usize,
+            seed: int("seed")?,
+            tick_millis: int("tick_millis")?.max(1),
+            ring_capacity: int("ring_capacity")? as usize,
+        })
+    }
+}
+
+/// One attached flow workload, advanced a service tick per session tick.
+struct FlowSlot {
+    /// Stable attachment label (`flows-<n>`), carried into the finished report.
+    label: String,
+    workload: FlowEngineWorkload,
+    ticks_done: u32,
+    duration: u32,
+}
+
+/// A long-running simulated SDN session. See the module docs for the contract.
+pub struct Session {
+    config: SessionConfig,
+    net: SdnNetwork,
+    flows: Vec<FlowSlot>,
+    finished_flows: Vec<WorkloadReport>,
+    flows_attached: u64,
+    samples: RingSink,
+    tick: u64,
+    commands_applied: u64,
+}
+
+impl Session {
+    /// Boots a session: builds the named topology, wires the SDN, and records the
+    /// tick-0 probe sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.topology` is not a name [`builders::by_name`] accepts.
+    pub fn new(config: SessionConfig) -> Self {
+        let topology = builders::by_name(&config.topology, config.controllers);
+        let n_switches = topology.switch_count();
+        let net = SdnNetwork::new(
+            topology,
+            ControllerConfig::for_network(config.controllers, n_switches),
+            HarnessConfig::default().with_seed(config.seed),
+        );
+        let samples = RingSink::new(config.ring_capacity.max(1));
+        let mut session = Session {
+            config,
+            net,
+            flows: Vec::new(),
+            finished_flows: Vec::new(),
+            flows_attached: 0,
+            samples,
+            tick: 0,
+            commands_applied: 0,
+        };
+        session.record_sample();
+        session
+    }
+
+    /// The configuration the session was booted from.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Ticks executed so far.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Current simulated time in seconds.
+    pub fn sim_secs(&self) -> f64 {
+        self.net.now().as_secs_f64()
+    }
+
+    /// The telemetry ring backing `/log` and `/stream`.
+    pub fn samples(&self) -> &RingSink {
+        &self.samples
+    }
+
+    /// The newest probe sample, if any.
+    pub fn last_sample(&self) -> Option<(u64, String)> {
+        let next = self.samples.next_seq();
+        self.samples
+            .page(next.saturating_sub(1), 1)
+            .lines
+            .into_iter()
+            .next()
+    }
+
+    /// Advances the session by one tick: runs the simulator for the configured
+    /// slice, drives every attached flow workload one service tick, retires
+    /// workloads whose window ended, and records a probe sample.
+    pub fn step(&mut self) {
+        self.tick += 1;
+        self.net
+            .run_for(SimDuration::from_millis(self.config.tick_millis));
+        for slot in &mut self.flows {
+            slot.ticks_done += 1;
+            let tick = WorkloadTick {
+                index: slot.ticks_done,
+                elapsed: SimDuration::from_secs(u64::from(slot.ticks_done)),
+            };
+            slot.workload.tick(&mut self.net, tick);
+        }
+        while let Some(pos) = self.flows.iter().position(|s| s.ticks_done >= s.duration) {
+            let mut slot = self.flows.remove(pos);
+            let mut report = slot.workload.finish(&mut self.net);
+            report.push_note("attached_as", slot.label.clone());
+            report.push_note("finished_at_tick", self.tick.to_string());
+            self.finished_flows.push(report);
+        }
+        self.record_sample();
+    }
+
+    /// Applies one command at the current tick boundary and returns its outcome
+    /// object. Control commands (`step`/`run`/`pause`/`shutdown`) do not touch
+    /// simulated state here — the driver (or replay's tick stamps) realizes their
+    /// effect — but they still count toward `commands_applied` so live and replayed
+    /// reports agree.
+    pub fn apply(&mut self, cmd: &Command) -> Json {
+        self.commands_applied += 1;
+        match cmd {
+            Command::Fault(spec) => self.apply_fault(*spec),
+            Command::Flows(spec) => self.attach_flows(*spec),
+            Command::Step { .. } | Command::Run { .. } | Command::Pause | Command::Shutdown => {
+                Json::obj([("ok", Json::Bool(true))])
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, spec: FaultSpec) -> Json {
+        let outcome: Result<String, String> = match spec {
+            FaultSpec::FailController(n) => self.checked_controller(n).map(|id| {
+                self.net.fail_controller(id);
+                format!("controller {n} failed")
+            }),
+            FaultSpec::ReviveController(n) => self.checked_controller(n).map(|id| {
+                self.net.revive_controller(id);
+                format!("controller {n} revived")
+            }),
+            FaultSpec::FailSwitch(n) => self.checked_switch(n).map(|id| {
+                self.net.fail_switch(id);
+                format!("switch {n} failed")
+            }),
+            FaultSpec::ReviveSwitch(n) => self.checked_switch(n).map(|id| {
+                self.net.revive_switch(id);
+                format!("switch {n} revived")
+            }),
+            FaultSpec::FailLink(a, b) => self.checked_link(a, b).map(|(a, b)| {
+                self.net.fail_link(a, b);
+                format!("link {}-{} failed", a.index(), b.index())
+            }),
+            FaultSpec::RestoreLink(a, b) => self.checked_link(a, b).map(|(a, b)| {
+                self.net.restore_link(a, b);
+                format!("link {}-{} restored", a.index(), b.index())
+            }),
+            FaultSpec::RemoveLink(a, b) => self.checked_link(a, b).and_then(|(a, b)| {
+                if self.net.remove_link(a, b) {
+                    Ok(format!("link {}-{} removed", a.index(), b.index()))
+                } else {
+                    Err(format!("link {}-{} not present", a.index(), b.index()))
+                }
+            }),
+            FaultSpec::AddLink(a, b) => {
+                let (a, b) = (NodeId::new(a), NodeId::new(b));
+                if a == b {
+                    Err("cannot add a self-loop".to_string())
+                } else {
+                    self.net.add_link(a, b);
+                    Ok(format!("link {}-{} added", a.index(), b.index()))
+                }
+            }
+        };
+        match outcome {
+            Ok(detail) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("applied", spec.to_json()),
+                ("detail", Json::str(detail)),
+            ]),
+            Err(error) => Json::obj([("ok", Json::Bool(false)), ("error", Json::str(error))]),
+        }
+    }
+
+    fn checked_controller(&self, n: u32) -> Result<NodeId, String> {
+        let id = NodeId::new(n);
+        if self.net.controller_ids().contains(&id) {
+            Ok(id)
+        } else {
+            Err(format!("no controller with index {n}"))
+        }
+    }
+
+    fn checked_switch(&self, n: u32) -> Result<NodeId, String> {
+        let id = NodeId::new(n);
+        if self.net.switch_ids().contains(&id) {
+            Ok(id)
+        } else {
+            Err(format!("no switch with index {n}"))
+        }
+    }
+
+    fn checked_link(&self, a: u32, b: u32) -> Result<(NodeId, NodeId), String> {
+        let (a, b) = (NodeId::new(a), NodeId::new(b));
+        let graph = self.net.sim().topology();
+        if !graph.contains_node(a) || !graph.contains_node(b) {
+            Err(format!(
+                "link {}-{}: unknown endpoint",
+                a.index(),
+                b.index()
+            ))
+        } else {
+            Ok((a, b))
+        }
+    }
+
+    fn attach_flows(&mut self, spec: FlowsSpec) -> Json {
+        let label = format!("flows-{}", self.flows_attached);
+        let arrival = match spec.rate_per_tick {
+            Some(rate_per_tick) => Arrival::Poisson { rate_per_tick },
+            None => Arrival::UpFront,
+        };
+        let config = FlowSetConfig {
+            matrix: if spec.permutation {
+                TrafficMatrix::Permutation
+            } else {
+                TrafficMatrix::Uniform
+            },
+            mix: FlowMix::datacenter(),
+            arrival,
+            pairs: spec.pairs,
+            fan_out: None,
+        };
+        let mut workload = FlowEngineWorkload::new(config, spec.duration_ticks);
+        // Decorrelate repeated attachments by default; an explicit salt wins.
+        let salt = spec
+            .seed_salt
+            .unwrap_or(0x666c_6f77 ^ self.flows_attached.rotate_left(17));
+        workload = workload.with_seed_salt(salt);
+        workload.start(&mut self.net);
+        self.flows_attached += 1;
+        self.flows.push(FlowSlot {
+            label: label.clone(),
+            workload,
+            ticks_done: 0,
+            duration: spec.duration_ticks.max(1),
+        });
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("attached_as", Json::str(label)),
+            ("flows", Json::num(config_flow_count(&spec) as f64)),
+        ])
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    /// The current communication graph `Gc`: node sets and links.
+    pub fn topology_json(&self) -> Json {
+        let topo = self.net.topology();
+        let graph = self.net.sim().topology();
+        let ids = |nodes: &[NodeId]| {
+            Json::arr(
+                nodes
+                    .iter()
+                    .map(|n| Json::num(f64::from(n.index())))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let links = graph
+            .links()
+            .map(|l| {
+                Json::arr([
+                    Json::num(f64::from(l.a.index())),
+                    Json::num(f64::from(l.b.index())),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("name", Json::str(topo.name.as_str())),
+            ("controllers", ids(&topo.controllers)),
+            ("switches", ids(&topo.switches)),
+            ("links", Json::Arr(links)),
+            (
+                "generation",
+                Json::num(self.net.sim().topology_generation() as f64),
+            ),
+            (
+                "expected_diameter",
+                Json::num(f64::from(topo.expected_diameter)),
+            ),
+        ])
+    }
+
+    /// One node's state, or `None` when the index names no node.
+    pub fn node_json(&self, index: u32) -> Option<Json> {
+        let id = NodeId::new(index);
+        let topo = self.net.topology();
+        let live = !self.net.sim().is_node_failed(id);
+        let degree = self.net.sim().operational_graph().degree(id);
+        if let Some(controller) = self.net.controller(id) {
+            return Some(Json::obj([
+                ("id", Json::num(f64::from(index))),
+                ("kind", Json::str("controller")),
+                ("live", Json::Bool(live)),
+                ("degree", Json::num(degree as f64)),
+                ("c_resets", Json::num(controller.c_resets() as f64)),
+                (
+                    "state_version",
+                    Json::num(controller.state_version() as f64),
+                ),
+            ]));
+        }
+        if let Some(switch) = self.net.switch(id) {
+            return Some(Json::obj([
+                ("id", Json::num(f64::from(index))),
+                ("kind", Json::str("switch")),
+                ("live", Json::Bool(live)),
+                ("degree", Json::num(degree as f64)),
+                ("rules", Json::num(switch.rules().len() as f64)),
+            ]));
+        }
+        // A failed node's state machine may be unreachable; report what the
+        // topology still knows.
+        if topo.controllers.contains(&id) || topo.switches.contains(&id) {
+            return Some(Json::obj([
+                ("id", Json::num(f64::from(index))),
+                (
+                    "kind",
+                    Json::str(if topo.controllers.contains(&id) {
+                        "controller"
+                    } else {
+                        "switch"
+                    }),
+                ),
+                ("live", Json::Bool(live)),
+                ("degree", Json::num(degree as f64)),
+            ]));
+        }
+        None
+    }
+
+    /// The legitimacy verdict (paper, Definition 1) with every violated condition.
+    pub fn legitimacy_json(&self) -> Json {
+        let report = self.net.legitimacy_report();
+        Json::obj([
+            ("legitimate", Json::Bool(report.is_legitimate())),
+            (
+                "issues",
+                Json::arr(
+                    report
+                        .issues
+                        .iter()
+                        .map(|i| Json::str(i.as_str()))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+    }
+
+    /// Counters of the session so far: tick, simulated time, control-plane message
+    /// totals, rule footprint, workload and sample accounting.
+    pub fn metrics_json(&self) -> Json {
+        let metrics = self.net.metrics();
+        Json::obj([
+            ("tick", Json::num(self.tick as f64)),
+            ("sim_s", Json::num(self.sim_secs())),
+            (
+                "events",
+                Json::num(self.net.sim().events_processed() as f64),
+            ),
+            ("msgs_sent", Json::num(metrics.total_sent() as f64)),
+            ("msgs_received", Json::num(metrics.total_received() as f64)),
+            ("bytes_sent", Json::num(metrics.total_bytes_sent() as f64)),
+            ("rules_total", Json::num(self.net.total_rules() as f64)),
+            (
+                "rules_max_per_switch",
+                Json::num(self.net.max_rules_per_switch() as f64),
+            ),
+            ("flow_workloads", Json::num(self.flows.len() as f64)),
+            ("flow_reports", Json::num(self.finished_flows.len() as f64)),
+            ("commands", Json::num(self.commands_applied as f64)),
+            ("samples_dropped", Json::num(self.samples.dropped() as f64)),
+        ])
+    }
+
+    /// A page of the telemetry ring: retained probe samples with sequence `>= from`.
+    pub fn log_json(&self, from: u64, limit: usize) -> Json {
+        let page = self.samples.page(from, limit);
+        page_json(&page)
+    }
+
+    /// The canonical end-of-session report — the artifact the replay test compares
+    /// byte for byte. Everything here derives from simulated state only.
+    pub fn final_report(&self) -> Json {
+        let flow_reports = self
+            .finished_flows
+            .iter()
+            .map(workload_report_json)
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("config", self.config.to_json()),
+            ("final_tick", Json::num(self.tick as f64)),
+            ("sim_s", Json::num(self.sim_secs())),
+            ("legitimacy", self.legitimacy_json()),
+            ("metrics", self.metrics_json()),
+            ("flow_reports", Json::Arr(flow_reports)),
+            (
+                "samples",
+                Json::obj([
+                    ("pushed", Json::num(self.samples.next_seq() as f64)),
+                    ("dropped", Json::num(self.samples.dropped() as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    fn record_sample(&mut self) {
+        let metrics = self.net.metrics();
+        let report = self.net.legitimacy_report();
+        let line = Json::obj([
+            ("tick", Json::num(self.tick as f64)),
+            ("sim_s", Json::num(self.sim_secs())),
+            ("legitimate", Json::Bool(report.is_legitimate())),
+            ("issues", Json::num(report.issues.len() as f64)),
+            (
+                "events",
+                Json::num(self.net.sim().events_processed() as f64),
+            ),
+            ("msgs_sent", Json::num(metrics.total_sent() as f64)),
+            ("rules_total", Json::num(self.net.total_rules() as f64)),
+            ("flow_workloads", Json::num(self.flows.len() as f64)),
+        ])
+        .to_string();
+        self.samples.push_line(line);
+    }
+}
+
+/// Total flows a [`FlowsSpec`] expands to (no fan-out on this surface).
+fn config_flow_count(spec: &FlowsSpec) -> u64 {
+    u64::from(spec.pairs)
+}
+
+/// Renders a [`RingPage`] as the `/log` response object; samples are re-embedded as
+/// JSON values (they were emitted by this crate, so parsing cannot fail in practice,
+/// but a raw string fallback keeps the endpoint total).
+pub fn page_json(page: &RingPage) -> Json {
+    let lines = page
+        .lines
+        .iter()
+        .map(|(seq, line)| {
+            let sample = Json::parse(line).unwrap_or_else(|_| Json::str(line.as_str()));
+            Json::obj([("seq", Json::num(*seq as f64)), ("sample", sample)])
+        })
+        .collect::<Vec<_>>();
+    Json::obj([
+        ("lines", Json::Arr(lines)),
+        (
+            "first_seq",
+            match page.first_seq {
+                Some(seq) => Json::num(seq as f64),
+                None => Json::Null,
+            },
+        ),
+        ("next", Json::num(page.next as f64)),
+        ("dropped", Json::num(page.dropped as f64)),
+    ])
+}
+
+/// Serializes one finished workload report: notes, per-tick series, digest summaries.
+fn workload_report_json(report: &WorkloadReport) -> Json {
+    let notes = report
+        .notes
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::str(v.as_str())))
+        .collect::<Vec<_>>();
+    let series = report
+        .series
+        .iter()
+        .map(|s| {
+            (
+                s.name.clone(),
+                Json::arr(s.values.iter().map(|v| Json::num(*v)).collect::<Vec<_>>()),
+            )
+        })
+        .collect::<Vec<_>>();
+    let digests = report
+        .digests
+        .iter()
+        .map(|(name, d)| {
+            (
+                name.clone(),
+                Json::obj([
+                    ("n", Json::num(d.len() as f64)),
+                    ("mean", Json::num(d.mean())),
+                    ("min", Json::num(d.min())),
+                    ("p50", Json::num(d.p50())),
+                    ("p90", Json::num(d.p90())),
+                    ("p99", Json::num(d.p99())),
+                    ("max", Json::num(d.max())),
+                ]),
+            )
+        })
+        .collect::<Vec<_>>();
+    Json::obj([
+        ("label", Json::str(report.label.as_str())),
+        ("notes", Json::Obj(notes)),
+        ("series", Json::Obj(series)),
+        ("digests", Json::Obj(digests)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SessionConfig {
+        SessionConfig {
+            topology: "grid(2,3)".to_string(),
+            controllers: 2,
+            seed: 11,
+            tick_millis: 500,
+            ring_capacity: 64,
+        }
+    }
+
+    #[test]
+    fn session_config_round_trips() {
+        let config = tiny();
+        let wire = config.to_json().to_string();
+        let back = SessionConfig::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn stepping_twice_from_the_same_config_is_bit_identical() {
+        let run = || {
+            let mut s = Session::new(tiny());
+            for _ in 0..20 {
+                s.step();
+            }
+            s.apply(&Command::Fault(FaultSpec::FailLink(3, 4)));
+            for _ in 0..20 {
+                s.step();
+            }
+            s.final_report().to_string()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_outcomes_validate_their_victims() {
+        let mut s = Session::new(tiny());
+        let bad = s.apply(&Command::Fault(FaultSpec::FailSwitch(99)));
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        let good = s.apply(&Command::Fault(FaultSpec::FailSwitch(3)));
+        assert_eq!(good.get("ok").and_then(Json::as_bool), Some(true));
+        // Commands counted either way: outcomes are part of session history.
+        assert_eq!(
+            s.metrics_json().get("commands").and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn flows_attach_run_and_retire_into_reports() {
+        let mut s = Session::new(tiny());
+        for _ in 0..30 {
+            s.step();
+        }
+        let ack = s.apply(&Command::Flows(FlowsSpec {
+            pairs: 12,
+            duration_ticks: 5,
+            rate_per_tick: Some(4.0),
+            permutation: false,
+            seed_salt: None,
+        }));
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+        for _ in 0..6 {
+            s.step();
+        }
+        let report = s.final_report();
+        let flows = report.get("flow_reports").and_then(Json::as_array).unwrap();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(
+            flows[0]
+                .get("notes")
+                .and_then(|n| n.get("attached_as"))
+                .and_then(Json::as_str),
+            Some("flows-0")
+        );
+    }
+
+    #[test]
+    fn snapshots_are_well_formed() {
+        let mut s = Session::new(tiny());
+        for _ in 0..4 {
+            s.step();
+        }
+        let topo = s.topology_json();
+        assert_eq!(topo.get("name").and_then(Json::as_str), Some("Grid-2x3"));
+        assert!(!topo
+            .get("links")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
+        let node = s.node_json(2).unwrap();
+        assert_eq!(node.get("kind").and_then(Json::as_str), Some("switch"));
+        assert!(s.node_json(999).is_none());
+        let log = s.log_json(0, 3);
+        assert_eq!(log.get("lines").and_then(Json::as_array).unwrap().len(), 3);
+        assert!(s.last_sample().is_some());
+    }
+}

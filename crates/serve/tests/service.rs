@@ -1,0 +1,191 @@
+//! End-to-end service test: boot `sdn-serve` on an ephemeral port, drive a whole
+//! interactive session over real HTTP — free-run to legitimacy, inject a link
+//! failure, stream telemetry, attach flows, pause/step — then shut down cleanly
+//! and prove the recorded command log replays bit-identically.
+
+use renaissance_bench::report::Json;
+use sdn_serve::{CommandLog, Server, Session, SessionConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+fn config() -> SessionConfig {
+    SessionConfig {
+        topology: "grid(2,3)".to_string(),
+        controllers: 2,
+        seed: 11,
+        tick_millis: 250,
+        ring_capacity: 256,
+    }
+}
+
+/// One raw HTTP exchange against the service.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, payload) = response.split_once("\r\n\r\n").expect("split response");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let json = Json::parse(payload).unwrap_or_else(|e| panic!("bad JSON `{payload}`: {e}"));
+    (status, json)
+}
+
+/// Polls `/legitimacy` until the network converges (bounded).
+fn await_legitimate(addr: &str) {
+    for _ in 0..2000 {
+        let (status, verdict) = http(addr, "GET", "/legitimacy", "");
+        assert_eq!(status, 200);
+        if verdict.get("legitimate").and_then(Json::as_bool) == Some(true) {
+            return;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    panic!("network never became legitimate");
+}
+
+#[test]
+fn a_full_interactive_session_replays_bit_identically() {
+    let server = Server::bind(Session::new(config()), "127.0.0.1:0").expect("bind");
+    let addr = server.addr().to_string();
+    let driver = thread::spawn(move || server.run());
+
+    // Free-run until the control plane converges.
+    let (status, ack) = http(&addr, "POST", "/run", "");
+    assert_eq!(status, 200, "{ack}");
+    await_legitimate(&addr);
+
+    // Pick a real switch-switch link off the live topology and fail it.
+    let (status, topo) = http(&addr, "GET", "/topology", "");
+    assert_eq!(status, 200);
+    let switches: Vec<f64> = topo
+        .get("switches")
+        .and_then(Json::as_array)
+        .expect("switches")
+        .iter()
+        .filter_map(Json::as_f64)
+        .collect();
+    let link = topo
+        .get("links")
+        .and_then(Json::as_array)
+        .expect("links")
+        .iter()
+        .filter_map(|l| {
+            let ends = l.as_array()?;
+            let a = ends.first()?.as_f64()?;
+            let b = ends.get(1)?.as_f64()?;
+            (switches.contains(&a) && switches.contains(&b)).then_some((a as u32, b as u32))
+        })
+        .next()
+        .expect("a switch-switch link");
+    let fault = format!(
+        "{{\"kind\":\"fail_link\",\"a\":{},\"b\":{}}}",
+        link.0, link.1
+    );
+    let (status, ack) = http(&addr, "POST", "/faults", &fault);
+    assert_eq!(status, 200, "{ack}");
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true), "{ack}");
+
+    // Self-stabilization must recover legitimacy after the failure.
+    await_legitimate(&addr);
+
+    // Tail the telemetry stream long enough to see live samples flowing.
+    let stream_addr = addr.clone();
+    let tail = thread::spawn(move || {
+        let mut stream = TcpStream::connect(&stream_addr).expect("connect stream");
+        stream
+            .write_all(
+                format!("GET /stream HTTP/1.1\r\nHost: {stream_addr}\r\nConnection: close\r\n\r\n")
+                    .as_bytes(),
+            )
+            .expect("write stream request");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set timeout");
+        let mut seen = String::new();
+        let mut buf = [0u8; 4096];
+        while seen.matches("\"tick\"").count() < 3 {
+            let n = stream.read(&mut buf).expect("read stream");
+            assert!(n > 0, "stream closed early");
+            seen.push_str(&String::from_utf8_lossy(&buf[..n]));
+        }
+        assert!(seen.contains("\"legitimate\""), "samples carry legitimacy");
+    });
+    tail.join().expect("stream tail");
+
+    // Attach an open-loop Poisson flow set mid-run.
+    let (status, ack) = http(
+        &addr,
+        "POST",
+        "/flows",
+        "{\"pairs\":4,\"duration_ticks\":3,\"rate_per_tick\":1.5}",
+    );
+    assert_eq!(status, 200, "{ack}");
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true), "{ack}");
+
+    // Pause, then single-step deterministically.
+    let (status, _) = http(&addr, "POST", "/pause", "");
+    assert_eq!(status, 200);
+    let (_, before) = http(&addr, "GET", "/metrics", "");
+    let tick_before = before.get("tick").and_then(Json::as_f64).expect("tick");
+    assert!(
+        before.get("uptime_s").and_then(Json::as_f64).is_some(),
+        "transport annotates /metrics with uptime"
+    );
+    let (status, _) = http(&addr, "POST", "/step?ticks=4", "");
+    assert_eq!(status, 200);
+    let (_, after) = http(&addr, "GET", "/metrics", "");
+    let tick_after = after.get("tick").and_then(Json::as_f64).expect("tick");
+    assert_eq!(
+        tick_after,
+        tick_before + 4.0,
+        "step advanced exactly 4 ticks"
+    );
+
+    // Node snapshots and the paged probe log.
+    let (status, node) = http(&addr, "GET", &format!("/nodes/{}", link.0), "");
+    assert_eq!(status, 200);
+    assert!(node.get("id").is_some(), "{node}");
+    let (status, _) = http(&addr, "GET", "/nodes/9999", "");
+    assert_eq!(status, 404);
+    let (status, page) = http(&addr, "GET", "/log?from=0&limit=5", "");
+    assert_eq!(status, 200);
+    assert!(
+        !page
+            .get("lines")
+            .and_then(Json::as_array)
+            .expect("lines")
+            .is_empty(),
+        "{page}"
+    );
+
+    // Bad input is rejected at the transport boundary.
+    let (status, _) = http(&addr, "POST", "/faults", "{\"kind\":\"nonsense\"}");
+    assert_eq!(status, 400);
+    let (status, _) = http(&addr, "GET", "/no-such-route", "");
+    assert_eq!(status, 404);
+
+    // Clean shutdown hands back the report and the sealed command log.
+    let (status, _) = http(&addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    let (report, log) = driver.join().expect("driver thread");
+
+    // The recorded session must replay bit-identically, including through a
+    // serialization round trip.
+    assert!(log.entries.len() >= 6, "all commands were logged");
+    assert_eq!(log.replay().to_string(), report.to_string());
+    let text = log.to_jsonl();
+    let parsed = CommandLog::parse(&text).expect("parse recorded log");
+    parsed.verify().expect("round-tripped log verifies");
+    assert_eq!(parsed.to_jsonl(), text);
+}

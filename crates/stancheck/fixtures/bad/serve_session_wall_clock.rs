@@ -1,0 +1,11 @@
+// stancheck-fixture: crate=serve kind=lib module=session
+//! Known-bad: wall-clock reads in the serve session driver. The session must be
+//! replayable from a command log — host time here would make live and replayed
+//! runs diverge.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp_tick() -> f64 {
+    let started = Instant::now();
+    let _epoch = SystemTime::now();
+    started.elapsed().as_secs_f64()
+}

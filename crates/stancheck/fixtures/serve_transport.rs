@@ -1,0 +1,12 @@
+// stancheck-fixture: crate=serve kind=lib module=transport
+//! Known-clean: the serve transport module is the one sanctioned home for
+//! wall-clock and thread-identity reads — they never reach simulated state.
+use std::time::Instant;
+
+pub fn uptime_secs(started: Instant) -> f64 {
+    Instant::now().duration_since(started).as_secs_f64()
+}
+
+pub fn connection_label() -> String {
+    format!("conn on {:?}", std::thread::current().id())
+}

@@ -125,27 +125,34 @@ fn meta(file: &str, rule: &str, line: u32, message: String) -> Finding {
     }
 }
 
-/// Parses a fixture directive: `// stancheck-fixture: crate=<name> kind=<label>`.
+/// Parses a fixture directive:
+/// `// stancheck-fixture: crate=<name> kind=<label> [module=<name>]`.
 ///
 /// Fixture files live outside any crate's source tree, so their path says nothing
-/// about how rules should apply; the directive pins the simulated context. Returns
-/// `None` when the source has no directive (normal files).
+/// about how rules should apply; the directive pins the simulated context. The
+/// optional `module=` pin exists for module-scoped rules (serve's transport-only
+/// wall-clock allowance) and defaults to `lib`. Returns `None` when the source has
+/// no directive (normal files).
 pub fn fixture_directive(src: &str) -> Option<FileContext> {
     let marker = "stancheck-fixture:";
     let at = src.find(marker)?;
     let line = src[at + marker.len()..].lines().next()?;
     let mut crate_name = None;
     let mut kind = None;
+    let mut module = "lib".to_string();
     for part in line.split_whitespace() {
         if let Some(v) = part.strip_prefix("crate=") {
             crate_name = Some(v.to_string());
         } else if let Some(v) = part.strip_prefix("kind=") {
             kind = FileKind::from_label(v);
+        } else if let Some(v) = part.strip_prefix("module=") {
+            module = v.to_string();
         }
     }
     Some(FileContext {
         crate_name: crate_name?,
         kind: kind?,
+        module,
     })
 }
 
@@ -157,6 +164,7 @@ mod tests {
         FileContext {
             crate_name: name.to_string(),
             kind: FileKind::Lib,
+            module: "lib".to_string(),
         }
     }
 
@@ -218,6 +226,14 @@ mod tests {
             .expect("directive");
         assert_eq!(ctx.crate_name, "core");
         assert_eq!(ctx.kind, FileKind::Lib);
+        assert_eq!(ctx.module, "lib");
         assert!(fixture_directive("fn x() {}").is_none());
+
+        let ctx = fixture_directive(
+            "// stancheck-fixture: crate=serve kind=lib module=transport\nfn x() {}",
+        )
+        .expect("directive");
+        assert_eq!(ctx.crate_name, "serve");
+        assert_eq!(ctx.module, "transport");
     }
 }

@@ -9,8 +9,8 @@
 //! | rule | hazard |
 //! |------|--------|
 //! | `hash-collections` | `HashMap`/`HashSet` in simulation crates (iteration order) |
-//! | `wall-clock` | `SystemTime` / `Instant::now` outside the bench crate |
-//! | `thread-identity` | `thread::current` / `ThreadId` / `available_parallelism` in simulation crates |
+//! | `wall-clock` | `SystemTime` / `Instant::now` outside the bench crate or serve's transport module |
+//! | `thread-identity` | `thread::current` / `ThreadId` / `available_parallelism` in simulation crates or serve outside transport |
 //! | `unordered-merge` | `rayon`-style `par_*` iteration anywhere outside tests |
 //! | `unsafe-block` | `unsafe` anywhere (the workspace forbids it) |
 //! | `boxed-event-payload` | `Box` in netsim library code (per-event heap allocation in the dispatch path) |

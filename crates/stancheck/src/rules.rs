@@ -77,19 +77,40 @@ impl FileKind {
 pub const SIMULATION_CRATES: [&str; 6] =
     ["core", "switch", "channel", "topology", "netsim", "traffic"];
 
-/// Per-file analysis context: which crate the file belongs to and what kind it is.
+/// Per-file analysis context: which crate the file belongs to, what kind it is, and
+/// which top-level module (the first path segment under `src/`) it lives in.
 #[derive(Debug, Clone)]
 pub struct FileContext {
     /// Crate directory name (`core`, `bench`, ...) or `workspace` for the root facade.
     pub crate_name: String,
     /// Target kind.
     pub kind: FileKind,
+    /// Top-level module under `src/` (`"transport"` for both `src/transport.rs` and
+    /// `src/transport/mod.rs`; `"lib"` for `src/lib.rs`; empty outside `src/`).
+    pub module: String,
 }
 
 impl FileContext {
     /// True when the file belongs to a simulation crate.
     pub fn is_simulation(&self) -> bool {
         SIMULATION_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// True when wall-clock reads are sanctioned here: the bench crate (measuring
+    /// wall time is its whole job) and the serve crate's transport module, the one
+    /// place where the long-running service is *supposed* to meet the host clock.
+    /// The serve session/driver modules stay restricted — a clock read there would
+    /// leak wall time into the replayable command log.
+    pub fn allows_wall_clock(&self) -> bool {
+        self.crate_name == "bench" || (self.crate_name == "serve" && self.module == "transport")
+    }
+
+    /// True when host-thread-identity APIs are a hazard here: the simulation crates
+    /// (always were), plus the serve crate outside its transport module — the
+    /// session driver must behave identically whether it is driven live from a
+    /// server thread or re-executed single-threaded from a command log.
+    pub fn restricts_thread_identity(&self) -> bool {
+        self.is_simulation() || (self.crate_name == "serve" && self.module != "transport")
     }
 }
 
@@ -115,15 +136,16 @@ pub const RULES: [Rule; 7] = [
     Rule {
         id: "wall-clock",
         severity: Severity::Error,
-        summary: "SystemTime/Instant::now outside the bench crate: wall-clock reads \
-                  leak host timing into simulated results",
+        summary: "SystemTime/Instant::now outside the bench crate or serve's \
+                  transport module: wall-clock reads leak host timing into simulated \
+                  results",
     },
     Rule {
         id: "thread-identity",
         severity: Severity::Error,
         summary: "thread::current/ThreadId/available_parallelism in a simulation \
-                  crate: thread identity or host core count feeding simulation logic \
-                  breaks seed determinism",
+                  crate or serve's session/driver modules: thread identity or host \
+                  core count feeding simulation logic breaks seed determinism",
     },
     Rule {
         id: "unordered-merge",
@@ -208,7 +230,7 @@ pub fn scan(tokens: &[Token<'_>], mask: &[bool], ctx: &FileContext) -> Vec<RawFi
                     ),
                 ));
             }
-            "SystemTime" if ctx.crate_name != "bench" && !in_test => {
+            "SystemTime" if !ctx.allows_wall_clock() && !in_test => {
                 findings.push(finding(
                     "wall-clock",
                     token.line,
@@ -220,7 +242,7 @@ pub fn scan(tokens: &[Token<'_>], mask: &[bool], ctx: &FileContext) -> Vec<RawFi
                 ));
             }
             "Instant"
-                if ctx.crate_name != "bench"
+                if !ctx.allows_wall_clock()
                     && !in_test
                     && next_is(tokens, i, &[":", ":", "now"]) =>
             {
@@ -229,24 +251,24 @@ pub fn scan(tokens: &[Token<'_>], mask: &[bool], ctx: &FileContext) -> Vec<RawFi
                     token.line,
                     format!(
                         "`Instant::now` in crate `{}`: wall-clock timing belongs in \
-                         the bench crate",
+                         the bench crate or serve's transport module",
                         ctx.crate_name
                     ),
                 ));
             }
-            "available_parallelism" | "ThreadId" if ctx.is_simulation() && !in_test => {
+            "available_parallelism" | "ThreadId" if ctx.restricts_thread_identity() && !in_test => {
                 findings.push(finding(
                     "thread-identity",
                     token.line,
                     format!(
-                        "`{}` in simulation crate `{}`: host core count / thread \
-                         identity must never influence simulated behavior",
+                        "`{}` in crate `{}`: host core count / thread identity must \
+                         never influence simulated behavior",
                         token.text, ctx.crate_name
                     ),
                 ));
             }
             "thread"
-                if ctx.is_simulation()
+                if ctx.restricts_thread_identity()
                     && !in_test
                     && next_is(tokens, i, &[":", ":", "current"]) =>
             {
@@ -254,8 +276,8 @@ pub fn scan(tokens: &[Token<'_>], mask: &[bool], ctx: &FileContext) -> Vec<RawFi
                     "thread-identity",
                     token.line,
                     format!(
-                        "`thread::current` in simulation crate `{}`: thread identity \
-                         feeding simulation logic breaks seed determinism",
+                        "`thread::current` in crate `{}`: thread identity feeding \
+                         simulation logic breaks seed determinism",
                         ctx.crate_name
                     ),
                 ));
@@ -334,6 +356,10 @@ mod tests {
     use crate::scope::test_mask;
 
     fn scan_str(src: &str, crate_name: &str, kind: FileKind) -> Vec<RawFinding> {
+        scan_str_in(src, crate_name, kind, "lib")
+    }
+
+    fn scan_str_in(src: &str, crate_name: &str, kind: FileKind, module: &str) -> Vec<RawFinding> {
         let lexed = lex(src);
         let mask = test_mask(&lexed.tokens);
         scan(
@@ -342,6 +368,7 @@ mod tests {
             &FileContext {
                 crate_name: crate_name.to_string(),
                 kind,
+                module: module.to_string(),
             },
         )
     }
@@ -397,6 +424,34 @@ mod tests {
         // thread::scope / spawn are the *sanctioned* primitives.
         let scoped = "fn s() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
         assert!(scan_str(scoped, "core", FileKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn serve_transport_is_the_only_serve_module_allowed_wall_clock() {
+        let src = "fn t() { let s = std::time::Instant::now(); }";
+        assert!(scan_str_in(src, "serve", FileKind::Lib, "transport").is_empty());
+        assert_eq!(
+            ids(&scan_str_in(src, "serve", FileKind::Lib, "session")),
+            ["wall-clock"]
+        );
+        let sys = "fn t() -> SystemTime { unreachable!() }";
+        assert!(scan_str_in(sys, "serve", FileKind::Lib, "transport").is_empty());
+        assert_eq!(
+            ids(&scan_str_in(sys, "serve", FileKind::Lib, "log")),
+            ["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn serve_restricts_thread_identity_outside_transport() {
+        let cur = "fn id() { let t = thread::current().id(); }";
+        assert_eq!(
+            ids(&scan_str_in(cur, "serve", FileKind::Lib, "session")),
+            ["thread-identity"]
+        );
+        assert!(scan_str_in(cur, "serve", FileKind::Lib, "transport").is_empty());
+        // Non-serve, non-simulation crates stay unrestricted.
+        assert!(scan_str(cur, "metrics", FileKind::Lib).is_empty());
     }
 
     #[test]

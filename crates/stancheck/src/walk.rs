@@ -63,7 +63,20 @@ pub fn classify(rel: &Path) -> FileContext {
     } else {
         FileKind::Lib
     };
-    FileContext { crate_name, kind }
+    // Top-level module under `src/`: the first path segment after `src` (its file
+    // stem for direct children, the directory name otherwise). Scoped rules — e.g.
+    // serve's transport-only wall-clock allowance — key on this.
+    let module = components
+        .iter()
+        .position(|c| c == "src")
+        .and_then(|i| components.get(i + 1))
+        .map(|seg| seg.strip_suffix(".rs").unwrap_or(seg).to_string())
+        .unwrap_or_default();
+    FileContext {
+        crate_name,
+        kind,
+        module,
+    }
 }
 
 /// Walks upward from `start` to the enclosing workspace root (the first directory
@@ -110,5 +123,20 @@ mod tests {
         assert_eq!(ctx("src/lib.rs").crate_name, "workspace");
         assert_eq!(ctx("crates/rng/build.rs").kind, FileKind::Build);
         assert_eq!(ctx("crates/stancheck/src/main.rs").kind, FileKind::Bin);
+    }
+
+    #[test]
+    fn module_is_the_first_segment_under_src() {
+        assert_eq!(ctx("crates/serve/src/transport.rs").module, "transport");
+        assert_eq!(ctx("crates/serve/src/transport/mod.rs").module, "transport");
+        assert_eq!(ctx("crates/serve/src/session.rs").module, "session");
+        assert_eq!(ctx("crates/serve/src/bin/sdn-serve-cli.rs").module, "bin");
+        assert_eq!(ctx("crates/core/src/lib.rs").module, "lib");
+        assert_eq!(ctx("crates/bench/tests/gate.rs").module, "");
+        // Only transport gets the wall-clock allowance.
+        assert!(ctx("crates/serve/src/transport.rs").allows_wall_clock());
+        assert!(!ctx("crates/serve/src/session.rs").allows_wall_clock());
+        assert!(ctx("crates/serve/src/session.rs").restricts_thread_identity());
+        assert!(!ctx("crates/serve/src/transport.rs").restricts_thread_identity());
     }
 }

@@ -33,6 +33,7 @@ fn each_bad_fixture_triggers_exactly_its_rule() {
         ("bad/unordered_merge.rs", "unordered-merge", 1),
         ("bad/unsafe_block.rs", "unsafe-block", 1),
         ("bad/unwrap_expect.rs", "unwrap-expect", 2),
+        ("bad/serve_session_wall_clock.rs", "wall-clock", 3),
     ];
     for (fixture, rule, count) in cases {
         let report = analyze_fixture(fixture);
@@ -121,6 +122,25 @@ fn waived_fixture_round_trips_justifications() {
 }
 
 #[test]
+fn serve_transport_fixture_is_clean_under_the_scope_rule() {
+    // The allowed half of the serve scope-rule pair: the exact APIs that flag the
+    // session module (`Instant::now`, `thread::current`) are sanctioned in the
+    // transport module, where they cannot reach simulated state.
+    let report = analyze_fixture("serve_transport.rs");
+    assert_eq!(
+        report.unwaived_count(),
+        0,
+        "transport fixture flagged: {:?}",
+        unwaived_rules(&report)
+    );
+    assert_eq!(
+        report.waived_count(),
+        0,
+        "transport fixture needs no waivers"
+    );
+}
+
+#[test]
 fn whole_bad_corpus_fails_loudly() {
     let root = manifest_dir();
     let dir = root.join("fixtures").join("bad");
@@ -130,7 +150,7 @@ fn whole_bad_corpus_fails_loudly() {
         .filter(|p| p.extension().is_some_and(|e| e == "rs"))
         .collect();
     files.sort();
-    assert!(files.len() >= 7, "fixture corpus shrank: {files:?}");
+    assert!(files.len() >= 8, "fixture corpus shrank: {files:?}");
     let report = analyze_files(&root, &files);
     assert!(
         report.unwaived_count() >= files.len(),

@@ -51,7 +51,7 @@ impl FlowMix {
 }
 
 /// When flows activate relative to the start of the workload window.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Arrival {
     /// Every flow active from tick 0 — the peak-concurrency stress shape.
     UpFront,
@@ -61,14 +61,56 @@ pub enum Arrival {
         /// Width of the arrival window in service ticks (>= 1).
         over_ticks: u32,
     },
+    /// An open-loop Poisson process at `rate_per_tick` flows per service tick:
+    /// inter-arrival gaps are seeded exponential draws ([`sdn_rng::Rng::gen_exp`])
+    /// accumulated onto a running clock, so flow `i+1` always starts at or after
+    /// flow `i` and the offered load stays at the configured rate no matter how
+    /// the network is doing — the sustained-rate shape ROADMAP item 3 calls for.
+    Poisson {
+        /// Mean number of flow arrivals per service tick (> 0).
+        rate_per_tick: f64,
+    },
 }
 
 impl Arrival {
-    fn sample(&self, rng: &mut Rng) -> u32 {
-        match self {
+    /// A sampler holding whatever running state the arrival law needs. One sampler
+    /// is used per generated flow set, so Poisson arrivals accumulate on one clock.
+    fn sampler(&self) -> ArrivalSampler {
+        ArrivalSampler {
+            arrival: *self,
+            clock: 0.0,
+        }
+    }
+}
+
+/// Stateful start-tick sampler for one flow-set generation pass.
+struct ArrivalSampler {
+    arrival: Arrival,
+    /// Poisson only: the running arrival clock in (fractional) ticks.
+    clock: f64,
+}
+
+impl ArrivalSampler {
+    fn sample(&mut self, rng: &mut Rng) -> u32 {
+        match self.arrival {
             Arrival::UpFront => 0,
             Arrival::Uniform { over_ticks } => {
-                rng.gen_range(0..u64::from((*over_ticks).max(1))) as u32
+                rng.gen_range(0..u64::from(over_ticks.max(1))) as u32
+            }
+            Arrival::Poisson { rate_per_tick } => {
+                let mean_gap = if rate_per_tick > 0.0 {
+                    1.0 / rate_per_tick
+                } else {
+                    0.0
+                };
+                self.clock += rng.gen_exp(mean_gap);
+                // Saturate rather than wrap on absurd rates: the tail of the
+                // batch just lands on the final representable tick.
+                if self.clock >= f64::from(u32::MAX) {
+                    u32::MAX
+                } else {
+                    self.clock as u32
+                }
             }
         }
     }
@@ -135,11 +177,12 @@ pub fn generate(endpoints: &[NodeId], config: &FlowSetConfig, seed: u64) -> Flow
     // Independent stream for sizes/arrivals so changing the matrix kind does not
     // reshuffle every flow's size.
     let mut shape_rng = Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut arrivals = config.arrival.sampler();
     let mut specs: Vec<FlowSpec> = Vec::with_capacity(config.flow_count() as usize);
     for _ in 0..config.pairs {
         let (s, d) = sampler.next_pair();
         let (src, dst) = (endpoints[s as usize], endpoints[d as usize]);
-        let start_tick = config.arrival.sample(&mut shape_rng);
+        let start_tick = arrivals.sample(&mut shape_rng);
         match config.fan_out {
             None => {
                 specs.push(FlowSpec {
@@ -264,5 +307,53 @@ mod tests {
         assert!(first > 0 && first < batch.len());
         let total: usize = (0..20).map(|t| batch.activating(t).len()).sum();
         assert_eq!(total, batch.len());
+    }
+
+    #[test]
+    fn poisson_arrival_is_open_loop_at_the_configured_rate() {
+        let eps = endpoints(16);
+        let pairs = 5_000;
+        let rate = 50.0;
+        let config = FlowSetConfig {
+            matrix: TrafficMatrix::Uniform,
+            mix: FlowMix::uniform(1e3),
+            arrival: Arrival::Poisson {
+                rate_per_tick: rate,
+            },
+            pairs,
+            fan_out: None,
+        };
+        let batch = generate(&eps, &config, 13);
+        // Start ticks are non-decreasing in generation order: one cumulative clock.
+        for i in 1..batch.len() {
+            assert!(batch.start_tick(i) >= batch.start_tick(i - 1));
+        }
+        // The arrival window is about pairs/rate ticks long, and any mid-window
+        // tick activates about `rate` flows.
+        let last = batch.start_tick(batch.len() - 1);
+        let expected_span = f64::from(pairs) / rate;
+        assert!(
+            (f64::from(last) - expected_span).abs() < expected_span * 0.2,
+            "window {last} ticks, expected ~{expected_span}"
+        );
+        let mid: usize = (40..60).map(|t| batch.activating(t).len()).sum();
+        assert!((700..1_300).contains(&mid), "20 mid ticks carried {mid}");
+        // Seed determinism holds for the stateful sampler too.
+        assert_eq!(batch, generate(&eps, &config, 13));
+        assert_ne!(batch, generate(&eps, &config, 14));
+    }
+
+    #[test]
+    fn poisson_with_degenerate_rate_starts_everything_up_front() {
+        let eps = endpoints(4);
+        let config = FlowSetConfig {
+            matrix: TrafficMatrix::Uniform,
+            mix: FlowMix::uniform(1e3),
+            arrival: Arrival::Poisson { rate_per_tick: 0.0 },
+            pairs: 50,
+            fan_out: None,
+        };
+        let batch = generate(&eps, &config, 3);
+        assert_eq!(batch.activating(0).len(), 50);
     }
 }

@@ -11,6 +11,7 @@ pub use renaissance;
 pub use sdn_channel;
 pub use sdn_metrics;
 pub use sdn_netsim;
+pub use sdn_serve;
 pub use sdn_switch;
 pub use sdn_tags;
 pub use sdn_topology;
