@@ -11,8 +11,17 @@ use crate::report::Json;
 
 /// The per-cell metrics the gate compares, all lower-is-better. Each entry is the key
 /// of a `Json::samples` object in a campaign result cell; its `mean` member is
-/// compared.
+/// compared. Every cell must carry all of them — a missing member is schema drift
+/// and fails the gate loudly.
 pub const GATED_METRICS: &[&str] = &["bootstrap_s", "recovery_s", "messages_sent"];
+
+/// Scenario-specific gated metrics, lower-is-better, compared only when present in
+/// both the current and the baseline cell (only the gray-failure cells carry them).
+pub const OPTIONAL_GATED_METRICS: &[&str] = &["partition_messages"];
+
+/// Scenario-specific gated metrics that are *higher*-is-better (a drop past the
+/// threshold regresses). Compared only when present in both cells.
+pub const OPTIONAL_GATED_HIGHER: &[&str] = &["flap_survival"];
 
 /// Per-cell metrics compared in the delta report but never gated: host-dependent
 /// wall-clock quantities whose drift is interesting context (is the simulator getting
@@ -42,9 +51,9 @@ pub struct GateEntry {
     pub baseline: f64,
     /// The current mean.
     pub current: f64,
-    /// Relative change in percent (positive = got worse; every gated metric is
-    /// lower-is-better). Infinite when the baseline mean is zero and the current one
-    /// is not.
+    /// Relative change in percent, oriented so positive = got worse regardless of
+    /// the metric's polarity. Infinite when the baseline mean is zero and the
+    /// current one moved in the worse direction.
     pub change_pct: f64,
 }
 
@@ -215,6 +224,44 @@ pub fn gate_campaign(current: &Json, baseline: &Json, gate_pct: f64) -> Result<G
                 change_pct,
             });
         }
+        // Scenario-specific gated metrics: only the gray-failure cells carry them,
+        // so each is compared when both artifacts have it and skipped otherwise.
+        for (metrics, higher_is_better) in [
+            (OPTIONAL_GATED_METRICS, false),
+            (OPTIONAL_GATED_HIGHER, true),
+        ] {
+            for &metric in metrics {
+                let (Some(current), Some(base)) = (
+                    context_value(result, metric),
+                    context_value(&baseline_cells[index], metric),
+                ) else {
+                    continue;
+                };
+                // Orient the delta so positive = regressed, whatever the polarity.
+                let worse = if higher_is_better {
+                    base - current
+                } else {
+                    current - base
+                };
+                let change_pct = if base != 0.0 {
+                    worse / base * 100.0
+                } else if worse == 0.0 {
+                    0.0
+                } else if worse > 0.0 {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                };
+                report.entries.push(GateEntry {
+                    spec: spec.to_string(),
+                    scenario: scenario.to_string(),
+                    metric,
+                    baseline: base,
+                    current,
+                    change_pct,
+                });
+            }
+        }
         for &metric in CONTEXT_METRICS {
             let (Some(current), Some(base)) = (
                 context_value(result, metric),
@@ -273,6 +320,55 @@ mod tests {
                 })),
             ),
         ])
+    }
+
+    /// An artifact whose single cell also carries the gray-failure metrics.
+    fn gray_artifact(survival: f64, partition_msgs: f64) -> Json {
+        Json::obj([
+            ("benchmark", Json::str("scale_campaign")),
+            (
+                "results",
+                Json::arr([Json::obj([
+                    ("spec", Json::str("fat_tree(4)")),
+                    ("scenario", Json::str("partition_heal")),
+                    ("bootstrap_s", Json::obj([("mean", Json::num(1.0))])),
+                    ("recovery_s", Json::obj([("mean", Json::num(0.5))])),
+                    ("messages_sent", Json::obj([("mean", Json::num(1000.0))])),
+                    ("flap_survival", Json::obj([("mean", Json::num(survival))])),
+                    (
+                        "partition_messages",
+                        Json::obj([("mean", Json::num(partition_msgs))]),
+                    ),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn optional_gray_metrics_are_gated_with_polarity() {
+        let baseline = gray_artifact(1.0, 200.0);
+        // Survival dropped (higher-is-better) and partition traffic doubled
+        // (lower-is-better): both must read as positive regressions.
+        let current = gray_artifact(0.5, 400.0);
+        let report = gate_campaign(&current, &baseline, 25.0).unwrap();
+        let regressions = report.regressions();
+        let metrics: Vec<&str> = regressions.iter().map(|r| r.metric).collect();
+        assert!(metrics.contains(&"flap_survival"));
+        assert!(metrics.contains(&"partition_messages"));
+        let survival = regressions
+            .iter()
+            .find(|r| r.metric == "flap_survival")
+            .unwrap();
+        assert!((survival.change_pct - 50.0).abs() < 1e-9);
+        // The opposite direction is an improvement and never trips.
+        assert!(gate_campaign(&baseline, &current, 25.0)
+            .unwrap()
+            .regressions()
+            .is_empty());
+        // A baseline without the optional members still gates cleanly.
+        let plain = artifact(&[("fat_tree(4)", "partition_heal", 1.0, 0.5, 1000.0)]);
+        let report = gate_campaign(&current, &plain, 25.0).unwrap();
+        assert!(report.entries.iter().all(|e| e.metric != "flap_survival"));
     }
 
     #[test]

@@ -24,6 +24,20 @@
 //! Under-load cells report `fct_p50_s` / `fct_p99_s` / `achieved_mbps` digests plus
 //! completed-flow counts and (host-dependent, never gated) flows-per-second.
 //!
+//! Selected networks additionally run the *gray-failure* family (see
+//! [`runs_gray_cells`]) — the dynamic fault schedules that stress recovery under
+//! degradation rather than clean fail-stop:
+//!
+//! * `gray_link_recovery` — bursty one-way ~30% loss on correlated links (a whole
+//!   rack on fat trees, random safe links elsewhere), then a mid-path link removal:
+//!   time-to-relegitimacy *while degraded*,
+//! * `partition_heal` — a two-halves controller partition that heals after 10 s;
+//!   reports `partition_messages`, the control-plane messages sent mid-partition,
+//! * `flapping_link` — one safe link flapping down/up for three 12-second cycles;
+//!   reports `flap_survival`, the fraction of batches that re-legitimized in time,
+//! * `rolling_upgrade` — controllers restarted one at a time (10 s apart, 5 s down
+//!   each), the maintenance-window schedule.
+//!
 //! `--smoke` shrinks the sweep to three tiny topologies with one seed each so the CI
 //! job finishes in seconds; the full campaign reaches several hundred switches.
 //!
@@ -34,7 +48,8 @@
 //! nonzero.
 
 use renaissance::scenario::{
-    ControllerSelector, Endpoints, FaultEvent, LinkSelector, ScenarioReport,
+    ControllerSelector, DegradeSpec, Endpoints, FaultEvent, LinkSelector, PartitionSpec, Probe,
+    RunReport, ScenarioReport,
 };
 use renaissance_bench::baseline::gate_campaign;
 use renaissance_bench::cli::{self, Flag};
@@ -85,6 +100,27 @@ const SCENARIOS: [&str; 3] = ["bootstrap", "controller_failure", "midpath_link_f
 
 /// The heavy-traffic scenarios; selected networks only (see [`under_load_pairs`]).
 const UNDER_LOAD_SCENARIOS: [&str; 2] = ["bootstrap_under_load", "link_failure_under_load"];
+
+/// The gray-failure scenarios; selected networks only (see [`runs_gray_cells`]).
+const GRAY_SCENARIOS: [&str; 4] = [
+    "gray_link_recovery",
+    "partition_heal",
+    "flapping_link",
+    "rolling_upgrade",
+];
+
+/// Whether a network runs the gray-failure family in the given tier. One small and
+/// one mid-size fabric per gated tier keeps the smoke job fast while every schedule
+/// shape still runs on a fat tree (exercising the rack-correlated selector) and on a
+/// non-fat-tree family (exercising the random-safe fallback).
+fn runs_gray_cells(network: &str, tier: &str) -> bool {
+    matches!(
+        (tier, network),
+        ("smoke", "fat_tree(4)" | "grid(4, 5)")
+            | ("large", "fat_tree(16)")
+            | ("full", "fat_tree(8)" | "grid(5, 5)")
+    )
+}
 
 /// The flow-population size (sampled src/dst pairs) of a network's under-load cells
 /// in the given tier, or `None` when the network skips them. The large tier carries
@@ -199,6 +235,9 @@ fn main() {
         if load_pairs.is_some() {
             scenarios.extend(UNDER_LOAD_SCENARIOS);
         }
+        if runs_gray_cells(network, tier) {
+            scenarios.extend(GRAY_SCENARIOS);
+        }
         for scenario in scenarios {
             let scope = format!("{network}/{scenario}");
             let started = Instant::now();
@@ -229,6 +268,26 @@ fn main() {
                 }
                 pipeline.record(&scope, &MetricKey::SIM_END, run.sim_end_s);
                 pipeline.record(&scope, &MetricKey::MESSAGES_SENT, run.messages_sent as f64);
+                // Gray-failure observables: flap survival is the fraction of fault
+                // batches that re-legitimized before the next batch fired, partition
+                // messages the control-plane traffic between the cut and the heal.
+                if scenario == "flapping_link" && !run.recoveries.is_empty() {
+                    let survived = run
+                        .recoveries
+                        .iter()
+                        .filter(|r| r.recovered_in_s.is_some())
+                        .count();
+                    pipeline.record(
+                        &scope,
+                        &MetricKey::FLAP_SURVIVAL,
+                        survived as f64 / run.recoveries.len() as f64,
+                    );
+                }
+                if scenario == "partition_heal" {
+                    if let Some(messages) = messages_during_partition(run) {
+                        pipeline.record(&scope, &MetricKey::PARTITION_MESSAGES, messages);
+                    }
+                }
                 // The under-load cells carry a flow-engine workload whose report has
                 // the FCT digest and achieved-goodput series.
                 if let Some(wl) = run.workload("flow_engine") {
@@ -306,6 +365,18 @@ fn main() {
                     Json::samples(&digest(&MetricKey::MESSAGES_SENT)),
                 ),
             ];
+            if scenario == "flapping_link" {
+                cell.push((
+                    "flap_survival",
+                    Json::samples(&digest(&MetricKey::FLAP_SURVIVAL)),
+                ));
+            }
+            if scenario == "partition_heal" {
+                cell.push((
+                    "partition_messages",
+                    Json::samples(&digest(&MetricKey::PARTITION_MESSAGES)),
+                ));
+            }
             if under_load {
                 cell.extend([
                     ("flows", Json::num(load_pairs.unwrap_or(0) as f64)),
@@ -503,9 +574,83 @@ fn run_scenario(
             SimDuration::from_secs(10),
             FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
         ),
+        // The gray-failure family. Offsets leave at least 2x the worst committed
+        // recovery time (2.75 s across all tiers) between consecutive batches so a
+        // healthy control plane converges inside every window — the flap half-period
+        // (6 s) is the tightest such window.
+        "gray_link_recovery" => builder
+            .fault_at(
+                SimDuration::ZERO,
+                FaultEvent::DegradeLink(gray_selector(network), DegradeSpec::gray()),
+            )
+            .fault_at(
+                SimDuration::from_secs(2),
+                FaultEvent::RemoveLink(LinkSelector::MidPath(Endpoints::FarthestSwitches)),
+            ),
+        "partition_heal" => builder
+            .fault_at(
+                SimDuration::from_secs(2),
+                FaultEvent::Partition {
+                    groups: PartitionSpec::Halves,
+                    heal_after: Some(SimDuration::from_secs(10)),
+                },
+            )
+            .probe(Probe::messages_sent())
+            .sample_probes_every(SimDuration::from_millis(500)),
+        "flapping_link" => builder.fault_at(
+            SimDuration::from_secs(2),
+            FaultEvent::FlapLink {
+                selector: LinkSelector::RandomSafe { count: 1 },
+                period: SimDuration::from_secs(12),
+                count: 3,
+            },
+        ),
+        "rolling_upgrade" => builder.fault_at(
+            SimDuration::from_secs(2),
+            FaultEvent::RollingControllerRestart {
+                interval: SimDuration::from_secs(10),
+                down_for: SimDuration::from_secs(5),
+                count: 3,
+            },
+        ),
         other => unreachable!("unknown campaign scenario {other}"),
     };
     builder.run()
+}
+
+/// The link selector the gray cells degrade: the rack-correlated selector on fat
+/// trees (all uplinks of one random edge switch), two random safe links elsewhere.
+fn gray_selector(network: &str) -> LinkSelector {
+    if network.starts_with("fat_tree") {
+        LinkSelector::SameRack
+    } else {
+        LinkSelector::RandomSafe { count: 2 }
+    }
+}
+
+/// Control-plane messages sent while the partition of a `partition_heal` run was in
+/// force: the sampled messages-sent probe's delta between the last sample at or
+/// before the cut batch and the last sample at or before the heal batch. `None` when
+/// the run has no such window (bootstrap timeout or missing probe).
+fn messages_during_partition(run: &RunReport) -> Option<f64> {
+    let boot = run.bootstrap_s?;
+    let [cut, heal, ..] = &run.recoveries[..] else {
+        return None;
+    };
+    let series = run
+        .probes
+        .iter()
+        .find(|p| p.key == MetricKey::MESSAGES_SENT)?;
+    let value_at = |t: f64| -> Option<f64> {
+        series
+            .times_s
+            .iter()
+            .zip(&series.values)
+            .take_while(|(ts, _)| **ts <= t)
+            .last()
+            .map(|(_, v)| *v)
+    };
+    Some(value_at(boot + heal.fault_at_s)? - value_at(boot + cut.fault_at_s)?)
 }
 
 /// The topology family a network name belongs to (`fat_tree`, `jellyfish`, `grid`, or

@@ -7,7 +7,7 @@ use crate::controller::Controller;
 use crate::legitimacy::{self, LegitimacyReport};
 use crate::nodes::{ControllerNode, SdnNode, SwitchNode};
 use crate::packet::ControlPacket;
-use sdn_netsim::{NetworkMetrics, SimConfig, SimDuration, SimTime, Simulator};
+use sdn_netsim::{LinkConfig, NetworkMetrics, SimConfig, SimDuration, SimTime, Simulator};
 use sdn_switch::{AbstractSwitch, SwitchConfig};
 use sdn_topology::{NamedTopology, NodeId};
 use std::cell::RefCell;
@@ -325,6 +325,40 @@ impl SdnNetwork {
     /// Restores a temporarily failed link.
     pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
         self.sim.restore_link(a, b);
+    }
+
+    /// Overrides the behaviour of one link symmetrically (gray failure: the link
+    /// stays part of `Gc` but degrades). Returns `false` when the link does not
+    /// exist — the call is still counted in [`SdnNetwork::link_config_warnings`].
+    pub fn set_link_config(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> bool {
+        self.sim.set_link_config(a, b, config)
+    }
+
+    /// Overrides the behaviour of one link *direction* only (asymmetric gray
+    /// failure). Returns `false` when the link does not exist.
+    pub fn set_link_config_directed(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        config: LinkConfig,
+    ) -> bool {
+        self.sim.set_link_config_directed(from, to, config)
+    }
+
+    /// Removes every quality override from a link, restoring default behaviour.
+    /// Returns `true` when an override was actually removed.
+    pub fn clear_link_config(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.sim.clear_link_config(a, b)
+    }
+
+    /// The default link behaviour degraded links return to.
+    pub fn default_link_config(&self) -> LinkConfig {
+        self.sim.default_link_config()
+    }
+
+    /// How many link-config calls named a link absent from `Gc` so far.
+    pub fn link_config_warnings(&self) -> u64 {
+        self.sim.link_config_warnings()
     }
 
     /// Revives a previously failed controller with a *fresh* (empty) state, as the paper

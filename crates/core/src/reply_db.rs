@@ -249,6 +249,15 @@ impl ReplyDb {
 
     /// `G(fusion)`: the topology derivable from the fusion view plus the controller's
     /// own neighborhood.
+    ///
+    /// A link claimed by one endpoint's reply is *dropped* when the other endpoint
+    /// has strictly fresher information contradicting it — a newer-tagged reply (or
+    /// the controller's own live neighborhood) that does not list the claimant.
+    /// Without this tie-break a failed link can wedge the whole control plane: the
+    /// stale endpoint's previous-round reply keeps the dead link in the fusion view,
+    /// the plan keeps routing that endpoint's queries over the dead link, so its
+    /// current-round reply never arrives, the round never completes, and the stale
+    /// reply is never evicted.
     pub fn fusion_graph(
         &self,
         curr: Tag,
@@ -256,15 +265,27 @@ impl ReplyDb {
         self_id: NodeId,
         self_neighbors: &[NodeId],
     ) -> Graph {
+        let fusion = self.fusion(curr, prev);
         let mut g = Graph::new();
         g.add_node(self_id);
         for &nb in self_neighbors {
             g.add_link(self_id, nb);
         }
-        for (node, reply) in self.fusion(curr, prev) {
+        for (&node, reply) in &fusion {
             g.add_node(node);
             for &nb in &reply.neighbors {
-                if nb != node {
+                if nb == node {
+                    continue;
+                }
+                let contradicted = if nb == self_id {
+                    // The controller's own observation is always current.
+                    !self_neighbors.contains(&node)
+                } else {
+                    fusion.get(&nb).is_some_and(|other| {
+                        other.echo_tag > reply.echo_tag && !other.neighbors.contains(&node)
+                    })
+                };
+                if !contradicted {
                     g.add_link(node, nb);
                 }
             }
@@ -390,6 +411,44 @@ mod tests {
         let g = db.fusion_graph(T2, T1, n(0), &[n(3), n(5)]);
         assert!(g.has_link(n(3), n(4)));
         assert!(g.has_link(n(0), n(5)));
+    }
+
+    #[test]
+    fn fusion_graph_drops_links_contradicted_by_fresher_replies() {
+        let mut db = ReplyDb::new(8);
+        // Node 4's current-round reply no longer lists 5 (their link failed), but
+        // node 5's previous-round reply still claims it.
+        db.records.insert((n(4), T2), reply(4, &[0, 3], T2));
+        db.records.insert((n(5), T1), reply(5, &[4, 6], T1));
+        let g = db.fusion_graph(T2, T1, n(0), &[n(4)]);
+        assert!(
+            !g.has_link(n(4), n(5)),
+            "stale claim loses to the fresher contradicting reply"
+        );
+        assert!(g.has_link(n(5), n(6)), "uncontradicted claims survive");
+        assert!(g.has_link(n(4), n(3)), "fresh claims survive");
+
+        // Same-tag replies keep union semantics: a mid-round disagreement is not
+        // a contradiction.
+        let mut db = ReplyDb::new(8);
+        db.records.insert((n(4), T2), reply(4, &[0], T2));
+        db.records.insert((n(5), T2), reply(5, &[4], T2));
+        let g = db.fusion_graph(T2, T1, n(0), &[n(4)]);
+        assert!(
+            g.has_link(n(4), n(5)),
+            "equal freshness falls back to union"
+        );
+    }
+
+    #[test]
+    fn fusion_graph_trusts_own_neighborhood_over_stale_claims() {
+        let mut db = ReplyDb::new(8);
+        // Node 3's stale reply claims adjacency to the controller, but the
+        // controller no longer observes node 3.
+        db.records.insert((n(3), T1), reply(3, &[0, 4], T1));
+        let g = db.fusion_graph(T2, T1, n(0), &[n(5)]);
+        assert!(!g.has_link(n(0), n(3)), "own observation is always current");
+        assert!(g.has_link(n(3), n(4)), "claims about third parties survive");
     }
 
     #[test]

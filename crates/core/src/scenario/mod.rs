@@ -56,8 +56,8 @@ pub use report::{
 };
 pub use runner::ScenarioRunner;
 pub use schedule::{
-    mid_path_link, ControllerSelector, Endpoints, FaultContext, FaultEvent, FaultSchedule,
-    LinkSelector, SwitchSelector,
+    mid_path_link, ControllerSelector, DegradeSpec, Endpoints, FaultContext, FaultEvent,
+    FaultSchedule, LinkSelector, PartitionSpec, SwitchSelector,
 };
 pub use sdn_metrics::{
     CsvSink, Digest, Fanout, JsonLinesSink, MemorySink, MetricKey, Namespace, Polarity, Recorder,

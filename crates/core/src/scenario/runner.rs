@@ -627,6 +627,69 @@ mod tests {
             .all(|r| r.workload("counting").is_some()));
     }
 
+    /// A scenario over the whole gray-failure family: bursty asymmetric link
+    /// degradation, a healing partition, a flapping link, and a quality restore.
+    fn gray_scenario() -> crate::scenario::ScenarioBuilder {
+        use crate::scenario::{DegradeSpec, PartitionSpec};
+        small("gray-failure")
+            .runs(3)
+            .seeds_from(41)
+            .fault_at(
+                SimDuration::from_secs(1),
+                FaultEvent::DegradeLink(LinkSelector::RandomSafe { count: 2 }, DegradeSpec::gray()),
+            )
+            .fault_at(
+                SimDuration::from_secs(4),
+                FaultEvent::Partition {
+                    groups: PartitionSpec::Halves,
+                    heal_after: Some(SimDuration::from_secs(8)),
+                },
+            )
+            .fault_at(
+                SimDuration::from_secs(16),
+                FaultEvent::FlapLink {
+                    selector: LinkSelector::RandomSafe { count: 1 },
+                    period: SimDuration::from_secs(4),
+                    count: 2,
+                },
+            )
+            .fault_at(
+                SimDuration::from_secs(26),
+                FaultEvent::RestoreLinkQuality(LinkSelector::LastDegraded),
+            )
+            .probe(Probe::legitimacy())
+            .sample_probes_every(SimDuration::from_millis(500))
+    }
+
+    #[test]
+    fn gray_failure_report_is_bit_identical_across_threads_and_repeats() {
+        // The satellite guarantee: the full ScenarioReport — fault victims,
+        // recovery times, probe series — of a gray-failure scenario must not
+        // change with the worker count or across repeated executions, because
+        // burst links draw from per-link RNG streams.
+        let sequential = gray_scenario().threads(1).run();
+        let parallel = gray_scenario().threads(4).run();
+        let repeat = gray_scenario().threads(4).run();
+        assert_eq!(sequential, parallel);
+        assert_eq!(parallel, repeat);
+        // Sanity: the whole family actually fired.
+        let injected: Vec<&str> = sequential.runs[0]
+            .injected
+            .iter()
+            .map(|f| f.description.as_str())
+            .collect();
+        assert!(injected.iter().any(|d| d.starts_with("degrade link")));
+        assert!(injected.iter().any(|d| d.starts_with("partition into")));
+        assert!(injected.iter().any(|d| d.starts_with("heal partition")));
+        assert!(injected.iter().any(|d| d.starts_with("flap link")));
+        assert!(injected
+            .iter()
+            .any(|d| d.starts_with("restore link quality")));
+        assert!(sequential.runs.iter().all(|r| r.bootstrap_s.is_some()));
+        // Every fault batch produced a recovery record (converged or timed out).
+        assert!(sequential.runs.iter().all(|r| !r.recoveries.is_empty()));
+    }
+
     #[test]
     fn worker_count_prefers_explicit_threads() {
         let two = determinism_scenario().threads(2).build();

@@ -9,9 +9,10 @@
 use crate::faults::{CorruptionPlan, FaultInjector};
 use crate::harness::SdnNetwork;
 use crate::legitimacy;
-use sdn_netsim::SimDuration;
+use sdn_netsim::{BurstLoss, LinkConfig, SimDuration};
 use sdn_rng::Rng;
-use sdn_topology::{paths, NodeId};
+use sdn_topology::{paths, FatTreeLayout, NodeId};
+use std::collections::BTreeMap;
 
 /// How a fault event picks its controller victim(s).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,10 +76,108 @@ pub enum LinkSelector {
     /// the endpoints, preferring links whose removal keeps the topology connected —
     /// the paper's Figures 15/16 mid-path failure.
     MidPath(Endpoints),
+    /// Every in-pod uplink of one random rack (edge switch) of a fat-tree —
+    /// a correlated top-of-rack failure domain. Resolves to nothing on
+    /// topologies without fat-tree coordinates.
+    SameRack,
+    /// Every intra-pod link of one random fat-tree pod (the agg↔edge bipartite
+    /// block) — a correlated pod-wide failure domain. Resolves to nothing on
+    /// topologies without fat-tree coordinates.
+    SamePod,
+    /// The links degraded by the most recent `DegradeLink` event.
+    LastDegraded,
+}
+
+/// How a link's quality degrades under a [`FaultEvent::DegradeLink`] — the gray
+/// failure: the link stays part of `Gc` (no failure detector fires) but drops,
+/// delays, or reorders traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradeSpec {
+    /// Flat per-packet loss probability (ignored when `burst` is set: the burst
+    /// process then owns the loss decision).
+    pub loss: f64,
+    /// Optional two-state burst-loss process; bursty links draw from a dedicated
+    /// per-link RNG stream in the simulator, keeping runs interleaving-independent.
+    pub burst: Option<BurstLoss>,
+    /// Extra jitter added on top of the default link's jitter bound.
+    pub extra_jitter: SimDuration,
+    /// Degrade only the `a -> b` direction of each selected link, leaving the
+    /// reverse direction clean — the asymmetric gray failure.
+    pub asymmetric: bool,
+}
+
+impl DegradeSpec {
+    /// Flat i.i.d. loss at probability `loss`, both directions.
+    pub fn flat(loss: f64) -> Self {
+        DegradeSpec {
+            loss,
+            burst: None,
+            extra_jitter: SimDuration::ZERO,
+            asymmetric: false,
+        }
+    }
+
+    /// The canonical gray link of the issue: ~30% of packets dropped in bursts
+    /// (Gilbert channel, mean burst ≈ 3 packets) in one direction only.
+    pub fn gray() -> Self {
+        DegradeSpec {
+            loss: 0.0,
+            burst: Some(BurstLoss::gilbert(0.15, 0.35, 1.0)),
+            extra_jitter: SimDuration::ZERO,
+            asymmetric: true,
+        }
+    }
+
+    /// Makes the degradation symmetric (both directions).
+    pub fn symmetric(mut self) -> Self {
+        self.asymmetric = false;
+        self
+    }
+
+    /// Adds jitter on top of the default link's jitter bound.
+    pub fn with_extra_jitter(mut self, jitter: SimDuration) -> Self {
+        self.extra_jitter = jitter;
+        self
+    }
+
+    /// The concrete link configuration of a degraded link, derived from the
+    /// network's default link behaviour.
+    pub fn link_config(&self, base: LinkConfig) -> LinkConfig {
+        let mut cfg = base.with_jitter(base.jitter + self.extra_jitter);
+        cfg = match self.burst {
+            Some(burst) => cfg.with_burst(burst),
+            None => cfg.without_burst().with_loss(self.loss),
+        };
+        cfg
+    }
+
+    /// Short human-readable summary for fault descriptions.
+    pub fn describe(&self) -> String {
+        let loss = match self.burst {
+            Some(burst) => format!("bursty loss ~{:.0}%", burst.stationary_loss() * 100.0),
+            None => format!("loss {:.0}%", self.loss * 100.0),
+        };
+        let dir = if self.asymmetric { ", one-way" } else { "" };
+        format!("{loss}{dir}")
+    }
+}
+
+/// How a [`FaultEvent::Partition`] splits the network.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartitionSpec {
+    /// Two connected halves grown around the first two live controllers by
+    /// multi-source BFS (ties go to the first seed), so each side keeps a
+    /// controller and can re-stabilize while partitioned. Resolves to nothing
+    /// when fewer than two controllers are alive.
+    Halves,
+    /// Explicit node groups; every `Gc` link whose endpoints land in different
+    /// groups is cut. Nodes listed in several groups keep their first assignment;
+    /// unlisted nodes belong to no group and keep all their links.
+    Groups(Vec<Vec<NodeId>>),
 }
 
 /// One typed fault, to be applied at a scheduled instant.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum FaultEvent {
     /// Fail-stop of one or more controllers (Figures 10/11).
     FailController(ControllerSelector),
@@ -104,6 +203,61 @@ pub enum FaultEvent {
     ReviveLastFailedSwitch,
     /// Arbitrary transient state corruption (the Theorem 2 experiments).
     CorruptState(CorruptionPlan),
+    /// Degrades link quality without failing the link (gray failure): the link
+    /// stays in `Gc`, no failure detector fires, but packets drop/delay per the
+    /// spec. Victims are recorded for [`LinkSelector::LastDegraded`].
+    DegradeLink(LinkSelector, DegradeSpec),
+    /// Removes the quality overrides from the selected links, returning them to
+    /// the default behaviour.
+    RestoreLinkQuality(LinkSelector),
+    /// Cuts the network into groups by transiently failing every crossing link.
+    /// With `heal_after` set, [`FaultSchedule::batches`] schedules a matching
+    /// [`FaultEvent::HealPartition`] that much later.
+    Partition {
+        /// How the groups are chosen.
+        groups: PartitionSpec,
+        /// Delay until the automatic heal, measured from the partition instant.
+        heal_after: Option<SimDuration>,
+    },
+    /// Restores every link cut by the most recent `Partition` event.
+    HealPartition,
+    /// A link that goes down and comes back `count` times, `period` apart (down
+    /// for the first half of each period). Expanded by [`FaultSchedule::batches`]
+    /// into [`FaultEvent::FlapPhase`] pairs; the selector is resolved once, on
+    /// the first down-phase, so every flap hits the same links.
+    FlapLink {
+        /// Which link(s) flap.
+        selector: LinkSelector,
+        /// Length of one down-then-up cycle.
+        period: SimDuration,
+        /// Number of cycles.
+        count: u32,
+    },
+    /// One half-cycle of an expanded [`FaultEvent::FlapLink`]. Generated by
+    /// [`FaultSchedule::batches`]; schedule `FlapLink` instead of this directly.
+    FlapPhase {
+        /// Identifier tying the phases of one flapping link together.
+        flap: u32,
+        /// The original selector, resolved on the first down-phase.
+        selector: LinkSelector,
+        /// `true` for the down half-cycle, `false` for the up half-cycle.
+        down: bool,
+    },
+    /// A rolling restart of the controller fleet: controllers at indices
+    /// `0..count` fail-stop one at a time, `interval` apart, each reviving with
+    /// fresh state after `down_for` (the rolling-upgrade drill). Expanded by
+    /// [`FaultSchedule::batches`] into fail/revive pairs.
+    RollingControllerRestart {
+        /// Gap between consecutive controller restarts.
+        interval: SimDuration,
+        /// How long each controller stays down.
+        down_for: SimDuration,
+        /// How many controllers restart (clamped to the fleet size at apply time).
+        count: usize,
+    },
+    /// Revives the controller at this index of [`SdnNetwork::controller_ids`]
+    /// with fresh state. Generated by the `RollingControllerRestart` expansion.
+    ReviveControllerIndex(usize),
 }
 
 /// A time-ordered list of fault events, offsets relative to the bootstrap instant.
@@ -150,11 +304,76 @@ impl FaultSchedule {
 
     /// The events grouped into batches by offset, sorted by offset (stable: insertion
     /// order is kept within a batch).
+    ///
+    /// Compound events are expanded here: `FlapLink` becomes `FlapPhase` pairs
+    /// (the flap id is the event's insertion index, so repeated phases share
+    /// their resolved victims), `Partition { heal_after: Some(..) }` gains a
+    /// `HealPartition`, and `RollingControllerRestart` becomes staggered
+    /// fail/revive pairs.
     pub fn batches(&self) -> Vec<(SimDuration, Vec<FaultEvent>)> {
-        let mut sorted = self.events.clone();
-        sorted.sort_by_key(|&(offset, _)| offset);
+        let mut expanded: Vec<(SimDuration, FaultEvent)> = Vec::new();
+        for (idx, (offset, event)) in self.events.iter().enumerate() {
+            match event {
+                FaultEvent::FlapLink {
+                    selector,
+                    period,
+                    count,
+                } => {
+                    let period_us = period.as_micros();
+                    for i in 0..*count {
+                        let down_at = *offset + SimDuration::from_micros(period_us * i as u64);
+                        let up_at = down_at + SimDuration::from_micros(period_us / 2);
+                        expanded.push((
+                            down_at,
+                            FaultEvent::FlapPhase {
+                                flap: idx as u32,
+                                selector: *selector,
+                                down: true,
+                            },
+                        ));
+                        expanded.push((
+                            up_at,
+                            FaultEvent::FlapPhase {
+                                flap: idx as u32,
+                                selector: *selector,
+                                down: false,
+                            },
+                        ));
+                    }
+                }
+                FaultEvent::Partition { groups, heal_after } => {
+                    expanded.push((
+                        *offset,
+                        FaultEvent::Partition {
+                            groups: groups.clone(),
+                            heal_after: *heal_after,
+                        },
+                    ));
+                    if let Some(delay) = heal_after {
+                        expanded.push((*offset + *delay, FaultEvent::HealPartition));
+                    }
+                }
+                FaultEvent::RollingControllerRestart {
+                    interval,
+                    down_for,
+                    count,
+                } => {
+                    let interval_us = interval.as_micros();
+                    for i in 0..*count {
+                        let fail_at = *offset + SimDuration::from_micros(interval_us * i as u64);
+                        expanded.push((
+                            fail_at,
+                            FaultEvent::FailController(ControllerSelector::Index(i)),
+                        ));
+                        expanded.push((fail_at + *down_for, FaultEvent::ReviveControllerIndex(i)));
+                    }
+                }
+                other => expanded.push((*offset, other.clone())),
+            }
+        }
+        expanded.sort_by_key(|&(offset, _)| offset);
         let mut batches: Vec<(SimDuration, Vec<FaultEvent>)> = Vec::new();
-        for (offset, event) in sorted {
+        for (offset, event) in expanded {
             match batches.last_mut() {
                 Some((at, events)) if *at == offset => events.push(event),
                 _ => batches.push((offset, vec![event])),
@@ -177,6 +396,13 @@ pub struct FaultContext {
     pub last_failed_controller: Option<NodeId>,
     /// Switch taken down most recently.
     pub last_failed_switch: Option<NodeId>,
+    /// Links degraded by the most recent `DegradeLink` event.
+    pub last_degraded_links: Vec<(NodeId, NodeId)>,
+    /// Links cut by the most recent `Partition` event, restored by `HealPartition`.
+    pub partitioned_links: Vec<(NodeId, NodeId)>,
+    /// Victims of each flapping link, resolved on its first down-phase so every
+    /// subsequent phase of the same flap hits the same links.
+    flap_targets: BTreeMap<u32, Vec<(NodeId, NodeId)>>,
 }
 
 impl FaultContext {
@@ -189,6 +415,9 @@ impl FaultContext {
             last_failed_links: Vec::new(),
             last_failed_controller: None,
             last_failed_switch: None,
+            last_degraded_links: Vec::new(),
+            partitioned_links: Vec::new(),
+            flap_targets: BTreeMap::new(),
         }
     }
 
@@ -196,29 +425,29 @@ impl FaultContext {
     /// description of everything that was actually done.
     pub fn apply(&mut self, net: &mut SdnNetwork, event: &FaultEvent) -> Vec<String> {
         let mut done = Vec::new();
-        match *event {
+        match event {
             FaultEvent::FailController(selector) => {
-                for victim in self.resolve_controllers(net, selector) {
+                for victim in self.resolve_controllers(net, *selector) {
                     net.fail_controller(victim);
                     self.last_failed_controller = Some(victim);
                     done.push(format!("fail-stop controller {victim}"));
                 }
             }
             FaultEvent::FailSwitch(selector) => {
-                if let Some(victim) = self.resolve_switch(net, selector) {
+                if let Some(victim) = self.resolve_switch(net, *selector) {
                     net.fail_switch(victim);
                     self.last_failed_switch = Some(victim);
                     done.push(format!("fail-stop switch {victim}"));
                 }
             }
             FaultEvent::RemoveLink(selector) => {
-                for (a, b) in self.resolve_links(net, selector) {
+                for (a, b) in self.resolve_links(net, *selector) {
                     net.remove_link(a, b);
                     done.push(format!("remove link {a}-{b}"));
                 }
             }
             FaultEvent::FailLink(selector) => {
-                let links = self.resolve_links(net, selector);
+                let links = self.resolve_links(net, *selector);
                 if !links.is_empty() {
                     self.last_failed_links = links.clone();
                 }
@@ -228,6 +457,7 @@ impl FaultContext {
                 }
             }
             FaultEvent::RestoreLink(a, b) => {
+                let (a, b) = (*a, *b);
                 net.restore_link(a, b);
                 done.push(format!("restore link {a}-{b}"));
             }
@@ -238,10 +468,12 @@ impl FaultContext {
                 }
             }
             FaultEvent::AddLink(a, b) => {
+                let (a, b) = (*a, *b);
                 net.add_link(a, b);
                 done.push(format!("add link {a}-{b}"));
             }
             FaultEvent::ReviveController(id) => {
+                let id = *id;
                 net.revive_controller(id);
                 done.push(format!("revive controller {id}"));
             }
@@ -252,6 +484,7 @@ impl FaultContext {
                 }
             }
             FaultEvent::ReviveSwitch(id) => {
+                let id = *id;
                 net.revive_switch(id);
                 done.push(format!("revive switch {id}"));
             }
@@ -262,8 +495,105 @@ impl FaultContext {
                 }
             }
             FaultEvent::CorruptState(plan) => {
-                let mutations = self.injector.corrupt(net, plan);
+                let mutations = self.injector.corrupt(net, *plan);
                 done.push(format!("corrupt state ({mutations} mutations)"));
+            }
+            FaultEvent::DegradeLink(selector, spec) => {
+                let links = self.resolve_links(net, *selector);
+                if !links.is_empty() {
+                    self.last_degraded_links = links.clone();
+                }
+                let cfg = spec.link_config(net.default_link_config());
+                let what = spec.describe();
+                for (a, b) in links {
+                    let known = if spec.asymmetric {
+                        net.set_link_config_directed(a, b, cfg)
+                    } else {
+                        net.set_link_config(a, b, cfg)
+                    };
+                    let note = if known { "" } else { ", unknown link" };
+                    done.push(format!("degrade link {a}-{b} ({what}{note})"));
+                }
+            }
+            FaultEvent::RestoreLinkQuality(selector) => {
+                for (a, b) in self.resolve_links(net, *selector) {
+                    net.clear_link_config(a, b);
+                    done.push(format!("restore link quality {a}-{b}"));
+                }
+            }
+            FaultEvent::Partition { groups, .. } => {
+                let cut = partition_cut(net, groups);
+                let n_groups = match groups {
+                    PartitionSpec::Halves => 2,
+                    PartitionSpec::Groups(g) => g.len(),
+                };
+                for &(a, b) in &cut {
+                    net.fail_link(a, b);
+                }
+                done.push(format!(
+                    "partition into {n_groups} groups ({} links cut)",
+                    cut.len()
+                ));
+                self.partitioned_links = cut;
+            }
+            FaultEvent::HealPartition => {
+                let links = std::mem::take(&mut self.partitioned_links);
+                let n = links.len();
+                for (a, b) in links {
+                    net.restore_link(a, b);
+                }
+                done.push(format!("heal partition ({n} links restored)"));
+            }
+            FaultEvent::FlapLink { selector, .. } => {
+                // Compound event: `batches()` expands it into `FlapPhase`s; applying
+                // it directly (e.g. a schedule handed around unexpanded) does the
+                // first down-phase so the fault is at least visible.
+                done.extend(self.apply(
+                    net,
+                    &FaultEvent::FlapPhase {
+                        flap: u32::MAX,
+                        selector: *selector,
+                        down: true,
+                    },
+                ));
+            }
+            FaultEvent::FlapPhase {
+                flap,
+                selector,
+                down,
+            } => {
+                let (flap, down) = (*flap, *down);
+                let links = match self.flap_targets.get(&flap) {
+                    Some(links) => links.clone(),
+                    None => {
+                        let links = self.resolve_links(net, *selector);
+                        self.flap_targets.insert(flap, links.clone());
+                        links
+                    }
+                };
+                for (a, b) in links {
+                    if down {
+                        net.fail_link(a, b);
+                        done.push(format!("flap link {a}-{b} down"));
+                    } else {
+                        net.restore_link(a, b);
+                        done.push(format!("flap link {a}-{b} up"));
+                    }
+                }
+            }
+            FaultEvent::RollingControllerRestart { .. } => {
+                // Compound event: expanded by `batches()`. Applied directly it
+                // restarts the first controller immediately.
+                done.extend(self.apply(
+                    net,
+                    &FaultEvent::FailController(ControllerSelector::Index(0)),
+                ));
+            }
+            FaultEvent::ReviveControllerIndex(i) => {
+                if let Some(&id) = net.controller_ids().get(*i) {
+                    net.revive_controller(id);
+                    done.push(format!("revive controller {id} (rolling restart)"));
+                }
             }
         }
         done
@@ -329,8 +659,73 @@ impl FaultContext {
                 };
                 mid_path_link(net, src, dst).into_iter().collect()
             }
+            LinkSelector::SameRack => {
+                let Some(layout) = FatTreeLayout::detect(net.topology()) else {
+                    return Vec::new();
+                };
+                let pod = self.rng.gen_range(0..layout.pod_count());
+                let rack = self.rng.gen_range(0..layout.racks_per_pod());
+                layout.rack_links(pod, rack)
+            }
+            LinkSelector::SamePod => {
+                let Some(layout) = FatTreeLayout::detect(net.topology()) else {
+                    return Vec::new();
+                };
+                let pod = self.rng.gen_range(0..layout.pod_count());
+                layout.pod_links(pod)
+            }
+            LinkSelector::LastDegraded => std::mem::take(&mut self.last_degraded_links),
         }
     }
+}
+
+/// The set of `Gc` links to cut for a partition: every link whose endpoints are
+/// assigned to different groups. `Halves` grows two connected regions around the
+/// first two live controllers by multi-source BFS with ties to the first seed —
+/// the lexicographic `(distance, seed)` assignment makes every region connected,
+/// so each half keeps a working in-band control plane while partitioned.
+fn partition_cut(net: &SdnNetwork, spec: &PartitionSpec) -> Vec<(NodeId, NodeId)> {
+    let graph = net.sim().topology();
+    let mut group: BTreeMap<NodeId, usize> = BTreeMap::new();
+    match spec {
+        PartitionSpec::Halves => {
+            let controllers = net.live_controller_ids();
+            if controllers.len() < 2 {
+                return Vec::new();
+            }
+            let trees: Vec<paths::BfsTree> = controllers[..2]
+                .iter()
+                .map(|&seed| paths::BfsTree::compute(graph, seed))
+                .collect();
+            for node in graph.nodes() {
+                let best = trees
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, tree)| tree.distance(node).map(|d| (d, i)))
+                    .min();
+                if let Some((_, i)) = best {
+                    group.insert(node, i);
+                }
+            }
+        }
+        PartitionSpec::Groups(groups) => {
+            for (i, members) in groups.iter().enumerate() {
+                for &node in members {
+                    group.entry(node).or_insert(i);
+                }
+            }
+        }
+    }
+    graph
+        .links()
+        .filter_map(|link| {
+            let (a, b) = (link.a, link.b);
+            match (group.get(&a), group.get(&b)) {
+                (Some(ga), Some(gb)) if ga != gb => Some((a, b)),
+                _ => None,
+            }
+        })
+        .collect()
 }
 
 /// The link closest to the middle of the current in-band path from `src` to `dst`,
@@ -458,6 +853,226 @@ mod tests {
         let mut graph = net.sim().topology().clone();
         graph.remove_link(a, b);
         assert!(paths::is_connected(&graph));
+    }
+
+    #[test]
+    fn degrade_and_restore_quality_round_trip() {
+        let mut net = bootstrapped();
+        let mut ctx = FaultContext::new(13);
+        let done = ctx.apply(
+            &mut net,
+            &FaultEvent::DegradeLink(LinkSelector::RandomSafe { count: 2 }, DegradeSpec::gray()),
+        );
+        assert_eq!(done.len(), 2);
+        assert!(done[0].starts_with("degrade link"), "{:?}", done);
+        assert!(done[0].contains("bursty loss"), "{:?}", done);
+        assert_eq!(ctx.last_degraded_links.len(), 2);
+        // Gray links stay operational: no failure detector fires.
+        for &(a, b) in &ctx.last_degraded_links {
+            assert!(net.sim().link_is_operational(a, b));
+        }
+        assert_eq!(net.link_config_warnings(), 0);
+        let done = ctx.apply(
+            &mut net,
+            &FaultEvent::RestoreLinkQuality(LinkSelector::LastDegraded),
+        );
+        assert_eq!(done.len(), 2);
+        assert!(done[0].starts_with("restore link quality"));
+        assert!(ctx.last_degraded_links.is_empty());
+    }
+
+    #[test]
+    fn partition_halves_cuts_and_heals() {
+        let mut net = bootstrapped();
+        let mut ctx = FaultContext::new(17);
+        let done = ctx.apply(
+            &mut net,
+            &FaultEvent::Partition {
+                groups: PartitionSpec::Halves,
+                heal_after: None,
+            },
+        );
+        assert_eq!(done.len(), 1);
+        assert!(done[0].starts_with("partition into 2 groups"));
+        assert!(!ctx.partitioned_links.is_empty());
+        let cut = ctx.partitioned_links.clone();
+        for &(a, b) in &cut {
+            assert!(!net.sim().link_is_operational(a, b));
+        }
+        let done = ctx.apply(&mut net, &FaultEvent::HealPartition);
+        assert!(done[0].starts_with("heal partition"));
+        for &(a, b) in &cut {
+            assert!(net.sim().link_is_operational(a, b));
+        }
+        assert!(ctx.partitioned_links.is_empty());
+    }
+
+    #[test]
+    fn explicit_partition_groups_cut_only_crossing_links() {
+        let mut net = bootstrapped();
+        let mut ctx = FaultContext::new(19);
+        // ring(5, 2): controllers 0-1, switches 2-6 in a ring with the controllers
+        // attached. Split one switch off from everything else.
+        let all: Vec<NodeId> = net.topology().graph.nodes().collect();
+        let lone = net.topology().switches[0];
+        let rest: Vec<NodeId> = all.iter().copied().filter(|&n| n != lone).collect();
+        ctx.apply(
+            &mut net,
+            &FaultEvent::Partition {
+                groups: PartitionSpec::Groups(vec![vec![lone], rest]),
+                heal_after: None,
+            },
+        );
+        assert_eq!(
+            ctx.partitioned_links.len(),
+            net.topology().graph.degree(lone)
+        );
+        for &(a, b) in &ctx.partitioned_links {
+            assert!(a == lone || b == lone);
+        }
+    }
+
+    #[test]
+    fn flap_link_expands_into_phase_batches() {
+        let schedule = FaultSchedule::new().at(
+            SimDuration::from_secs(2),
+            FaultEvent::FlapLink {
+                selector: LinkSelector::RandomSafe { count: 1 },
+                period: SimDuration::from_secs(4),
+                count: 3,
+            },
+        );
+        let batches = schedule.batches();
+        // 3 flaps × (down + up) = 6 batches at 2, 4, 6, 8, 10, 12 s.
+        assert_eq!(batches.len(), 6);
+        for (i, (offset, events)) in batches.iter().enumerate() {
+            assert_eq!(*offset, SimDuration::from_secs(2 + 2 * i as u64));
+            assert_eq!(events.len(), 1);
+            match &events[0] {
+                FaultEvent::FlapPhase { flap, down, .. } => {
+                    assert_eq!(*flap, 0);
+                    assert_eq!(*down, i % 2 == 0);
+                }
+                other => panic!("expected FlapPhase, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flap_phases_hit_the_same_link_every_cycle() {
+        let mut net = bootstrapped();
+        let mut ctx = FaultContext::new(23);
+        let selector = LinkSelector::RandomSafe { count: 1 };
+        let down = |ctx: &mut FaultContext, net: &mut SdnNetwork| {
+            ctx.apply(
+                net,
+                &FaultEvent::FlapPhase {
+                    flap: 7,
+                    selector,
+                    down: true,
+                },
+            )
+        };
+        let first = down(&mut ctx, &mut net);
+        ctx.apply(
+            &mut net,
+            &FaultEvent::FlapPhase {
+                flap: 7,
+                selector,
+                down: false,
+            },
+        );
+        let second = down(&mut ctx, &mut net);
+        assert_eq!(first, second, "the same link must flap every cycle");
+    }
+
+    #[test]
+    fn rolling_restart_expands_into_fail_revive_pairs() {
+        let schedule = FaultSchedule::new().at(
+            SimDuration::from_secs(1),
+            FaultEvent::RollingControllerRestart {
+                interval: SimDuration::from_secs(10),
+                down_for: SimDuration::from_secs(4),
+                count: 2,
+            },
+        );
+        let batches = schedule.batches();
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[0].0, SimDuration::from_secs(1));
+        assert!(matches!(
+            batches[0].1[0],
+            FaultEvent::FailController(ControllerSelector::Index(0))
+        ));
+        assert_eq!(batches[1].0, SimDuration::from_secs(5));
+        assert!(matches!(
+            batches[1].1[0],
+            FaultEvent::ReviveControllerIndex(0)
+        ));
+        assert_eq!(batches[2].0, SimDuration::from_secs(11));
+        assert!(matches!(
+            batches[2].1[0],
+            FaultEvent::FailController(ControllerSelector::Index(1))
+        ));
+        assert_eq!(batches[3].0, SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn partition_heal_after_schedules_heal_batch() {
+        let schedule = FaultSchedule::new().at(
+            SimDuration::from_secs(2),
+            FaultEvent::Partition {
+                groups: PartitionSpec::Halves,
+                heal_after: Some(SimDuration::from_secs(8)),
+            },
+        );
+        let batches = schedule.batches();
+        assert_eq!(batches.len(), 2);
+        assert!(matches!(batches[0].1[0], FaultEvent::Partition { .. }));
+        assert_eq!(batches[1].0, SimDuration::from_secs(10));
+        assert!(matches!(batches[1].1[0], FaultEvent::HealPartition));
+    }
+
+    #[test]
+    fn rack_and_pod_selectors_resolve_on_fat_trees_only() {
+        let topology = builders::fat_tree(4, 2);
+        let mut net = SdnNetwork::new(
+            topology,
+            ControllerConfig::for_network(2, 20),
+            HarnessConfig::default()
+                .with_task_delay(SimDuration::from_millis(100))
+                .with_seed(4),
+        );
+        net.run_until_legitimate(SimDuration::from_millis(100), SimDuration::from_secs(120))
+            .expect("bootstrap");
+        let mut ctx = FaultContext::new(29);
+        let rack = ctx.resolve_links(&net, LinkSelector::SameRack);
+        // One edge switch has k/2 = 2 in-pod uplinks.
+        assert_eq!(rack.len(), 2);
+        let common: Vec<NodeId> = rack.iter().map(|&(_, e)| e).collect();
+        assert!(
+            common.windows(2).all(|w| w[0] == w[1]),
+            "one rack = one edge"
+        );
+        let pod = ctx.resolve_links(&net, LinkSelector::SamePod);
+        assert_eq!(pod.len(), 4, "k/2 * k/2 intra-pod links");
+        for (a, b) in pod {
+            assert!(net.sim().topology().has_link(a, b));
+        }
+        // Determinism: equal seeds pick equal racks.
+        let mut a = FaultContext::new(31);
+        let mut b = FaultContext::new(31);
+        assert_eq!(
+            a.resolve_links(&net, LinkSelector::SameRack),
+            b.resolve_links(&net, LinkSelector::SameRack)
+        );
+        // Non-fat-tree topologies resolve to nothing.
+        let ring_net = bootstrapped();
+        assert!(ctx
+            .resolve_links(&ring_net, LinkSelector::SameRack)
+            .is_empty());
+        assert!(ctx
+            .resolve_links(&ring_net, LinkSelector::SamePod)
+            .is_empty());
     }
 
     #[test]

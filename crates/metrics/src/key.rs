@@ -170,6 +170,22 @@ impl MetricKey {
         Unit::Count,
         Polarity::LowerIsBetter,
     );
+    /// Fraction of a run's fault batches whose recovery reached a legitimate state
+    /// before the scenario moved on — the survival observable of flapping-link cells.
+    pub const FLAP_SURVIVAL: MetricKey = MetricKey::named(
+        Namespace::Scenario,
+        "flap_survival",
+        Unit::Ratio,
+        Polarity::HigherIsBetter,
+    );
+    /// Control-plane messages sent while a partition was in force (between the cut
+    /// batch and the heal batch), from the sampled messages probe.
+    pub const PARTITION_MESSAGES: MetricKey = MetricKey::named(
+        Namespace::Network,
+        "partition_messages",
+        Unit::Count,
+        Polarity::LowerIsBetter,
+    );
     /// Per-second TCP goodput of a traffic workload.
     pub const THROUGHPUT: MetricKey = MetricKey::named(
         Namespace::Workload,

@@ -30,7 +30,7 @@
 //! both pin this down).
 
 use crate::calendar::{CalendarQueue, EventRef};
-use crate::link::{LinkConfig, LinkStatus, TransmissionOutcome};
+use crate::link::{BurstState, LinkConfig, LinkStatus, TransmissionOutcome};
 use crate::metrics::NetworkMetrics;
 use crate::node::{Context, Node, Payload, TimerId};
 use crate::time::{SimDuration, SimTime};
@@ -152,6 +152,18 @@ pub struct Simulator<M: Payload, N: Node<M>> {
     events_processed: u64,
     link_status: BTreeMap<Link, LinkStatus>,
     link_overrides: BTreeMap<Link, LinkConfig>,
+    /// Per-direction link overrides; take precedence over the undirected map, so a
+    /// gray link can drop packets one way while staying clean the other way.
+    directed_overrides: BTreeMap<(NodeId, NodeId), LinkConfig>,
+    /// Gilbert–Elliott state and dedicated RNG stream per burst-configured link
+    /// direction. Seeded from `(config.seed, from, to, epoch)` when the override is
+    /// installed, so a link's loss pattern is independent of global interleaving.
+    burst_states: BTreeMap<(NodeId, NodeId), BurstState>,
+    /// Bumped on every link-config change; mixed into burst-stream seeds so a link
+    /// degraded, restored, and degraded again sees a fresh loss pattern.
+    link_config_epoch: u64,
+    /// Count of link-config calls that named a link absent from `Gc`.
+    link_config_warnings: u64,
     /// Observed neighborhoods, dense by `NodeId` index; `observed_present`
     /// distinguishes "observes nothing" from "not a topology node".
     observed: Vec<Vec<NodeId>>,
@@ -188,6 +200,10 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
             events_processed: 0,
             link_status: BTreeMap::new(),
             link_overrides: BTreeMap::new(),
+            directed_overrides: BTreeMap::new(),
+            burst_states: BTreeMap::new(),
+            link_config_epoch: 0,
+            link_config_warnings: 0,
             observed: Vec::new(),
             observed_present: Vec::new(),
             observed_scratch: Vec::new(),
@@ -369,14 +385,85 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
         }
     }
 
-    /// Overrides the link behaviour of one specific link.
-    pub fn set_link_config(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+    /// Overrides the link behaviour of one specific link, symmetrically: both
+    /// directions get `config`, and any per-direction overrides for the pair are
+    /// cleared so the last call wins. Burst-configured overrides (re)seed the
+    /// per-direction RNG streams.
+    ///
+    /// Returns `true` when the link exists in `Gc`. A call naming a nonexistent
+    /// link still installs the override (it applies if the link is added later)
+    /// but is counted in [`Simulator::link_config_warnings`].
+    pub fn set_link_config(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> bool {
+        self.link_config_epoch += 1;
+        self.directed_overrides.remove(&(a, b));
+        self.directed_overrides.remove(&(b, a));
         self.link_overrides.insert(Link::new(a, b), config);
+        self.reseed_burst(a, b, &config);
+        self.reseed_burst(b, a, &config);
+        self.note_link_known(a, b)
+    }
+
+    /// Overrides the link behaviour of one *direction* only (`from -> to`);
+    /// takes precedence over the undirected override and the default. This is the
+    /// asymmetric gray-failure primitive: degrade one direction, leave the other
+    /// clean. Returns `true` when the link exists in `Gc` (see
+    /// [`Simulator::set_link_config`] for the nonexistent-link contract).
+    pub fn set_link_config_directed(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        config: LinkConfig,
+    ) -> bool {
+        self.link_config_epoch += 1;
+        self.directed_overrides.insert((from, to), config);
+        self.reseed_burst(from, to, &config);
+        self.note_link_known(from, to)
+    }
+
+    /// Removes every override (undirected and both directions) for the pair,
+    /// returning the link to the default behaviour. Returns `true` when at least
+    /// one override was removed.
+    pub fn clear_link_config(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.link_config_epoch += 1;
+        let mut removed = self.link_overrides.remove(&Link::new(a, b)).is_some();
+        removed |= self.directed_overrides.remove(&(a, b)).is_some();
+        removed |= self.directed_overrides.remove(&(b, a)).is_some();
+        self.burst_states.remove(&(a, b));
+        self.burst_states.remove(&(b, a));
+        removed
+    }
+
+    /// How many link-config calls named a link absent from `Gc` so far.
+    pub fn link_config_warnings(&self) -> u64 {
+        self.link_config_warnings
+    }
+
+    fn note_link_known(&mut self, a: NodeId, b: NodeId) -> bool {
+        let known = self.topology.has_link(a, b);
+        if !known {
+            self.link_config_warnings += 1;
+        }
+        known
+    }
+
+    /// Installs or removes the burst stream for one direction to match `config`.
+    fn reseed_burst(&mut self, from: NodeId, to: NodeId, config: &LinkConfig) {
+        if config.burst.is_some() {
+            let seed = burst_stream_seed(self.config.seed, from, to, self.link_config_epoch);
+            self.burst_states.insert((from, to), BurstState::new(seed));
+        } else {
+            self.burst_states.remove(&(from, to));
+        }
     }
 
     /// Replaces the default link behaviour applied to links without an override.
     pub fn set_default_link_config(&mut self, config: LinkConfig) {
         self.config.default_link = config;
+    }
+
+    /// The default link behaviour applied to links without an override.
+    pub fn default_link_config(&self) -> LinkConfig {
+        self.config.default_link
     }
 
     // ------------------------------------------------------------------
@@ -729,6 +816,9 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
     }
 
     fn link_config(&self, a: NodeId, b: NodeId) -> LinkConfig {
+        if let Some(cfg) = self.directed_overrides.get(&(a, b)) {
+            return *cfg;
+        }
         self.link_overrides
             .get(&Link::new(a, b))
             .copied()
@@ -789,7 +879,19 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
             return;
         }
         let config = self.link_config(from, to);
-        match config.sample(&mut self.rng) {
+        // Burst-configured links draw every random decision from their dedicated
+        // per-direction stream, so their loss pattern is a pure function of
+        // (seed, link, packet index) — independent of what other links transmit.
+        // Flat links keep the legacy shared-RNG draw order, bit-for-bit.
+        let outcome = if config.burst.is_some() {
+            let state = self.burst_states.entry((from, to)).or_insert_with(|| {
+                BurstState::new(burst_stream_seed(self.config.seed, from, to, 0))
+            });
+            config.sample_bursty(state)
+        } else {
+            config.sample(&mut self.rng)
+        };
+        match outcome {
             TransmissionOutcome::Lost => {
                 self.metrics.record_drop(from);
             }
@@ -826,6 +928,19 @@ impl<M: Payload, N: Node<M>> Simulator<M, N> {
             }
         }
     }
+}
+
+/// Derives the seed of one link direction's burst RNG stream by mixing the run
+/// seed, the directed endpoints, and the config epoch through a splitmix-style
+/// finalizer. Deterministic across platforms — no hasher state involved.
+fn burst_stream_seed(seed: u64, from: NodeId, to: NodeId, epoch: u64) -> u64 {
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for v in [from.as_usize() as u64, to.as_usize() as u64, epoch] {
+        x ^= v.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(31);
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 29;
+    }
+    x
 }
 
 #[cfg(test)]
@@ -1251,5 +1366,159 @@ mod tests {
             sim.run_for(SimDuration::from_secs(1));
             assert_eq!(*sim.operational_graph(), sim.rebuild_operational_graph());
         }
+    }
+
+    #[test]
+    fn directed_override_degrades_one_direction_only() {
+        let mut sim = sim_with_echo(true);
+        // Kill only the reply direction 1 -> 0; requests 0 -> 1 stay clean.
+        assert!(sim.set_link_config_directed(n(1), n(0), LinkConfig::default().with_loss(1.0)));
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.node(n(1)).unwrap().received, vec![(n(0), 1)]);
+        assert!(sim.node(n(0)).unwrap().received.is_empty());
+        assert_eq!(sim.metrics().dropped(), 1);
+        // The link never left `Gc` or `Go`: a gray link is not a failed link.
+        assert!(sim.link_is_operational(n(0), n(1)));
+    }
+
+    #[test]
+    fn link_config_on_unknown_link_is_counted() {
+        let mut sim = sim_with_echo(false);
+        assert_eq!(sim.link_config_warnings(), 0);
+        assert!(sim.set_link_config(n(0), n(1), LinkConfig::default()));
+        assert_eq!(sim.link_config_warnings(), 0);
+        // (0, 2) is not a link of the line topology.
+        assert!(!sim.set_link_config(n(0), n(2), LinkConfig::default()));
+        assert!(!sim.set_link_config_directed(n(2), n(0), LinkConfig::default()));
+        assert_eq!(sim.link_config_warnings(), 2);
+        // Clearing reports whether anything was actually removed.
+        assert!(sim.clear_link_config(n(0), n(1)));
+        assert!(!sim.clear_link_config(n(0), n(1)));
+        assert!(sim.clear_link_config(n(0), n(2)));
+    }
+
+    #[test]
+    fn undirected_override_replaces_directed_ones() {
+        let mut sim = sim_with_echo(true);
+        assert!(sim.set_link_config_directed(n(1), n(0), LinkConfig::default().with_loss(1.0)));
+        // The symmetric override wins over the earlier directed one: last call wins.
+        assert!(sim.set_link_config(n(0), n(1), LinkConfig::default()));
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.node(n(0)).unwrap().received, vec![(n(1), 2)]);
+        assert_eq!(sim.metrics().dropped(), 0);
+    }
+
+    #[test]
+    fn burst_override_drops_packets_without_leaving_gc() {
+        struct Pump5;
+        impl Node<u64> for Pump5 {
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                if ctx.id() == n(0) {
+                    for v in 0..5 {
+                        ctx.send(n(1), v);
+                    }
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: u64, _: &mut Context<u64>) {
+                panic!("the burst channel is pinned to the bad state: nothing arrives");
+            }
+        }
+        let g = Graph::from_links([(n(0), n(1))]);
+        let mut sim: Simulator<u64, Pump5> = Simulator::new(&g, SimConfig::default());
+        sim.add_node(n(0), Pump5);
+        sim.add_node(n(1), Pump5);
+        // Enter the bad state before the first packet and never leave it.
+        let cfg = LinkConfig::default().with_burst(crate::link::BurstLoss::gilbert(1.0, 0.0, 1.0));
+        assert!(sim.set_link_config(n(0), n(1), cfg));
+        let gen = sim.topology_generation();
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().dropped(), 5);
+        assert!(sim.link_is_operational(n(0), n(1)));
+        assert_eq!(sim.topology_generation(), gen, "gray loss must not bump Go");
+    }
+
+    /// The satellite property: a burst link's packet fates are a pure function of
+    /// (seed, link, packet index). Unrelated traffic elsewhere in the network —
+    /// which consumes the shared RNG through per-callback draws and flat-link
+    /// sampling — must not shift a burst link's loss/jitter stream.
+    #[test]
+    fn burst_stream_is_independent_of_unrelated_traffic() {
+        #[derive(Clone)]
+        struct Pump {
+            peer: Option<NodeId>,
+            remaining: u32,
+            received: Vec<(SimTime, u64)>,
+        }
+        impl Node<u64> for Pump {
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                if self.peer.is_some() {
+                    ctx.schedule(SimDuration::from_millis(10), TimerId(0));
+                }
+            }
+            fn on_message(&mut self, _: NodeId, msg: u64, ctx: &mut Context<u64>) {
+                self.received.push((ctx.now(), msg));
+            }
+            fn on_timer(&mut self, _: TimerId, ctx: &mut Context<u64>) {
+                let Some(peer) = self.peer else { return };
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.send(peer, self.remaining as u64);
+                    ctx.schedule(SimDuration::from_millis(10), TimerId(0));
+                }
+            }
+        }
+        let run = |with_background: bool| -> Vec<(SimTime, u64)> {
+            let g = Graph::from_links([(n(0), n(1)), (n(2), n(3))]);
+            let mut sim: Simulator<u64, Pump> = Simulator::new(
+                &g,
+                SimConfig {
+                    detection_delay: SimDuration::ZERO,
+                    seed: 0xBEEF,
+                    ..SimConfig::default()
+                },
+            );
+            let idle = Pump {
+                peer: None,
+                remaining: 0,
+                received: Vec::new(),
+            };
+            sim.add_node(
+                n(0),
+                Pump {
+                    peer: Some(n(1)),
+                    remaining: 200,
+                    ..idle.clone()
+                },
+            );
+            sim.add_node(n(1), idle.clone());
+            sim.add_node(
+                n(2),
+                Pump {
+                    peer: if with_background { Some(n(3)) } else { None },
+                    remaining: 200,
+                    ..idle.clone()
+                },
+            );
+            sim.add_node(n(3), idle.clone());
+            let gray = LinkConfig::default()
+                .with_jitter(SimDuration::from_micros(500))
+                .with_burst(crate::link::BurstLoss::gilbert(0.1, 0.3, 0.9));
+            assert!(sim.set_link_config(n(0), n(1), gray));
+            // The background pair runs on a flat lossy link fed by the shared RNG.
+            assert!(sim.set_link_config(n(2), n(3), LinkConfig::default().with_loss(0.5)));
+            sim.start();
+            sim.run_until(SimTime::from_secs(10));
+            sim.node(n(1)).unwrap().received.clone()
+        };
+        let quiet = run(false);
+        let noisy = run(true);
+        assert!(!quiet.is_empty(), "some packets must survive the bursts");
+        assert_eq!(
+            quiet, noisy,
+            "burst-link outcomes shifted with unrelated traffic"
+        );
     }
 }

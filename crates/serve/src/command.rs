@@ -11,7 +11,7 @@ use renaissance_bench::report::Json;
 
 /// One fault injection, addressed by concrete node indices (no random selectors:
 /// a logged command must mean the same victims on every replay).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum FaultSpec {
     /// Fail-stop the controller with this index.
     FailController(u32),
@@ -29,6 +29,57 @@ pub enum FaultSpec {
     RemoveLink(u32, u32),
     /// Add a brand-new link to the topology.
     AddLink(u32, u32),
+    /// Degrade the link's quality without failing it — the gray failure: the link
+    /// stays part of `Gc` but starts dropping packets.
+    DegradeLink {
+        /// One endpoint of the link.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+        /// Flat per-packet loss probability (ignored when `burst` is set: the
+        /// burst process then owns the loss decision).
+        loss: f64,
+        /// Optional Gilbert burst-loss process `(p_enter, p_exit, loss_bad)`.
+        burst: Option<(f64, f64, f64)>,
+        /// Degrade only the `a -> b` direction, leaving the reverse clean.
+        asymmetric: bool,
+    },
+    /// Remove every quality override from the link, restoring default behaviour.
+    RestoreLinkQuality(u32, u32),
+    /// Cut every link whose endpoints land in different groups. Nodes listed in
+    /// several groups keep their first assignment; unlisted nodes keep all their
+    /// links. Undone by [`FaultSpec::HealPartition`].
+    Partition {
+        /// Explicit node-index groups (at least two).
+        groups: Vec<Vec<u32>>,
+    },
+    /// Restore every link cut by the partition currently in force.
+    HealPartition,
+    /// Flap the link: starting next tick, down for half of each period and back
+    /// up for the rest, `count` times. Phases fire from the session's scheduled
+    /// fault queue, so a replay flips the link on exactly the same ticks.
+    FlapLink {
+        /// One endpoint of the link.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+        /// Full down-then-up cycle length in ticks (at least 2).
+        period_ticks: u32,
+        /// Number of down/up cycles.
+        count: u32,
+    },
+    /// Restart controllers one at a time: controller `i` (in index order) goes
+    /// down `i * interval_ticks` after the next tick and revives `down_ticks`
+    /// later — the rolling-upgrade drill.
+    RollingRestart {
+        /// Ticks between consecutive controllers' restarts.
+        interval_ticks: u32,
+        /// Ticks each controller stays down (less than `interval_ticks`, so at
+        /// most one controller is down at a time).
+        down_ticks: u32,
+        /// Number of controllers to cycle, lowest indices first.
+        count: u32,
+    },
 }
 
 impl FaultSpec {
@@ -43,27 +94,104 @@ impl FaultSpec {
             FaultSpec::RestoreLink(..) => "restore_link",
             FaultSpec::RemoveLink(..) => "remove_link",
             FaultSpec::AddLink(..) => "add_link",
+            FaultSpec::DegradeLink { .. } => "degrade_link",
+            FaultSpec::RestoreLinkQuality(..) => "restore_link_quality",
+            FaultSpec::Partition { .. } => "partition",
+            FaultSpec::HealPartition => "heal_partition",
+            FaultSpec::FlapLink { .. } => "flap_link",
+            FaultSpec::RollingRestart { .. } => "rolling_restart",
         }
     }
 
-    /// Serializes to the wire object (`{"kind":...,"node":n}` or
-    /// `{"kind":...,"a":n,"b":m}`).
+    /// Serializes to the wire object (`{"kind":...,"node":n}`,
+    /// `{"kind":...,"a":n,"b":m}`, or a kind-specific shape).
     pub fn to_json(&self) -> Json {
-        match *self {
+        match self {
             FaultSpec::FailController(n)
             | FaultSpec::ReviveController(n)
             | FaultSpec::FailSwitch(n)
             | FaultSpec::ReviveSwitch(n) => Json::obj([
                 ("kind", Json::str(self.kind())),
-                ("node", Json::num(f64::from(n))),
+                ("node", Json::num(f64::from(*n))),
             ]),
             FaultSpec::FailLink(a, b)
             | FaultSpec::RestoreLink(a, b)
             | FaultSpec::RemoveLink(a, b)
-            | FaultSpec::AddLink(a, b) => Json::obj([
+            | FaultSpec::AddLink(a, b)
+            | FaultSpec::RestoreLinkQuality(a, b) => Json::obj([
                 ("kind", Json::str(self.kind())),
-                ("a", Json::num(f64::from(a))),
-                ("b", Json::num(f64::from(b))),
+                ("a", Json::num(f64::from(*a))),
+                ("b", Json::num(f64::from(*b))),
+            ]),
+            FaultSpec::DegradeLink {
+                a,
+                b,
+                loss,
+                burst,
+                asymmetric,
+            } => {
+                let mut members = vec![
+                    ("kind".to_string(), Json::str(self.kind())),
+                    ("a".to_string(), Json::num(f64::from(*a))),
+                    ("b".to_string(), Json::num(f64::from(*b))),
+                    ("loss".to_string(), Json::num(*loss)),
+                ];
+                if let Some((p_enter, p_exit, loss_bad)) = burst {
+                    members.push((
+                        "burst".to_string(),
+                        Json::obj([
+                            ("p_enter", Json::num(*p_enter)),
+                            ("p_exit", Json::num(*p_exit)),
+                            ("loss_bad", Json::num(*loss_bad)),
+                        ]),
+                    ));
+                }
+                if *asymmetric {
+                    members.push(("asymmetric".to_string(), Json::Bool(true)));
+                }
+                Json::Obj(members)
+            }
+            FaultSpec::Partition { groups } => Json::obj([
+                ("kind", Json::str(self.kind())),
+                (
+                    "groups",
+                    Json::arr(
+                        groups
+                            .iter()
+                            .map(|group| {
+                                Json::arr(
+                                    group
+                                        .iter()
+                                        .map(|n| Json::num(f64::from(*n)))
+                                        .collect::<Vec<_>>(),
+                                )
+                            })
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+            ]),
+            FaultSpec::HealPartition => Json::obj([("kind", Json::str(self.kind()))]),
+            FaultSpec::FlapLink {
+                a,
+                b,
+                period_ticks,
+                count,
+            } => Json::obj([
+                ("kind", Json::str(self.kind())),
+                ("a", Json::num(f64::from(*a))),
+                ("b", Json::num(f64::from(*b))),
+                ("period_ticks", Json::num(f64::from(*period_ticks))),
+                ("count", Json::num(f64::from(*count))),
+            ]),
+            FaultSpec::RollingRestart {
+                interval_ticks,
+                down_ticks,
+                count,
+            } => Json::obj([
+                ("kind", Json::str(self.kind())),
+                ("interval_ticks", Json::num(f64::from(*interval_ticks))),
+                ("down_ticks", Json::num(f64::from(*down_ticks))),
+                ("count", Json::num(f64::from(*count))),
             ]),
         }
     }
@@ -103,6 +231,101 @@ impl FaultSpec {
             "add_link" => {
                 let (a, b) = link()?;
                 FaultSpec::AddLink(a, b)
+            }
+            "degrade_link" => {
+                let (a, b) = link()?;
+                let loss = field_prob(json, "loss")?.unwrap_or(0.0);
+                let burst = match json.get("burst") {
+                    None => None,
+                    Some(burst) => {
+                        let required = |key: &str| -> Result<f64, String> {
+                            field_prob(burst, key)?
+                                .ok_or_else(|| format!("`burst` needs a probability `{key}`"))
+                        };
+                        Some((
+                            required("p_enter")?,
+                            required("p_exit")?,
+                            field_prob(burst, "loss_bad")?.unwrap_or(1.0),
+                        ))
+                    }
+                };
+                let asymmetric = json
+                    .get("asymmetric")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                FaultSpec::DegradeLink {
+                    a,
+                    b,
+                    loss,
+                    burst,
+                    asymmetric,
+                }
+            }
+            "restore_link_quality" => {
+                let (a, b) = link()?;
+                FaultSpec::RestoreLinkQuality(a, b)
+            }
+            "partition" => {
+                let groups = json
+                    .get("groups")
+                    .and_then(Json::as_array)
+                    .ok_or("fault `partition` needs `groups`: an array of node-index arrays")?;
+                let mut parsed = Vec::new();
+                for group in groups {
+                    let members = group
+                        .as_array()
+                        .ok_or("each partition group must be an array of node indices")?;
+                    let mut nodes = Vec::new();
+                    for member in members {
+                        let n = member
+                            .as_f64()
+                            .filter(|n| {
+                                n.is_finite()
+                                    && *n >= 0.0
+                                    && *n <= f64::from(u32::MAX)
+                                    && n.trunc() == *n
+                            })
+                            .ok_or("partition group members must be node indices")?;
+                        nodes.push(n as u32);
+                    }
+                    parsed.push(nodes);
+                }
+                if parsed.len() < 2 {
+                    return Err("a partition needs at least two groups".to_string());
+                }
+                FaultSpec::Partition { groups: parsed }
+            }
+            "heal_partition" => FaultSpec::HealPartition,
+            "flap_link" => {
+                let (a, b) = link()?;
+                let period_ticks = field_u32(json, "period_ticks")
+                    .filter(|p| *p >= 2)
+                    .ok_or("fault `flap_link` needs `period_ticks` of at least 2")?;
+                let count = field_u32(json, "count")
+                    .filter(|c| *c >= 1)
+                    .ok_or("fault `flap_link` needs a positive `count`")?;
+                FaultSpec::FlapLink {
+                    a,
+                    b,
+                    period_ticks,
+                    count,
+                }
+            }
+            "rolling_restart" => {
+                let interval_ticks = field_u32(json, "interval_ticks")
+                    .filter(|i| *i >= 2)
+                    .ok_or("fault `rolling_restart` needs `interval_ticks` of at least 2")?;
+                let down_ticks = field_u32(json, "down_ticks")
+                    .filter(|d| *d >= 1 && *d < interval_ticks)
+                    .ok_or("`down_ticks` must be in [1, interval_ticks)")?;
+                let count = field_u32(json, "count")
+                    .filter(|c| *c >= 1)
+                    .ok_or("fault `rolling_restart` needs a positive `count`")?;
+                FaultSpec::RollingRestart {
+                    interval_ticks,
+                    down_ticks,
+                    count,
+                }
             }
             other => return Err(format!("unknown fault kind `{other}`")),
         })
@@ -189,7 +412,7 @@ impl FlowsSpec {
 /// [`Command::Pause`], [`Command::Shutdown`]) steer the driver and are logged for
 /// audit but replayed as no-ops — the ticks they caused are already captured by the
 /// stamps of later entries and the log's final tick.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// Inject one fault.
     Fault(FaultSpec),
@@ -268,6 +491,19 @@ fn with_op(op: &str, payload: Json) -> Json {
     Json::Obj(members)
 }
 
+/// An optional probability member: absent is `Ok(None)`, present-but-invalid
+/// (non-numeric, non-finite, outside `[0, 1]`) is a hard reject — the session core
+/// clamps defensively, but a typo'd `loss` of `30` should fail loudly at the wire.
+fn field_prob(json: &Json, key: &str) -> Result<Option<f64>, String> {
+    match json.get(key) {
+        None => Ok(None),
+        Some(value) => match value.as_f64() {
+            Some(p) if p.is_finite() && (0.0..=1.0).contains(&p) => Ok(Some(p)),
+            _ => Err(format!("`{key}` must be a probability in [0, 1]")),
+        },
+    }
+}
+
 fn field_u32(json: &Json, key: &str) -> Option<u32> {
     let n = json.get(key)?.as_f64()?;
     if n.is_finite() && n >= 0.0 && n <= f64::from(u32::MAX) && n.trunc() == n {
@@ -292,6 +528,36 @@ mod tests {
             Command::Fault(FaultSpec::RestoreLink(3, 4)),
             Command::Fault(FaultSpec::RemoveLink(5, 6)),
             Command::Fault(FaultSpec::AddLink(5, 6)),
+            Command::Fault(FaultSpec::DegradeLink {
+                a: 3,
+                b: 4,
+                loss: 0.3,
+                burst: None,
+                asymmetric: false,
+            }),
+            Command::Fault(FaultSpec::DegradeLink {
+                a: 3,
+                b: 4,
+                loss: 0.0,
+                burst: Some((0.15, 0.35, 1.0)),
+                asymmetric: true,
+            }),
+            Command::Fault(FaultSpec::RestoreLinkQuality(3, 4)),
+            Command::Fault(FaultSpec::Partition {
+                groups: vec![vec![0, 2, 3], vec![1, 4, 5]],
+            }),
+            Command::Fault(FaultSpec::HealPartition),
+            Command::Fault(FaultSpec::FlapLink {
+                a: 2,
+                b: 5,
+                period_ticks: 8,
+                count: 3,
+            }),
+            Command::Fault(FaultSpec::RollingRestart {
+                interval_ticks: 20,
+                down_ticks: 10,
+                count: 2,
+            }),
             Command::Flows(FlowsSpec {
                 pairs: 200,
                 duration_ticks: 30,
@@ -342,6 +608,30 @@ mod tests {
             (
                 r#"{"op":"flows","pairs":10,"duration_ticks":5,"matrix":"spiral"}"#,
                 "unknown matrix",
+            ),
+            (
+                r#"{"op":"fault","kind":"degrade_link","a":1,"b":2,"loss":30}"#,
+                "probability in [0, 1]",
+            ),
+            (
+                r#"{"op":"fault","kind":"degrade_link","a":1,"b":2,"burst":{"p_enter":0.1}}"#,
+                "needs a probability `p_exit`",
+            ),
+            (
+                r#"{"op":"fault","kind":"partition","groups":[[0,1,2]]}"#,
+                "at least two groups",
+            ),
+            (
+                r#"{"op":"fault","kind":"partition","groups":[[0,-1],[2]]}"#,
+                "node indices",
+            ),
+            (
+                r#"{"op":"fault","kind":"flap_link","a":1,"b":2,"period_ticks":1,"count":3}"#,
+                "at least 2",
+            ),
+            (
+                r#"{"op":"fault","kind":"rolling_restart","interval_ticks":4,"down_ticks":4,"count":1}"#,
+                "[1, interval_ticks)",
             ),
         ] {
             let err = Command::from_json(&Json::parse(src).unwrap()).unwrap_err();

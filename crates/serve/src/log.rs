@@ -197,7 +197,7 @@ mod tests {
         let mut session = Session::new(tiny());
         let mut log = CommandLog::new(tiny());
         let drive = |session: &mut Session, log: &mut CommandLog, cmd: Command, steps: u64| {
-            log.push(session.tick(), cmd);
+            log.push(session.tick(), cmd.clone());
             session.apply(&cmd);
             for _ in 0..steps {
                 session.step();
@@ -221,6 +221,63 @@ mod tests {
                 seed_salt: None,
             }),
             6,
+        );
+        // One of each gray-failure kind: a recorded session must replay them all
+        // bit-identically, including the deferred flap and restart phases.
+        drive(
+            &mut session,
+            &mut log,
+            Command::Fault(FaultSpec::DegradeLink {
+                a: 3,
+                b: 4,
+                loss: 0.0,
+                burst: Some((0.15, 0.35, 1.0)),
+                asymmetric: true,
+            }),
+            8,
+        );
+        drive(
+            &mut session,
+            &mut log,
+            Command::Fault(FaultSpec::RestoreLinkQuality(3, 4)),
+            4,
+        );
+        // grid(2,3) with 2 controllers: rows are {2,3,4} and {5,6,7}; splitting
+        // along the rows keeps a controller on each side.
+        drive(
+            &mut session,
+            &mut log,
+            Command::Fault(FaultSpec::Partition {
+                groups: vec![vec![0, 2, 3, 4], vec![1, 5, 6, 7]],
+            }),
+            6,
+        );
+        drive(
+            &mut session,
+            &mut log,
+            Command::Fault(FaultSpec::HealPartition),
+            6,
+        );
+        drive(
+            &mut session,
+            &mut log,
+            Command::Fault(FaultSpec::FlapLink {
+                a: 3,
+                b: 4,
+                period_ticks: 4,
+                count: 2,
+            }),
+            12,
+        );
+        drive(
+            &mut session,
+            &mut log,
+            Command::Fault(FaultSpec::RollingRestart {
+                interval_ticks: 6,
+                down_ticks: 3,
+                count: 2,
+            }),
+            16,
         );
         drive(&mut session, &mut log, Command::Pause, 0);
         drive(&mut session, &mut log, Command::Shutdown, 0);

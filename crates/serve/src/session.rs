@@ -13,9 +13,10 @@ use renaissance::scenario::{Workload, WorkloadReport, WorkloadTick};
 use renaissance::{ControllerConfig, HarnessConfig, SdnNetwork};
 use renaissance_bench::report::Json;
 use sdn_metrics::{RingPage, RingSink};
-use sdn_netsim::SimDuration;
+use sdn_netsim::{BurstLoss, SimDuration};
 use sdn_topology::{builders, NodeId};
 use sdn_traffic::{Arrival, FlowEngineWorkload, FlowMix, FlowSetConfig, TrafficMatrix};
+use std::collections::BTreeMap;
 
 /// Everything needed to rebuild a session from scratch — the command log's header.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,6 +81,17 @@ impl SessionConfig {
     }
 }
 
+/// One deferred fault action, fired by [`Session::step`] when its tick arrives.
+/// Multi-phase faults (flaps, rolling restarts) expand into these at apply time,
+/// so a replay flips exactly the same nodes and links on exactly the same ticks.
+#[derive(Clone, Copy, Debug)]
+enum ScheduledFault {
+    LinkDown(NodeId, NodeId),
+    LinkUp(NodeId, NodeId),
+    ControllerDown(NodeId),
+    ControllerUp(NodeId),
+}
+
 /// One attached flow workload, advanced a service tick per session tick.
 struct FlowSlot {
     /// Stable attachment label (`flows-<n>`), carried into the finished report.
@@ -99,6 +111,12 @@ pub struct Session {
     samples: RingSink,
     tick: u64,
     commands_applied: u64,
+    /// Deferred fault phases keyed by the absolute tick they fire at; a `BTreeMap`
+    /// keeps the draining order deterministic.
+    scheduled: BTreeMap<u64, Vec<ScheduledFault>>,
+    /// Links cut by the partition currently in force, in cut order; drained by
+    /// `heal_partition`.
+    partitioned: Vec<(NodeId, NodeId)>,
 }
 
 impl Session {
@@ -126,6 +144,8 @@ impl Session {
             samples,
             tick: 0,
             commands_applied: 0,
+            scheduled: BTreeMap::new(),
+            partitioned: Vec::new(),
         };
         session.record_sample();
         session
@@ -161,11 +181,22 @@ impl Session {
             .next()
     }
 
-    /// Advances the session by one tick: runs the simulator for the configured
-    /// slice, drives every attached flow workload one service tick, retires
-    /// workloads whose window ended, and records a probe sample.
+    /// Advances the session by one tick: fires any fault phases scheduled for this
+    /// tick, runs the simulator for the configured slice, drives every attached
+    /// flow workload one service tick, retires workloads whose window ended, and
+    /// records a probe sample.
     pub fn step(&mut self) {
         self.tick += 1;
+        if let Some(actions) = self.scheduled.remove(&self.tick) {
+            for action in actions {
+                match action {
+                    ScheduledFault::LinkDown(a, b) => self.net.fail_link(a, b),
+                    ScheduledFault::LinkUp(a, b) => self.net.restore_link(a, b),
+                    ScheduledFault::ControllerDown(id) => self.net.fail_controller(id),
+                    ScheduledFault::ControllerUp(id) => self.net.revive_controller(id),
+                }
+            }
+        }
         self.net
             .run_for(SimDuration::from_millis(self.config.tick_millis));
         for slot in &mut self.flows {
@@ -194,7 +225,7 @@ impl Session {
     pub fn apply(&mut self, cmd: &Command) -> Json {
         self.commands_applied += 1;
         match cmd {
-            Command::Fault(spec) => self.apply_fault(*spec),
+            Command::Fault(spec) => self.apply_fault(spec),
             Command::Flows(spec) => self.attach_flows(*spec),
             Command::Step { .. } | Command::Run { .. } | Command::Pause | Command::Shutdown => {
                 Json::obj([("ok", Json::Bool(true))])
@@ -202,49 +233,148 @@ impl Session {
         }
     }
 
-    fn apply_fault(&mut self, spec: FaultSpec) -> Json {
-        let outcome: Result<String, String> = match spec {
-            FaultSpec::FailController(n) => self.checked_controller(n).map(|id| {
-                self.net.fail_controller(id);
-                format!("controller {n} failed")
-            }),
-            FaultSpec::ReviveController(n) => self.checked_controller(n).map(|id| {
-                self.net.revive_controller(id);
-                format!("controller {n} revived")
-            }),
-            FaultSpec::FailSwitch(n) => self.checked_switch(n).map(|id| {
-                self.net.fail_switch(id);
-                format!("switch {n} failed")
-            }),
-            FaultSpec::ReviveSwitch(n) => self.checked_switch(n).map(|id| {
-                self.net.revive_switch(id);
-                format!("switch {n} revived")
-            }),
-            FaultSpec::FailLink(a, b) => self.checked_link(a, b).map(|(a, b)| {
-                self.net.fail_link(a, b);
-                format!("link {}-{} failed", a.index(), b.index())
-            }),
-            FaultSpec::RestoreLink(a, b) => self.checked_link(a, b).map(|(a, b)| {
-                self.net.restore_link(a, b);
-                format!("link {}-{} restored", a.index(), b.index())
-            }),
-            FaultSpec::RemoveLink(a, b) => self.checked_link(a, b).and_then(|(a, b)| {
-                if self.net.remove_link(a, b) {
-                    Ok(format!("link {}-{} removed", a.index(), b.index()))
-                } else {
-                    Err(format!("link {}-{} not present", a.index(), b.index()))
+    fn apply_fault(&mut self, spec: &FaultSpec) -> Json {
+        let outcome: Result<String, String> =
+            match spec {
+                FaultSpec::FailController(n) => self.checked_controller(*n).map(|id| {
+                    self.net.fail_controller(id);
+                    format!("controller {n} failed")
+                }),
+                FaultSpec::ReviveController(n) => self.checked_controller(*n).map(|id| {
+                    self.net.revive_controller(id);
+                    format!("controller {n} revived")
+                }),
+                FaultSpec::FailSwitch(n) => self.checked_switch(*n).map(|id| {
+                    self.net.fail_switch(id);
+                    format!("switch {n} failed")
+                }),
+                FaultSpec::ReviveSwitch(n) => self.checked_switch(*n).map(|id| {
+                    self.net.revive_switch(id);
+                    format!("switch {n} revived")
+                }),
+                FaultSpec::FailLink(a, b) => self.checked_link(*a, *b).map(|(a, b)| {
+                    self.net.fail_link(a, b);
+                    format!("link {}-{} failed", a.index(), b.index())
+                }),
+                FaultSpec::RestoreLink(a, b) => self.checked_link(*a, *b).map(|(a, b)| {
+                    self.net.restore_link(a, b);
+                    format!("link {}-{} restored", a.index(), b.index())
+                }),
+                FaultSpec::RemoveLink(a, b) => self.checked_link(*a, *b).and_then(|(a, b)| {
+                    if self.net.remove_link(a, b) {
+                        Ok(format!("link {}-{} removed", a.index(), b.index()))
+                    } else {
+                        Err(format!("link {}-{} not present", a.index(), b.index()))
+                    }
+                }),
+                FaultSpec::AddLink(a, b) => {
+                    let (a, b) = (NodeId::new(*a), NodeId::new(*b));
+                    if a == b {
+                        Err("cannot add a self-loop".to_string())
+                    } else {
+                        self.net.add_link(a, b);
+                        Ok(format!("link {}-{} added", a.index(), b.index()))
+                    }
                 }
-            }),
-            FaultSpec::AddLink(a, b) => {
-                let (a, b) = (NodeId::new(a), NodeId::new(b));
-                if a == b {
-                    Err("cannot add a self-loop".to_string())
-                } else {
-                    self.net.add_link(a, b);
-                    Ok(format!("link {}-{} added", a.index(), b.index()))
+                FaultSpec::DegradeLink {
+                    a,
+                    b,
+                    loss,
+                    burst,
+                    asymmetric,
+                } => self.checked_present_link(*a, *b).map(|(a, b)| {
+                    let base = self.net.default_link_config();
+                    let config = match burst {
+                        Some((p_enter, p_exit, loss_bad)) => {
+                            base.with_burst(BurstLoss::gilbert(*p_enter, *p_exit, *loss_bad))
+                        }
+                        None => base.with_loss(*loss),
+                    };
+                    if *asymmetric {
+                        self.net.set_link_config_directed(a, b, config);
+                    } else {
+                        self.net.set_link_config(a, b, config);
+                    }
+                    let direction = if *asymmetric { " (one-way)" } else { "" };
+                    format!("link {}-{} degraded{direction}", a.index(), b.index())
+                }),
+                FaultSpec::RestoreLinkQuality(a, b) => {
+                    self.checked_present_link(*a, *b).and_then(|(a, b)| {
+                        if self.net.clear_link_config(a, b) {
+                            Ok(format!("link {}-{} quality restored", a.index(), b.index()))
+                        } else {
+                            Err(format!(
+                                "link {}-{} has no quality override",
+                                a.index(),
+                                b.index()
+                            ))
+                        }
+                    })
                 }
-            }
-        };
+                FaultSpec::Partition { groups } => self.apply_partition(groups),
+                FaultSpec::HealPartition => {
+                    if self.partitioned.is_empty() {
+                        Err("no partition is in force".to_string())
+                    } else {
+                        let cut = std::mem::take(&mut self.partitioned);
+                        for &(a, b) in &cut {
+                            self.net.restore_link(a, b);
+                        }
+                        Ok(format!("partition healed, {} links restored", cut.len()))
+                    }
+                }
+                FaultSpec::FlapLink {
+                    a,
+                    b,
+                    period_ticks,
+                    count,
+                } => self.checked_present_link(*a, *b).and_then(|(a, b)| {
+                    if *period_ticks < 2 || *count == 0 {
+                        return Err("flap needs period_ticks >= 2 and a positive count".to_string());
+                    }
+                    let down_for = u64::from(*period_ticks / 2);
+                    let start = self.tick + 1;
+                    for cycle in 0..u64::from(*count) {
+                        let down_at = start + cycle * u64::from(*period_ticks);
+                        self.schedule(down_at, ScheduledFault::LinkDown(a, b));
+                        self.schedule(down_at + down_for, ScheduledFault::LinkUp(a, b));
+                    }
+                    Ok(format!(
+                        "link {}-{} flapping {count} times, period {period_ticks} ticks",
+                        a.index(),
+                        b.index()
+                    ))
+                }),
+                FaultSpec::RollingRestart {
+                    interval_ticks,
+                    down_ticks,
+                    count,
+                } => {
+                    let controllers = self.net.controller_ids();
+                    if *count == 0 || *down_ticks == 0 || *interval_ticks <= *down_ticks {
+                        Err("rolling restart needs count >= 1 and down_ticks in [1, interval_ticks)"
+                        .to_string())
+                    } else if controllers.len() < *count as usize {
+                        Err(format!(
+                            "rolling restart of {count} controllers but only {} exist",
+                            controllers.len()
+                        ))
+                    } else {
+                        let start = self.tick + 1;
+                        for (index, id) in controllers.iter().take(*count as usize).enumerate() {
+                            let down_at = start + index as u64 * u64::from(*interval_ticks);
+                            self.schedule(down_at, ScheduledFault::ControllerDown(*id));
+                            self.schedule(
+                                down_at + u64::from(*down_ticks),
+                                ScheduledFault::ControllerUp(*id),
+                            );
+                        }
+                        Ok(format!(
+                        "rolling restart of {count} controllers, one every {interval_ticks} ticks"
+                    ))
+                    }
+                }
+            };
         match outcome {
             Ok(detail) => Json::obj([
                 ("ok", Json::Bool(true)),
@@ -285,6 +415,65 @@ impl Session {
         } else {
             Ok((a, b))
         }
+    }
+
+    /// Like [`Session::checked_link`], but also requires the link to currently
+    /// exist in `Gc` — quality overrides and flaps on a never-built link would be
+    /// silent no-ops, so they are rejected up front instead.
+    fn checked_present_link(&self, a: u32, b: u32) -> Result<(NodeId, NodeId), String> {
+        let (a, b) = self.checked_link(a, b)?;
+        if self.net.sim().topology().has_link(a, b) {
+            Ok((a, b))
+        } else {
+            Err(format!("link {}-{} not present", a.index(), b.index()))
+        }
+    }
+
+    /// Enqueues one deferred fault phase for `tick`.
+    fn schedule(&mut self, tick: u64, fault: ScheduledFault) {
+        self.scheduled.entry(tick).or_default().push(fault);
+    }
+
+    /// Cuts every link crossing the given groups (first-wins membership, unlisted
+    /// nodes keep all their links — the same semantics as the scenario schedule's
+    /// explicit partition) and remembers the cut set for `heal_partition`.
+    fn apply_partition(&mut self, groups: &[Vec<u32>]) -> Result<String, String> {
+        if !self.partitioned.is_empty() {
+            return Err("a partition is already in force (heal it first)".to_string());
+        }
+        if groups.len() < 2 {
+            return Err("a partition needs at least two groups".to_string());
+        }
+        let mut assignment: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (index, group) in groups.iter().enumerate() {
+            for &n in group {
+                let id = NodeId::new(n);
+                if !self.net.sim().topology().contains_node(id) {
+                    return Err(format!("partition group {index}: unknown node {n}"));
+                }
+                assignment.entry(id).or_insert(index);
+            }
+        }
+        let cut: Vec<(NodeId, NodeId)> = self
+            .net
+            .sim()
+            .topology()
+            .links()
+            .filter_map(|link| {
+                let group_a = assignment.get(&link.a)?;
+                let group_b = assignment.get(&link.b)?;
+                (group_a != group_b).then_some((link.a, link.b))
+            })
+            .collect();
+        if cut.is_empty() {
+            return Err("partition cuts no links".to_string());
+        }
+        for &(a, b) in &cut {
+            self.net.fail_link(a, b);
+        }
+        let count = cut.len();
+        self.partitioned = cut;
+        Ok(format!("partition cut {count} links"))
     }
 
     fn attach_flows(&mut self, spec: FlowsSpec) -> Json {
@@ -455,6 +644,18 @@ impl Session {
             ("flow_reports", Json::num(self.finished_flows.len() as f64)),
             ("commands", Json::num(self.commands_applied as f64)),
             ("samples_dropped", Json::num(self.samples.dropped() as f64)),
+            (
+                "pending_faults",
+                Json::num(self.scheduled.values().map(Vec::len).sum::<usize>() as f64),
+            ),
+            (
+                "partitioned_links",
+                Json::num(self.partitioned.len() as f64),
+            ),
+            (
+                "link_config_warnings",
+                Json::num(self.net.link_config_warnings() as f64),
+            ),
         ])
     }
 
@@ -634,6 +835,103 @@ mod tests {
             s.metrics_json().get("commands").and_then(Json::as_f64),
             Some(2.0)
         );
+    }
+
+    #[test]
+    fn gray_faults_validate_and_apply() {
+        let mut s = Session::new(tiny());
+        for _ in 0..10 {
+            s.step();
+        }
+        let ok = |outcome: &Json| outcome.get("ok").and_then(Json::as_bool);
+        let degraded = s.apply(&Command::Fault(FaultSpec::DegradeLink {
+            a: 3,
+            b: 4,
+            loss: 0.25,
+            burst: None,
+            asymmetric: false,
+        }));
+        assert_eq!(ok(&degraded), Some(true), "{degraded}");
+        let restored = s.apply(&Command::Fault(FaultSpec::RestoreLinkQuality(3, 4)));
+        assert_eq!(ok(&restored), Some(true), "{restored}");
+        // Restoring again reports there is nothing left to restore.
+        let nothing = s.apply(&Command::Fault(FaultSpec::RestoreLinkQuality(3, 4)));
+        assert_eq!(ok(&nothing), Some(false), "{nothing}");
+        // Degrading a pair that is not a link is rejected up front, not silently
+        // swallowed by the simulator's warning counter.
+        let no_link = s.apply(&Command::Fault(FaultSpec::DegradeLink {
+            a: 2,
+            b: 7,
+            loss: 0.5,
+            burst: None,
+            asymmetric: false,
+        }));
+        assert_eq!(ok(&no_link), Some(false), "{no_link}");
+    }
+
+    #[test]
+    fn partitions_cut_heal_and_refuse_double_cuts() {
+        let mut s = Session::new(tiny());
+        for _ in 0..10 {
+            s.step();
+        }
+        let ok = |outcome: &Json| outcome.get("ok").and_then(Json::as_bool);
+        let partitioned = |s: &Session| {
+            s.metrics_json()
+                .get("partitioned_links")
+                .and_then(Json::as_f64)
+        };
+        // grid(2,3): splitting along the rows cuts the three vertical links.
+        let groups = vec![vec![0, 2, 3, 4], vec![1, 5, 6, 7]];
+        let cut = s.apply(&Command::Fault(FaultSpec::Partition {
+            groups: groups.clone(),
+        }));
+        assert_eq!(ok(&cut), Some(true), "{cut}");
+        assert_eq!(partitioned(&s), Some(3.0));
+        let double = s.apply(&Command::Fault(FaultSpec::Partition { groups }));
+        assert_eq!(ok(&double), Some(false), "{double}");
+        let healed = s.apply(&Command::Fault(FaultSpec::HealPartition));
+        assert_eq!(ok(&healed), Some(true), "{healed}");
+        assert_eq!(partitioned(&s), Some(0.0));
+        let nothing = s.apply(&Command::Fault(FaultSpec::HealPartition));
+        assert_eq!(ok(&nothing), Some(false), "{nothing}");
+    }
+
+    #[test]
+    fn flaps_and_rolling_restarts_fire_on_schedule() {
+        let mut s = Session::new(tiny());
+        let ok = |outcome: &Json| outcome.get("ok").and_then(Json::as_bool);
+        let pending = |s: &Session| {
+            s.metrics_json()
+                .get("pending_faults")
+                .and_then(Json::as_f64)
+        };
+        let flap = s.apply(&Command::Fault(FaultSpec::FlapLink {
+            a: 3,
+            b: 4,
+            period_ticks: 4,
+            count: 2,
+        }));
+        assert_eq!(ok(&flap), Some(true), "{flap}");
+        assert_eq!(pending(&s), Some(4.0), "two down/up phases per cycle");
+        let rolling = s.apply(&Command::Fault(FaultSpec::RollingRestart {
+            interval_ticks: 6,
+            down_ticks: 3,
+            count: 2,
+        }));
+        assert_eq!(ok(&rolling), Some(true), "{rolling}");
+        assert_eq!(pending(&s), Some(8.0));
+        for _ in 0..20 {
+            s.step();
+        }
+        assert_eq!(pending(&s), Some(0.0), "every phase fired");
+        // Asking for more controllers than exist is rejected.
+        let too_many = s.apply(&Command::Fault(FaultSpec::RollingRestart {
+            interval_ticks: 6,
+            down_ticks: 3,
+            count: 9,
+        }));
+        assert_eq!(ok(&too_many), Some(false), "{too_many}");
     }
 
     #[test]

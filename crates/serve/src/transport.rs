@@ -222,7 +222,7 @@ impl Server {
                 body: self.session.log_json(from, limit),
             },
             Request::Command(cmd) => {
-                log.push(self.session.tick(), cmd);
+                log.push(self.session.tick(), cmd.clone());
                 let mut body = self.session.apply(&cmd);
                 match cmd {
                     Command::Step { ticks } => {

@@ -169,6 +169,57 @@ fn a_full_interactive_session_replays_bit_identically() {
         "{page}"
     );
 
+    // The gray-failure family: degrade the same link's quality in one direction,
+    // restore it, split the network along its rows, heal it, then flap a link and
+    // roll the controllers — all through the public fault surface.
+    for (body, expect) in [
+        (
+            format!(
+                "{{\"kind\":\"degrade_link\",\"a\":{},\"b\":{},\"burst\":{{\"p_enter\":0.15,\"p_exit\":0.35,\"loss_bad\":1.0}},\"asymmetric\":true}}",
+                link.0, link.1
+            ),
+            200,
+        ),
+        (
+            format!(
+                "{{\"kind\":\"restore_link_quality\",\"a\":{},\"b\":{}}}",
+                link.0, link.1
+            ),
+            200,
+        ),
+        (
+            "{\"kind\":\"partition\",\"groups\":[[0,2,3,4],[1,5,6,7]]}".to_string(),
+            200,
+        ),
+        ("{\"kind\":\"heal_partition\"}".to_string(), 200),
+        // Healing twice is a state conflict, not a parse error.
+        ("{\"kind\":\"heal_partition\"}".to_string(), 409),
+        (
+            format!(
+                "{{\"kind\":\"flap_link\",\"a\":{},\"b\":{},\"period_ticks\":4,\"count\":1}}",
+                link.0, link.1
+            ),
+            200,
+        ),
+        (
+            "{\"kind\":\"rolling_restart\",\"interval_ticks\":6,\"down_ticks\":3,\"count\":1}"
+                .to_string(),
+            200,
+        ),
+    ] {
+        let (status, ack) = http(&addr, "POST", "/faults", &body);
+        assert_eq!(status, expect, "{body} -> {ack}");
+    }
+    // Drain the scheduled flap and restart phases, then prove the control plane
+    // recovers legitimacy after the whole gray barrage.
+    let (status, _) = http(&addr, "POST", "/step?ticks=12", "");
+    assert_eq!(status, 200);
+    let (status, _) = http(&addr, "POST", "/run", "");
+    assert_eq!(status, 200);
+    await_legitimate(&addr);
+    let (status, _) = http(&addr, "POST", "/pause", "");
+    assert_eq!(status, 200);
+
     // Bad input is rejected at the transport boundary.
     let (status, _) = http(&addr, "POST", "/faults", "{\"kind\":\"nonsense\"}");
     assert_eq!(status, 400);

@@ -44,6 +44,7 @@ pub mod flat;
 pub mod flows;
 pub mod graph;
 pub mod ids;
+pub mod layout;
 pub mod paths;
 
 pub use builders::NamedTopology;
@@ -51,3 +52,4 @@ pub use flat::{BfsScratch, FlatGraph};
 pub use flows::{FlowPlan, FlowPlanner, NextHopSet};
 pub use graph::Graph;
 pub use ids::{NodeId, NodeKind};
+pub use layout::FatTreeLayout;
